@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks run entirely in virtual time, so wall-clock figures reported
+by pytest-benchmark measure the *simulator's* cost, while the printed tables
+report the *virtual* execution times that correspond to the paper's
+measurements.  Each benchmark also asserts the qualitative shape of the
+paper's result (who wins, monotonicity, rough factors), so a plain
+``pytest benchmarks/ --benchmark-only`` run doubles as a reproduction check.
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a block of text so it is visible with ``-s`` and in CI logs."""
+    def _report(title: str, body: str) -> None:
+        sys.stdout.write(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+    return _report

@@ -1,0 +1,127 @@
+"""Experiment E3 — message-complexity counts (Section 3.2.3 and Theorem 2).
+
+The paper enumerates the message cost of the new algorithm exactly:
+
+* one exception, no nesting: ``(N+1)(N−1)`` messages
+  (``N−1`` Exception, ``(N−1)²`` Suspended, ``N−1`` Commit);
+* all N threads raise simultaneously: also ``(N+1)(N−1)``
+  (``N(N−1)`` Exception, ``N−1`` Commit);
+* the count is independent of the number of concurrent exceptions;
+* Theorem 2: at most ``n_max (N²−1)`` messages with nesting.
+
+For the baselines the paper gives ``O(n_max N³)`` (Campbell–Randell) and
+``n_max · 3N(N−1)`` (Romanovsky-96).  These benches measure the counts on
+the real runtime over the simulated network and compare them with the
+formulas.
+"""
+
+import pytest
+
+from repro.analysis import (
+    campbell_randell_reference_messages,
+    messages_all_exceptions,
+    messages_single_exception,
+    romanovsky96_messages,
+    theorem2_worst_case_messages,
+)
+from repro.bench import (
+    algorithm_comparison_table,
+    message_complexity_table,
+    run_complexity_scenario,
+)
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_new_algorithm_matches_enumeration(benchmark, report):
+    """Measured counts equal the paper's exact (N+1)(N−1) enumeration."""
+    rows = message_complexity_table(thread_counts=(2, 3, 4, 5, 6))
+    for row in rows:
+        n = row["n_threads"]
+        assert row["measured_single"] == messages_single_exception(n), \
+            f"single-exception count mismatch for N={n}"
+        assert row["measured_all"] == messages_all_exceptions(n), \
+            f"all-exceptions count mismatch for N={n}"
+        assert row["measured_single"] == row["measured_all"], \
+            "the count must be independent of the number of concurrent exceptions"
+        assert row["measured_all"] <= row["theorem2_bound"]
+
+    report("Message complexity of the new algorithm (no nesting)",
+           format_table(rows, columns=["n_threads", "measured_single",
+                                       "measured_all", "paper_single",
+                                       "theorem2_bound"]))
+
+    benchmark.pedantic(run_complexity_scenario, args=(4, 4), rounds=3,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_exception_count_independence(benchmark, report):
+    """For fixed N the count does not change with the number of exceptions."""
+    n = 5
+    counts = [run_complexity_scenario(n, k)["resolution_messages"]
+              for k in range(1, n + 1)]
+    assert len(set(counts)) == 1, \
+        f"message count should be independent of concurrency level: {counts}"
+    assert counts[0] == messages_single_exception(n)
+
+    report("Independence from the number of concurrent exceptions (N = 5)",
+           "\n".join(f"  {k} concurrent exception(s): {count} messages"
+                     for k, count in enumerate(counts, start=1)))
+
+    benchmark.pedantic(run_complexity_scenario, args=(5, 3), rounds=3,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_baseline_comparison(benchmark, report):
+    """Ours ≤ Theorem 2 bound; R96 matches 3N(N−1); CR grows like N³."""
+    rows = algorithm_comparison_table(thread_counts=(3, 4, 5))
+    for row in rows:
+        n = row["n_threads"]
+        assert row["ours_messages"] <= theorem2_worst_case_messages(n, 1)
+        assert row["r96_messages"] == romanovsky96_messages(n), \
+            f"Romanovsky-96 count mismatch for N={n}"
+        assert row["cr_messages"] > row["r96_messages"] > row["ours_messages"]
+        # CR should be within a small constant factor of the cubic reference.
+        cubic = campbell_randell_reference_messages(n)
+        assert 0.5 * cubic <= row["cr_messages"] <= 2.0 * cubic
+        # Resolution-procedure invocations: exactly one for ours, one per
+        # thread for R96, super-linear for CR.
+        assert row["ours_resolution_calls"] == 1
+        assert row["r96_resolution_calls"] == n
+        assert row["cr_resolution_calls"] > n
+
+    report("Resolution-message counts per algorithm (all N threads raise)",
+           format_table(rows, columns=["n_threads", "ours_messages",
+                                       "r96_messages", "cr_messages",
+                                       "ours_resolution_calls",
+                                       "r96_resolution_calls",
+                                       "cr_resolution_calls"]))
+
+    benchmark.pedantic(run_complexity_scenario, args=(4, 4),
+                       kwargs={"algorithm": "campbell-randell"},
+                       rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_cubic_growth_of_campbell_randell(benchmark, report):
+    """CR message count grows strictly faster than quadratically."""
+    counts = {n: run_complexity_scenario(n, n, algorithm="campbell-randell")
+              ["resolution_messages"] for n in (3, 5, 7)}
+    ours = {n: run_complexity_scenario(n, n)["resolution_messages"]
+            for n in (3, 5, 7)}
+    # Quadratic growth would multiply by (7/3)² ≈ 5.4 between N=3 and N=7;
+    # cubic growth multiplies by ≈ 12.7.  Require clearly super-quadratic.
+    growth_cr = counts[7] / counts[3]
+    growth_ours = ours[7] / ours[3]
+    assert growth_cr > 7.5, f"CR growth {growth_cr:.1f} is not cubic-like"
+    assert growth_ours < 7.5, f"ours grew too fast: {growth_ours:.1f}"
+
+    report("Growth of the message count between N=3 and N=7",
+           f"ours: {ours[3]} -> {ours[7]} (x{growth_ours:.1f}, quadratic)\n"
+           f"CR  : {counts[3]} -> {counts[7]} (x{growth_cr:.1f}, cubic-like)")
+
+    benchmark.pedantic(run_complexity_scenario, args=(6, 6),
+                       kwargs={"algorithm": "campbell-randell"},
+                       rounds=1, iterations=1)

@@ -1,0 +1,141 @@
+"""Experiment E6 — the production-cell case study under injected faults.
+
+Section 4 of the paper is qualitative (it demonstrates that the model and
+algorithms fit a realistic safety-related control program); these benches
+turn that demonstration into measurable checks:
+
+* a fault-free campaign forges every blank without raising any exception;
+* campaigns with recoverable faults keep forging blanks, with every injected
+  fault accounted for by a resolution and a handler run;
+* interface exceptions propagate across the nesting levels exactly along the
+  paths named in the paper (``NCS_FAIL`` → ``T_SENSOR``);
+* the throughput degradation under faults stays bounded (the cell keeps
+  producing).
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.productioncell import FailureInjector, ProductionCell
+
+
+def _run(injector, cycles, algorithm="ours"):
+    cell = ProductionCell(injector=injector, algorithm=algorithm)
+    return cell.run(cycles=cycles)
+
+
+@pytest.mark.benchmark(group="production-cell")
+def test_fault_free_campaign(benchmark, report):
+    stats = _run(FailureInjector(), cycles=5)
+    assert stats.cycles_succeeded == 5
+    assert stats.blanks_forged == 5
+    assert stats.exceptions_raised == 0
+    assert stats.resolutions == 0
+
+    report("Production cell — fault-free campaign (5 cycles)",
+           f"forged {stats.blanks_forged}/5 blanks in "
+           f"{stats.total_time:.2f}s of virtual time, "
+           f"no exceptions raised")
+    benchmark.pedantic(_run, args=(FailureInjector(), 2), rounds=3,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="production-cell")
+def test_recoverable_faults_keep_producing(benchmark, report):
+    injector = FailureInjector()
+    injector.schedule(2, "vm_stop")
+    injector.schedule(3, "s_stuck")
+    injector.schedule(5, "vm_stop")
+    stats = _run(injector, cycles=6)
+
+    assert stats.exceptions_raised >= 3, "every injected fault must surface"
+    assert stats.resolutions >= 3, "every fault must be resolved"
+    assert stats.cycles_failed == 0, "recoverable faults must not fail cycles"
+    assert stats.blanks_forged >= 5, \
+        "recovered cycles should still forge their blanks"
+
+    report("Production cell — recoverable faults (6 cycles, 3 faults)",
+           format_table([{
+               "forged": stats.blanks_forged,
+               "succeeded": stats.cycles_succeeded,
+               "recovered": stats.cycles_recovered,
+               "raised": stats.exceptions_raised,
+               "resolved": stats.resolutions,
+           }]) + f"\nhandler trace: {stats.handled_log}")
+    benchmark.pedantic(_run, args=(FailureInjector().schedule(1, "vm_stop"), 2),
+                       rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="production-cell")
+def test_interface_exceptions_cross_nesting_levels(benchmark, report):
+    """A motor fault whose retry fails escalates NCS_FAIL → T_SENSOR upward."""
+    injector = FailureInjector()
+    injector.schedule(1, "vm_stop")
+    injector.schedule(1, "vm_nmove", persistent=True)
+    stats = _run(injector, cycles=2)
+
+    assert stats.signalled.get("NCS_FAIL", 0) >= 1, \
+        "Move_Loaded_Table must signal NCS_FAIL when the motor retry fails"
+    assert stats.signalled.get("T_SENSOR", 0) >= 1, \
+        "Unload_Table must escalate the failure as T_SENSOR"
+    assert "cycle-degraded" in stats.handled_log, \
+        "Table_Press_Robot must handle the escalated exception"
+    assert stats.cycles_failed == 0
+
+    report("Production cell — escalation across nesting levels",
+           f"signalled: {stats.signalled}\n"
+           f"handler trace: {stats.handled_log[:10]}")
+    benchmark.pedantic(_run, args=(FailureInjector().schedule(1, "s_stuck"), 1),
+                       rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="production-cell")
+def test_throughput_degradation_is_bounded(benchmark, report):
+    """Cycle time under faults stays within a small factor of fault-free."""
+    clean = _run(FailureInjector(), cycles=4)
+    injector = FailureInjector()
+    for cycle in (1, 2, 3, 4):
+        injector.schedule(cycle, "s_stuck")
+    faulty = _run(injector, cycles=4)
+
+    clean_cycle_time = clean.total_time / 4
+    faulty_cycle_time = faulty.total_time / 4
+    assert faulty.blanks_forged >= 3
+    assert faulty_cycle_time <= 3 * clean_cycle_time, (
+        "coordinated exception handling should not blow up the cycle time "
+        f"(clean {clean_cycle_time:.3f}s vs faulty {faulty_cycle_time:.3f}s)")
+
+    rows = [
+        {"campaign": "fault-free", "cycle_time": round(clean_cycle_time, 3),
+         "forged": clean.blanks_forged, "resolutions": clean.resolutions},
+        {"campaign": "sensor fault every cycle",
+         "cycle_time": round(faulty_cycle_time, 3),
+         "forged": faulty.blanks_forged, "resolutions": faulty.resolutions},
+    ]
+    report("Production cell — throughput under faults", format_table(rows))
+    benchmark.pedantic(_run, args=(FailureInjector(), 2), rounds=3,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="production-cell")
+def test_case_study_runs_under_baseline_algorithms(benchmark, report):
+    """The control program is algorithm-agnostic (same support, swapped resolver)."""
+    injector_template = [(2, "vm_stop"), (3, "s_stuck")]
+    results = {}
+    for algorithm in ("ours", "campbell-randell", "romanovsky96"):
+        injector = FailureInjector()
+        injector.schedule_many(injector_template)
+        stats = _run(injector, cycles=3, algorithm=algorithm)
+        results[algorithm] = stats
+        assert stats.cycles_failed == 0
+        assert stats.blanks_forged >= 2
+
+    rows = [{"algorithm": name, "forged": stats.blanks_forged,
+             "resolutions": stats.resolutions,
+             "virtual_time": round(stats.total_time, 3)}
+            for name, stats in results.items()]
+    report("Production cell — same campaign under the three algorithms",
+           format_table(rows))
+    benchmark.pedantic(_run, args=(FailureInjector(), 1),
+                       kwargs={"algorithm": "romanovsky96"}, rounds=3,
+                       iterations=1)

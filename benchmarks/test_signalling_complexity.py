@@ -1,0 +1,112 @@
+"""Experiment E4 — signalling-algorithm message counts (Section 3.4).
+
+The paper states that the exception-signalling algorithm needs ``N(N−1)``
+``toBeSignalled`` messages when no undo exception is involved and
+``2N(N−1)`` in the worst case (one extra round after the undo operations).
+These benches drive the pure signalling state machines for several group
+sizes and proposal mixes, count the messages, and compare with the formulas.
+"""
+
+import pytest
+
+from repro.analysis import (
+    signalling_messages_simple,
+    signalling_messages_worst_case,
+)
+from repro.bench.reporting import format_table
+from repro.core import ActionContext, ExceptionGraph, interface
+from repro.core.effects import SendTo
+from repro.core.exceptions import FAILURE, UNDO
+from repro.core.signalling import PerformUndo, SignalCoordinator, SignalOutcome
+
+
+def _run_signalling(n_threads, proposals, undo_results=None):
+    """Drive N signalling coordinators to completion; return (messages, outcomes)."""
+    threads = [f"T{i:02d}" for i in range(1, n_threads + 1)]
+    context = ActionContext("A", tuple(threads), ExceptionGraph("A"))
+    coordinators = {t: SignalCoordinator(t, context) for t in threads}
+    undo_results = undo_results or {}
+    inflight, outcomes, messages = [], {}, 0
+
+    def execute(sender, effects):
+        nonlocal messages
+        for effect in effects:
+            if isinstance(effect, SendTo):
+                messages += len(effect.recipients)
+                for recipient in effect.recipients:
+                    inflight.append((recipient, effect.message))
+            elif isinstance(effect, SignalOutcome):
+                outcomes[sender] = effect.exception
+            elif isinstance(effect, PerformUndo):
+                execute(sender, coordinators[sender].undo_completed(
+                    undo_results.get(sender, True)))
+
+    for thread in threads:
+        execute(thread, coordinators[thread].propose(proposals.get(thread)))
+    while inflight:
+        recipient, message = inflight.pop(0)
+        execute(recipient, coordinators[recipient].receive(message))
+    return messages, outcomes
+
+
+@pytest.mark.benchmark(group="signalling")
+def test_simple_case_message_count(benchmark, report):
+    """No µ/ƒ involved: exactly N(N−1) messages, each thread signals its own ε."""
+    rows = []
+    for n in (2, 3, 4, 6, 8):
+        proposals = {f"T{i:02d}": interface(f"eps_{i}") if i == 1 else None
+                     for i in range(1, n + 1)}
+        messages, outcomes = _run_signalling(n, proposals)
+        assert messages == signalling_messages_simple(n)
+        assert outcomes["T01"].name == "eps_1"
+        assert all(outcomes[t].name == "phi" for t in outcomes if t != "T01")
+        rows.append({"n_threads": n, "measured": messages,
+                     "paper_N(N-1)": signalling_messages_simple(n)})
+
+    report("Signalling algorithm, simple case (no undo round)",
+           format_table(rows))
+    benchmark.pedantic(_run_signalling, args=(6, {"T01": interface("eps")}),
+                       rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="signalling")
+def test_undo_case_message_count(benchmark, report):
+    """µ proposed: the undo round doubles the messages, all roles signal µ."""
+    rows = []
+    for n in (2, 3, 4, 6):
+        proposals = {f"T{i:02d}": UNDO if i == 1 else None
+                     for i in range(1, n + 1)}
+        messages, outcomes = _run_signalling(n, proposals)
+        assert messages == signalling_messages_worst_case(n)
+        assert all(value == UNDO for value in outcomes.values())
+        rows.append({"n_threads": n, "measured": messages,
+                     "paper_2N(N-1)": signalling_messages_worst_case(n)})
+
+    report("Signalling algorithm, undo (µ) case — worst-case message count",
+           format_table(rows))
+    benchmark.pedantic(_run_signalling, args=(6, {"T01": UNDO}),
+                       rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="signalling")
+def test_failed_undo_degrades_to_failure(benchmark, report):
+    """If any role's undo fails, every role signals ƒ (never a mixed outcome)."""
+    n = 4
+    proposals = {"T01": UNDO}
+    undo_results = {"T03": False}         # T03's undo operations fail
+    messages, outcomes = _run_signalling(n, proposals, undo_results)
+    assert all(value == FAILURE for value in outcomes.values())
+    assert messages == signalling_messages_worst_case(n)
+
+    proposals_f = {"T02": FAILURE}
+    messages_f, outcomes_f = _run_signalling(n, proposals_f)
+    assert all(value == FAILURE for value in outcomes_f.values())
+    assert messages_f == signalling_messages_simple(n), \
+        "a directly-proposed ƒ needs no undo round"
+
+    report("Signalling algorithm, ƒ coordination",
+           f"undo round with one failed undo: {messages} messages, all ƒ\n"
+           f"direct ƒ proposal:               {messages_f} messages, all ƒ")
+    benchmark.pedantic(_run_signalling, args=(4, {"T01": UNDO}),
+                       kwargs={"undo_results": {"T02": False}},
+                       rounds=3, iterations=1)

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Nested CA actions, abortion and exception signalling (µ and ƒ).
+
+This example walks through the most intricate behaviour of the model
+(Figures 2 and 4 of the paper):
+
+* Scenario A — an exception raised in the *enclosing* action while two of
+  its threads are inside a *nested* action: the nested action is aborted,
+  its abortion handlers signal an exception, and the resolving exception
+  covering both is handled jointly by all three threads.
+* Scenario B — a nested action whose handler decides the work must be
+  undone: the signalling algorithm coordinates the undo round, and because
+  one external object cannot undo its effects, every role signals the
+  failure exception ƒ instead of µ.
+
+Run with::
+
+    python examples/nested_recovery.py
+"""
+
+from repro.core import (
+    CAActionDefinition,
+    ExceptionGraph,
+    HandlerMap,
+    HandlerResult,
+    RoleDefinition,
+    internal,
+)
+from repro.core.exception_graph import generate_full_graph
+from repro.net import ConstantLatency
+from repro.runtime import ActionStatus, DistributedCASystem, RuntimeConfig
+
+OUTER_FAULT = internal("outer_fault", "fault detected by the outer thread")
+ABORT_RESIDUE = internal("abort_residue", "left over by the aborted nested action")
+BAD_BATCH = internal("bad_batch", "the nested computation produced bad data")
+
+
+def scenario_a() -> None:
+    """Enclosing exception aborts the nested action (Figure 4)."""
+    print("=== Scenario A: abortion of a nested action ===")
+    system = DistributedCASystem(
+        RuntimeConfig(resolution_time=0.1, abort_time=0.2),
+        latency=ConstantLatency(0.1))
+    system.add_threads(["T1", "T2", "T3"])
+
+    def outer_handler(ctx):
+        print(f"[{ctx.now:5.2f}] {ctx.thread_id} handles resolving exception "
+              f"{ctx.resolved_exception.name!r} in {ctx.action}")
+        yield ctx.delay(0.1)
+        return HandlerResult.success()
+
+    def abortion_handler(ctx):
+        print(f"[{ctx.now:5.2f}] {ctx.thread_id} runs the abortion handler "
+              f"of {ctx.action}")
+        return HandlerResult.signal(ABORT_RESIDUE)
+
+    def nested_work(ctx):
+        yield ctx.delay(30.0)           # long work; will be interrupted
+        return "never reached"
+
+    nested = CAActionDefinition(
+        "Nested",
+        [RoleDefinition("n1", nested_work,
+                        HandlerMap(abortion_handler=abortion_handler,
+                                   default_handler=outer_handler)),
+         RoleDefinition("n2", nested_work,
+                        HandlerMap(abortion_handler=abortion_handler,
+                                   default_handler=outer_handler))],
+        graph=ExceptionGraph("Nested"), parent="Outer")
+
+    def raising_role(ctx):
+        yield ctx.delay(1.0)
+        print(f"[{ctx.now:5.2f}] T1 raises {OUTER_FAULT.name!r} in Outer")
+        ctx.raise_exception(OUTER_FAULT)
+
+    def nesting_role(nested_role):
+        def body(ctx):
+            report = yield from ctx.perform_nested("Nested", nested_role)
+            return report
+        return body
+
+    outer = CAActionDefinition(
+        "Outer",
+        [RoleDefinition("o1", raising_role,
+                        HandlerMap(default_handler=outer_handler)),
+         RoleDefinition("o2", nesting_role("n1"),
+                        HandlerMap(default_handler=outer_handler)),
+         RoleDefinition("o3", nesting_role("n2"),
+                        HandlerMap(default_handler=outer_handler))],
+        internal_exceptions=[OUTER_FAULT, ABORT_RESIDUE],
+        graph=generate_full_graph([OUTER_FAULT, ABORT_RESIDUE],
+                                  action_name="Outer"))
+
+    system.define_action(outer)
+    system.define_action(nested)
+    system.bind("Outer", {"o1": "T1", "o2": "T2", "o3": "T3"})
+    system.bind("Nested", {"n1": "T2", "n2": "T3"})
+
+    def program(role):
+        def body(ctx):
+            report = yield from ctx.perform_action("Outer", role)
+            return report
+        return body
+
+    system.spawn("T1", program("o1"))
+    system.spawn("T2", program("o2"))
+    system.spawn("T3", program("o3"))
+    reports = system.run_to_completion()
+    for report in reports:
+        print(f"  {report.thread}: {report.status.value} "
+              f"(resolved {report.resolved.name if report.resolved else '-'})")
+    print(f"  abortions: {system.metrics.abortions}, "
+          f"resolutions: {system.metrics.resolutions}\n")
+
+
+def scenario_b() -> None:
+    """Coordinated signalling of µ / ƒ after a failed undo."""
+    print("=== Scenario B: undo coordination and the failure exception ===")
+    system = DistributedCASystem(RuntimeConfig(resolution_time=0.05),
+                                 latency=ConstantLatency(0.05))
+    system.add_threads(["Worker1", "Worker2"])
+    batch = system.create_object("batch", {"rows": 0})
+    audit = system.create_object("audit", {"entries": 0})
+
+    def writer_role(object_name):
+        def body(ctx):
+            ctx.write(object_name, "rows" if object_name == "batch" else "entries", 10)
+            yield ctx.delay(0.2)
+            if object_name == "batch":
+                ctx.raise_exception(BAD_BATCH)
+            yield ctx.delay(1.0)
+        return body
+
+    def abort_handler(ctx):
+        print(f"[{ctx.now:5.2f}] {ctx.thread_id} handler: the batch is bad, "
+              f"request undo (µ)")
+        return HandlerResult.abort()
+
+    action = CAActionDefinition(
+        "LoadBatch",
+        [RoleDefinition("w1", writer_role("batch"),
+                        HandlerMap(default_handler=abort_handler)),
+         RoleDefinition("w2", writer_role("audit"),
+                        HandlerMap(default_handler=abort_handler))],
+        internal_exceptions=[BAD_BATCH],
+        graph=generate_full_graph([BAD_BATCH], action_name="LoadBatch"),
+        external_objects=["batch", "audit"])
+    system.define_action(action)
+    system.bind("LoadBatch", {"w1": "Worker1", "w2": "Worker2"})
+
+    def program(role):
+        def body(ctx):
+            report = yield from ctx.perform_action("LoadBatch", role)
+            return report
+        return body
+
+    # Make the audit object unable to undo, so µ degrades to ƒ.
+    audit.inject_undo_fault()
+    system.spawn("Worker1", program("w1"))
+    system.spawn("Worker2", program("w2"))
+    reports = system.run_to_completion()
+    for report in reports:
+        print(f"  {report.thread}: {report.status.value}, "
+              f"signalled {report.signalled.name}")
+    print(f"  batch rows committed: {batch.committed_value('rows')} "
+          f"(expected 0: the write was rolled back)")
+
+
+def main() -> None:
+    scenario_a()
+    scenario_b()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Quickstart: a two-role CA action with coordinated exception handling.
+
+This example builds the smallest meaningful system:
+
+* two threads (``Client`` and ``Server``) on two simulated nodes;
+* one external atomic object (a bank account);
+* one CA action (``Transfer``) with two roles that cooperate by message
+  passing;
+* an internal exception (``insufficient_funds``) raised by one role,
+  resolved and handled by *both* roles, which repair the external object
+  (forward error recovery) so the action still exits successfully.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import (
+    CAActionDefinition,
+    HandlerMap,
+    HandlerResult,
+    RoleDefinition,
+    internal,
+)
+from repro.core.exception_graph import generate_full_graph
+from repro.net import ConstantLatency
+from repro.runtime import DistributedCASystem, RuntimeConfig
+
+INSUFFICIENT_FUNDS = internal("insufficient_funds",
+                              "the account cannot cover the transfer")
+
+
+def build_system() -> DistributedCASystem:
+    """Create the two-node system with one account object."""
+    system = DistributedCASystem(
+        RuntimeConfig(resolution_time=0.05),
+        latency=ConstantLatency(0.1),
+    )
+    system.add_threads(["Client", "Server"])
+    system.create_object("account", {"balance": 100, "reserved": 0},
+                         invariant=lambda state: state["balance"] >= 0)
+    return system
+
+
+def define_transfer_action(system: DistributedCASystem, amount: int) -> None:
+    """Define the Transfer CA action and bind its roles to the two threads."""
+
+    def client_role(ctx):
+        """Ask the server to reserve the amount, then wait for confirmation."""
+        ctx.send("server", "reserve", amount)
+        confirmed = yield ctx.receive("reserved")
+        print(f"[{ctx.now:5.2f}] client: reservation confirmed = {confirmed}")
+        return "transfer-requested"
+
+    def server_role(ctx):
+        """Check the balance and reserve the amount, or raise an exception."""
+        requested = yield ctx.receive("reserve")
+        balance = ctx.read("account", "balance")
+        if balance < requested:
+            # This interrupts the client too: both roles will run their
+            # handler for the resolved exception.
+            ctx.raise_exception(INSUFFICIENT_FUNDS)
+        ctx.write("account", "balance", balance - requested)
+        ctx.write("account", "reserved", requested)
+        ctx.send("client", "reserved", True)
+        return "transfer-reserved"
+
+    def client_handler(ctx):
+        print(f"[{ctx.now:5.2f}] client handler: transfer cancelled "
+              f"({ctx.resolved_exception.name})")
+        return HandlerResult.success()
+
+    def server_handler(ctx):
+        """Forward recovery: leave the account untouched but record the refusal."""
+        ctx.repair("account", lambda state: {**state, "reserved": 0})
+        print(f"[{ctx.now:5.2f}] server handler: account repaired "
+              f"({ctx.resolved_exception.name})")
+        return HandlerResult.success()
+
+    action = CAActionDefinition(
+        "Transfer",
+        roles=[
+            RoleDefinition("client", client_role,
+                           HandlerMap({INSUFFICIENT_FUNDS: client_handler})),
+            RoleDefinition("server", server_role,
+                           HandlerMap({INSUFFICIENT_FUNDS: server_handler})),
+        ],
+        internal_exceptions=[INSUFFICIENT_FUNDS],
+        graph=generate_full_graph([INSUFFICIENT_FUNDS], action_name="Transfer"),
+        external_objects=["account"],
+    )
+    system.define_action(action)
+    system.bind("Transfer", {"client": "Client", "server": "Server"})
+
+
+def main() -> None:
+    for amount in (60, 500):
+        print(f"\n=== Transfer of {amount} ===")
+        system = build_system()
+        define_transfer_action(system, amount)
+
+        def client_program(ctx):
+            report = yield from ctx.perform_action("Transfer", "client")
+            return report
+
+        def server_program(ctx):
+            report = yield from ctx.perform_action("Transfer", "server")
+            return report
+
+        system.spawn("Client", client_program)
+        system.spawn("Server", server_program)
+        client_report, server_report = system.run_to_completion()
+
+        account = system.transactions.object("account")
+        print(f"outcome: client={client_report.status.value} "
+              f"server={server_report.status.value}")
+        print(f"account balance after the action: "
+              f"{account.committed_value('balance')}")
+        print(f"exceptions raised: {system.metrics.exceptions_raised}, "
+              f"resolutions: {system.metrics.resolutions}, "
+              f"protocol messages: {system.network.stats.protocol_messages()}")
+
+
+if __name__ == "__main__":
+    main()

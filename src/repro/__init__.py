@@ -1,0 +1,36 @@
+"""repro — coordinated exception handling in distributed object systems.
+
+A from-scratch Python reproduction of
+
+    J. Xu, A. Romanovsky and B. Randell,
+    "Coordinated Exception Handling in Distributed Object Systems:
+     from Model to System Implementation", ICDCS 1998.
+
+The package provides:
+
+* :mod:`repro.core` — the CA-action exception model, exception graphs, the
+  coordinated resolution algorithm, the exception-signalling algorithm and
+  the baseline algorithms it is compared against;
+* :mod:`repro.simkernel` — a deterministic discrete-event simulation kernel;
+* :mod:`repro.net` — the message-passing substrate (nodes, FIFO links,
+  latency models, fault injection);
+* :mod:`repro.objects` — external atomic objects with transactions;
+* :mod:`repro.runtime` — the distributed CA-action run-time system;
+* :mod:`repro.productioncell` — the production-cell case study;
+* :mod:`repro.analysis` — analytic bounds and run metrics;
+* :mod:`repro.bench` — experiment harness reproducing the paper's figures.
+"""
+
+from . import analysis, core, net, objects, runtime, simkernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "net",
+    "objects",
+    "runtime",
+    "simkernel",
+    "__version__",
+]

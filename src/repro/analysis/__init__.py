@@ -1,0 +1,32 @@
+"""Analytic bounds (Lemma 1, Theorem 2, message-count formulas) and metrics."""
+
+from .bounds import (
+    TimingParameters,
+    campbell_randell_reference_messages,
+    campbell_randell_resolution_calls,
+    exception_graph_level_size,
+    lemma1_completion_bound,
+    messages_all_exceptions,
+    messages_single_exception,
+    romanovsky96_messages,
+    signalling_messages_simple,
+    signalling_messages_worst_case,
+    theorem2_worst_case_messages,
+)
+from .metrics import ActionOutcome, RunMetrics
+
+__all__ = [
+    "ActionOutcome",
+    "RunMetrics",
+    "TimingParameters",
+    "campbell_randell_reference_messages",
+    "campbell_randell_resolution_calls",
+    "exception_graph_level_size",
+    "lemma1_completion_bound",
+    "messages_all_exceptions",
+    "messages_single_exception",
+    "romanovsky96_messages",
+    "signalling_messages_simple",
+    "signalling_messages_worst_case",
+    "theorem2_worst_case_messages",
+]

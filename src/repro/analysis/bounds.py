@@ -1,0 +1,154 @@
+"""Analytic bounds and complexity formulas from the paper.
+
+These functions encode, symbol for symbol, the quantitative claims of
+Section 3.2.3 and Section 3.4, so that benchmarks and property-based tests
+can check measured behaviour against them:
+
+* Lemma 1's completion-time bound,
+* the message-count enumerations for one and for N concurrent exceptions,
+* Theorem 2's worst-case message complexity ``n_max × (N² − 1)``,
+* the Campbell–Randell ``O(n_max × N³)`` and Romanovsky-96
+  ``n_max × 3N(N−1)`` reference complexities,
+* the signalling algorithm's ``N(N−1)`` / ``2N(N−1)`` message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """The timing parameters used throughout Sections 3 and 5.
+
+    Attributes
+    ----------
+    t_msg_max:
+        ``Tmmax`` — maximum time of message passing between two threads.
+    t_resolution:
+        ``Treso``/``Tres`` — upper bound on the time spent resolving.
+    t_abort:
+        ``Tabort``/``Tabo`` — maximum time to abort one nested action.
+    t_handler_max:
+        ``Δmax`` — maximum time to handle a (resolving) exception.
+    max_nesting:
+        ``n_max`` — maximum number of nesting levels (0 if no nesting).
+    """
+
+    t_msg_max: float
+    t_resolution: float
+    t_abort: float
+    t_handler_max: float
+    max_nesting: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("t_msg_max", "t_resolution", "t_abort", "t_handler_max"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.max_nesting < 0:
+            raise ValueError("max_nesting must be non-negative")
+
+
+def lemma1_completion_bound(params: TimingParameters) -> float:
+    """Lemma 1: worst-case time for a thread to complete exception handling.
+
+    ``T ≤ (2·n_max + 3)·Tmmax + n_max·Tabort + (n_max + 1)(Treso + Δmax)``
+    """
+    n = params.max_nesting
+    return ((2 * n + 3) * params.t_msg_max
+            + n * params.t_abort
+            + (n + 1) * (params.t_resolution + params.t_handler_max))
+
+
+def messages_single_exception(n_threads: int) -> int:
+    """Section 3.2.3 case 1: one exception, no nesting.
+
+    ``(N + 1)(N − 1)`` messages: ``N−1`` Exception, ``(N−1)²`` Suspended and
+    ``N−1`` Commit messages.
+    """
+    _validate_threads(n_threads)
+    return (n_threads + 1) * (n_threads - 1)
+
+
+def messages_all_exceptions(n_threads: int) -> int:
+    """Section 3.2.3 case 2: all N threads raise simultaneously.
+
+    Also ``(N + 1)(N − 1)``: ``N(N−1)`` Exception plus ``N−1`` Commit
+    messages.
+    """
+    _validate_threads(n_threads)
+    return (n_threads + 1) * (n_threads - 1)
+
+
+def theorem2_worst_case_messages(n_threads: int, max_nesting: int) -> int:
+    """Theorem 2: the proposed algorithm needs at most ``n_max(N² − 1)`` messages.
+
+    ``max_nesting`` here follows the paper's convention of counting levels
+    such that a single (non-nested) action corresponds to the factor 1.
+    """
+    _validate_threads(n_threads)
+    levels = max(1, max_nesting)
+    return levels * (n_threads ** 2 - 1)
+
+
+def campbell_randell_reference_messages(n_threads: int, max_nesting: int = 0) -> int:
+    """Reference magnitude for the Campbell–Randell algorithm: ``n_max·N³``.
+
+    The paper only states the order ``O(n_max × N³)``; this helper returns
+    the nominal cubic value used by benchmarks as a scale reference (never
+    as an exact expectation).
+    """
+    _validate_threads(n_threads)
+    levels = max(1, max_nesting)
+    return levels * n_threads ** 3
+
+
+def campbell_randell_resolution_calls(n_threads: int) -> int:
+    """Number of resolution-procedure invocations in the CR algorithm.
+
+    Section 5.3: "the resolution procedure is called N × (N − 1) × (N − 2)
+    times in CR algorithms and only once in our approach."
+    """
+    _validate_threads(n_threads)
+    return n_threads * (n_threads - 1) * (n_threads - 2)
+
+
+def romanovsky96_messages(n_threads: int, max_nesting: int = 0) -> int:
+    """The earlier algorithm "could use ``n_max × 3N(N−1)`` messages"."""
+    _validate_threads(n_threads)
+    levels = max(1, max_nesting)
+    return levels * 3 * n_threads * (n_threads - 1)
+
+
+def signalling_messages_simple(n_threads: int) -> int:
+    """Signalling algorithm, no µ involved: ``N(N−1)`` messages."""
+    _validate_threads(n_threads)
+    return n_threads * (n_threads - 1)
+
+
+def signalling_messages_worst_case(n_threads: int) -> int:
+    """Signalling algorithm with an undo round: ``2N(N−1)`` messages."""
+    _validate_threads(n_threads)
+    return 2 * n_threads * (n_threads - 1)
+
+
+def exception_graph_level_size(n_primitives: int, level: int) -> int:
+    """Maximum number of resolving exceptions at a given graph level.
+
+    Section 3.2: level 1 can contain up to ``n(n−1)/2`` nodes, level 2 up to
+    ``n(n−1)(n−2)/6``, and so on — i.e. ``C(n, level+1)``.
+    """
+    if n_primitives < 1:
+        raise ValueError("need at least one primitive exception")
+    if level < 0 or level > n_primitives - 1:
+        return 0
+    size = level + 1
+    result = 1
+    for i in range(size):
+        result = result * (n_primitives - i) // (i + 1)
+    return result
+
+
+def _validate_threads(n_threads: int) -> None:
+    if n_threads < 2:
+        raise ValueError("the coordination algorithms need at least 2 threads")

@@ -1,0 +1,108 @@
+"""Run-level metrics collected by the CA-action runtime.
+
+One :class:`RunMetrics` instance is attached to a
+:class:`~repro.runtime.system.DistributedCASystem`; the runtime feeds it the
+events that the paper's experiments measure (messages, resolutions,
+abortions, handler invocations, action outcomes) and the benchmarks read the
+aggregates from it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ActionOutcome:
+    """The final outcome of one executed CA action instance."""
+
+    action: str
+    outcome: str                 # "success", "signalled", "undone", "failed"
+    signalled: Optional[str] = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class RunMetrics:
+    """Aggregated counters for one simulated run."""
+
+    def __init__(self) -> None:
+        self.exceptions_raised: int = 0
+        self.exceptions_by_name: Dict[str, int] = defaultdict(int)
+        self.resolutions: int = 0
+        self.resolution_calls: int = 0
+        self.resolved_by_name: Dict[str, int] = defaultdict(int)
+        self.handlers_invoked: int = 0
+        self.abortions: int = 0
+        self.suspensions: int = 0
+        self.signalled: Dict[str, int] = defaultdict(int)
+        self.action_outcomes: List[ActionOutcome] = []
+        self.events: List[str] = []
+
+    # ------------------------------------------------------------------
+    def record_raise(self, thread: str, action: str, exception: str,
+                     now: float) -> None:
+        self.exceptions_raised += 1
+        self.exceptions_by_name[exception] += 1
+        self.events.append(f"{now:.3f} {thread} raised {exception} in {action}")
+
+    def record_suspension(self, thread: str, action: str, now: float) -> None:
+        self.suspensions += 1
+        self.events.append(f"{now:.3f} {thread} suspended in {action}")
+
+    def record_resolution(self, resolver: str, action: str, exception: str,
+                          now: float) -> None:
+        self.resolutions += 1
+        self.resolved_by_name[exception] += 1
+        self.events.append(
+            f"{now:.3f} {resolver} resolved {exception} in {action}")
+
+    def record_handler(self, thread: str, action: str, exception: str,
+                       now: float) -> None:
+        self.handlers_invoked += 1
+        self.events.append(
+            f"{now:.3f} {thread} handling {exception} in {action}")
+
+    def record_abortion(self, thread: str, action: str, now: float) -> None:
+        self.abortions += 1
+        self.events.append(f"{now:.3f} {thread} aborted {action}")
+
+    def record_signal(self, thread: str, action: str, exception: str,
+                      now: float) -> None:
+        self.signalled[exception] += 1
+        self.events.append(
+            f"{now:.3f} {thread} signalled {exception} from {action}")
+
+    def record_outcome(self, outcome: ActionOutcome) -> None:
+        self.action_outcomes.append(outcome)
+
+    # ------------------------------------------------------------------
+    def outcomes_for(self, action: str) -> List[ActionOutcome]:
+        """All recorded outcomes of the named action."""
+        return [o for o in self.action_outcomes if o.action == action]
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-dict summary used by benchmark reports."""
+        return {
+            "exceptions_raised": self.exceptions_raised,
+            "resolutions": self.resolutions,
+            "handlers_invoked": self.handlers_invoked,
+            "abortions": self.abortions,
+            "suspensions": self.suspensions,
+            "signalled": dict(self.signalled),
+            "outcomes": {
+                outcome: sum(1 for o in self.action_outcomes
+                             if o.outcome == outcome)
+                for outcome in {o.outcome for o in self.action_outcomes}
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"<RunMetrics raised={self.exceptions_raised} "
+                f"resolved={self.resolutions} aborted={self.abortions}>")

@@ -1,0 +1,224 @@
+"""Parameter-sweep harness reproducing the paper's tables and figures.
+
+Each function returns a list of row dictionaries matching the columns of the
+corresponding table in the paper, so that the benchmark suite (and the
+EXPERIMENTS.md report) can print them side by side with the published
+numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.bounds import (
+    TimingParameters,
+    lemma1_completion_bound,
+    messages_all_exceptions,
+    messages_single_exception,
+    romanovsky96_messages,
+    signalling_messages_simple,
+    signalling_messages_worst_case,
+    theorem2_worst_case_messages,
+)
+from .scenarios import (
+    EXPERIMENT1_ITERATIONS,
+    run_complexity_scenario,
+    run_experiment1,
+    run_experiment2,
+)
+
+#: Parameter grids published in Figure 9 of the paper.
+FIGURE9_TMMAX_VALUES = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0,
+                        2.2, 2.4, 2.6, 2.8]
+FIGURE9_TABO_VALUES = [0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9, 2.1]
+FIGURE9_TRESO_VALUES = [0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9, 2.1, 2.3]
+
+#: Baseline parameter values (the first row of each Figure 9 column).
+FIGURE9_BASELINE = {"t_msg": 0.2, "t_abort": 0.1, "t_resolution": 0.3}
+
+#: Parameter grids published in Figure 12.
+FIGURE12_TMMAX_VALUES = [1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4]
+FIGURE12_TRES_VALUES = [0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5]
+FIGURE12_FIXED_TRES = 0.3
+FIGURE12_FIXED_TMMAX = 1.0
+
+
+# ----------------------------------------------------------------------
+# Figures 9 and 10: sensitivity of the total execution time
+# ----------------------------------------------------------------------
+def sweep_figure9(varying: str,
+                  values: Optional[Sequence[float]] = None,
+                  iterations: int = EXPERIMENT1_ITERATIONS,
+                  algorithm: str = "ours") -> List[Dict[str, float]]:
+    """Sweep one of the three parameters of the Figure 9 experiment.
+
+    ``varying`` is ``"t_msg"`` (message passing), ``"t_abort"`` (abortion)
+    or ``"t_resolution"`` (resolution).  The other two parameters stay at
+    the baseline values.  Returns rows with the swept value and the total
+    execution time, mirroring the two columns of the corresponding Figure 9
+    sub-table.
+    """
+    defaults = {"t_msg": FIGURE9_TMMAX_VALUES,
+                "t_abort": FIGURE9_TABO_VALUES,
+                "t_resolution": FIGURE9_TRESO_VALUES}
+    if varying not in defaults:
+        raise ValueError(f"unknown parameter {varying!r}")
+    grid = list(values) if values is not None else defaults[varying]
+
+    rows: List[Dict[str, float]] = []
+    for value in grid:
+        parameters = dict(FIGURE9_BASELINE)
+        parameters[varying] = value
+        result = run_experiment1(iterations=iterations, algorithm=algorithm,
+                                 **parameters)
+        rows.append({
+            varying: value,
+            "total_time": result.total_time,
+            "time_per_iteration": result.time_per_iteration,
+            "protocol_messages": result.protocol_messages,
+        })
+    return rows
+
+
+def figure10_series(iterations: int = EXPERIMENT1_ITERATIONS,
+                    algorithm: str = "ours") -> Dict[str, List[Dict[str, float]]]:
+    """All three Figure 10 series (total time vs each swept parameter)."""
+    return {
+        "varying_tmmax": sweep_figure9("t_msg", iterations=iterations,
+                                       algorithm=algorithm),
+        "varying_tabo": sweep_figure9("t_abort", iterations=iterations,
+                                      algorithm=algorithm),
+        "varying_treso": sweep_figure9("t_resolution", iterations=iterations,
+                                       algorithm=algorithm),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figures 12 and 13: comparison with the Campbell–Randell algorithm
+# ----------------------------------------------------------------------
+def sweep_figure12_tmmax(values: Optional[Sequence[float]] = None,
+                         t_resolution: float = FIGURE12_FIXED_TRES,
+                         iterations: int = 1) -> List[Dict[str, float]]:
+    """Figure 12 left half: vary ``Tmmax`` at fixed ``Tres``."""
+    grid = list(values) if values is not None else FIGURE12_TMMAX_VALUES
+    rows = []
+    for t_msg in grid:
+        ours = run_experiment2(t_msg, t_resolution, algorithm="ours",
+                               iterations=iterations)
+        cr = run_experiment2(t_msg, t_resolution, algorithm="campbell-randell",
+                             iterations=iterations)
+        rows.append({
+            "t_msg": t_msg,
+            "time_ours": ours.total_time,
+            "time_cr": cr.total_time,
+            "messages_ours": ours.protocol_messages,
+            "messages_cr": cr.protocol_messages,
+            "resolution_calls_ours": ours.resolution_calls,
+            "resolution_calls_cr": cr.resolution_calls,
+        })
+    return rows
+
+
+def sweep_figure12_tres(values: Optional[Sequence[float]] = None,
+                        t_msg: float = FIGURE12_FIXED_TMMAX,
+                        iterations: int = 1) -> List[Dict[str, float]]:
+    """Figure 12 right half: vary ``Tres`` at fixed ``Tmmax``."""
+    grid = list(values) if values is not None else FIGURE12_TRES_VALUES
+    rows = []
+    for t_resolution in grid:
+        ours = run_experiment2(t_msg, t_resolution, algorithm="ours",
+                               iterations=iterations)
+        cr = run_experiment2(t_msg, t_resolution, algorithm="campbell-randell",
+                             iterations=iterations)
+        rows.append({
+            "t_res": t_resolution,
+            "time_ours": ours.total_time,
+            "time_cr": cr.total_time,
+            "messages_ours": ours.protocol_messages,
+            "messages_cr": cr.protocol_messages,
+            "resolution_calls_ours": ours.resolution_calls,
+            "resolution_calls_cr": cr.resolution_calls,
+        })
+    return rows
+
+
+def figure13_series(iterations: int = 1) -> Dict[str, List[Dict[str, float]]]:
+    """Both Figure 13 plots: (a) varying Tmmax, (b) varying Tres."""
+    return {
+        "varying_tmmax": sweep_figure12_tmmax(iterations=iterations),
+        "varying_tres": sweep_figure12_tres(iterations=iterations),
+    }
+
+
+# ----------------------------------------------------------------------
+# Message-complexity tables (Section 3.2.3 / Theorem 2 / Section 3.4)
+# ----------------------------------------------------------------------
+def message_complexity_table(thread_counts: Iterable[int] = (2, 3, 4, 5, 6),
+                             algorithm: str = "ours") -> List[Dict[str, float]]:
+    """Measured vs analytic resolution-message counts.
+
+    For each N: one-exception and all-N-exception runs, compared with the
+    paper's ``(N+1)(N−1)`` enumeration and Theorem 2's ``n_max(N²−1)``
+    worst case.
+    """
+    rows = []
+    for n in thread_counts:
+        single = run_complexity_scenario(n, 1, algorithm=algorithm)
+        all_exc = run_complexity_scenario(n, n, algorithm=algorithm)
+        rows.append({
+            "n_threads": n,
+            "measured_single": single["resolution_messages"],
+            "measured_all": all_exc["resolution_messages"],
+            "paper_single": messages_single_exception(n),
+            "paper_all": messages_all_exceptions(n),
+            "theorem2_bound": theorem2_worst_case_messages(n, 1),
+            "signalling_single": single["signalling_messages"],
+            "signalling_paper": signalling_messages_simple(n),
+            "resolution_calls": all_exc["resolution_calls"],
+        })
+    return rows
+
+
+def algorithm_comparison_table(thread_counts: Iterable[int] = (3, 4, 5)) \
+        -> List[Dict[str, float]]:
+    """All-raise message counts for the three algorithms, per N."""
+    rows = []
+    for n in thread_counts:
+        ours = run_complexity_scenario(n, n, algorithm="ours")
+        cr = run_complexity_scenario(n, n, algorithm="campbell-randell")
+        r96 = run_complexity_scenario(n, n, algorithm="romanovsky96")
+        rows.append({
+            "n_threads": n,
+            "ours_messages": ours["resolution_messages"],
+            "cr_messages": cr["resolution_messages"],
+            "r96_messages": r96["resolution_messages"],
+            "ours_resolution_calls": ours["resolution_calls"],
+            "cr_resolution_calls": cr["resolution_calls"],
+            "r96_resolution_calls": r96["resolution_calls"],
+            "theorem2_bound": theorem2_worst_case_messages(n, 1),
+            "r96_paper": romanovsky96_messages(n),
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Lemma 1 time bound
+# ----------------------------------------------------------------------
+def lemma1_check(t_msg: float = 0.2, t_abort: float = 0.1,
+                 t_resolution: float = 0.3,
+                 handler_time: float = 0.5) -> Dict[str, float]:
+    """Compare a measured single-iteration completion time with Lemma 1.
+
+    The experiment-1 scenario has one nesting level (``n_max`` = 1); the
+    measured per-iteration time (minus the normal-computation prefix) must
+    stay below the analytic bound.
+    """
+    result = run_experiment1(t_msg, t_abort, t_resolution, iterations=1)
+    params = TimingParameters(t_msg_max=t_msg, t_resolution=t_resolution,
+                              t_abort=t_abort, t_handler_max=handler_time,
+                              max_nesting=1)
+    return {
+        "measured_total": result.total_time,
+        "bound": lemma1_completion_bound(params),
+        "protocol_messages": result.protocol_messages,
+    }

@@ -1,0 +1,104 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark suite prints the regenerated tables in a layout close to the
+paper's Figures 9 and 12, so that a reader can compare shapes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: str = "", precision: int = 3) -> str:
+    """Render ``rows`` (list of dicts) as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    rendered = [[fmt(row.get(column, "")) for column in columns]
+                for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(widths[i])
+                       for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(line[i].ljust(widths[i])
+                               for i in range(len(columns)))
+                     for line in rendered)
+    parts = [title, header, separator, body] if title else [header, separator,
+                                                            body]
+    return "\n".join(parts)
+
+
+def paper_reference_figure9() -> Dict[str, List[Dict[str, float]]]:
+    """The published Figure 9 numbers (total execution time in seconds)."""
+    tmmax = [(0.2, 94.361391), (0.4, 98.586050), (0.6, 102.150904),
+             (0.8, 106.774196), (1.0, 110.984972), (1.2, 125.078084),
+             (1.4, 140.826807), (1.6, 161.766956), (1.8, 188.284787),
+             (2.0, 214.519403), (2.2, 226.543372), (2.4, 237.934833),
+             (2.6, 249.744183), (2.8, 261.768559)]
+    tabo = [(0.1, 94.361391), (0.3, 98.991825), (0.5, 101.939318),
+            (0.7, 106.150075), (0.9, 110.154827), (1.1, 113.937682),
+            (1.3, 118.147893), (1.5, 122.573297), (1.7, 128.461646),
+            (1.9, 130.362452), (2.1, 134.165025)]
+    treso = [(0.3, 94.361391), (0.5, 98.352511), (0.7, 102.547776),
+             (0.9, 107.164660), (1.1, 110.338507), (1.3, 114.729476),
+             (1.5, 118.928022), (1.7, 122.483917), (1.9, 127.117187),
+             (2.1, 131.816326), (2.3, 135.123453)]
+    return {
+        "varying_tmmax": [{"t_msg": v, "paper_total_time": t} for v, t in tmmax],
+        "varying_tabo": [{"t_abort": v, "paper_total_time": t} for v, t in tabo],
+        "varying_treso": [{"t_resolution": v, "paper_total_time": t}
+                          for v, t in treso],
+    }
+
+
+def paper_reference_figure12() -> Dict[str, List[Dict[str, float]]]:
+    """The published Figure 12 numbers (total execution time in seconds)."""
+    tmmax = [(1.0, 9.153302, 11.770973), (1.2, 9.938735, 12.978797),
+             (1.4, 10.758318, 14.168119), (1.6, 11.548076, 15.397075),
+             (1.8, 12.356180, 16.558536), (2.0, 13.164378, 17.757369),
+             (2.2, 13.931107, 18.967081), (2.4, 14.720373, 20.188518)]
+    tres = [(0.3, 9.153302, 11.770973), (0.5, 9.348575, 12.358930),
+            (0.7, 9.581770, 12.984660), (0.9, 9.762674, 13.604786),
+            (1.1, 9.981335, 14.212014), (1.3, 10.177758, 14.817670),
+            (1.5, 10.414642, 15.288979)]
+    return {
+        "varying_tmmax": [{"t_msg": v, "paper_time_ours": a, "paper_time_cr": b}
+                          for v, a, b in tmmax],
+        "varying_tres": [{"t_res": v, "paper_time_ours": a, "paper_time_cr": b}
+                         for v, a, b in tres],
+    }
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Dict[str, float]:
+    """Least-squares slope/intercept/R², for checking linear trends."""
+    n = len(xs)
+    if n < 2 or len(ys) != n:
+        raise ValueError("need at least two matching points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    r_squared = (sxy * sxy) / (sxx * syy) if syy > 0 else 1.0
+    return {"slope": slope, "intercept": intercept, "r_squared": r_squared}
+
+
+def series(rows: Sequence[Mapping[str, float]], x_key: str,
+           y_key: str) -> tuple:
+    """Extract an (xs, ys) pair of lists from table rows."""
+    xs = [float(row[x_key]) for row in rows]
+    ys = [float(row[y_key]) for row in rows]
+    return xs, ys

@@ -1,0 +1,315 @@
+"""Reusable builders for the paper's experimental applications.
+
+Two application systems are described in Section 5:
+
+* **Experiment 1** (Figures 9 and 10): three threads take part in a CA
+  action, two of them enter a further nested action, and the whole system is
+  executed in a loop (20 times).  In the measured scenario one thread of the
+  containing action raises an exception, the nested action has to be
+  aborted, the abortion handler raises a second exception, and the resolving
+  exception covering both is handled by all threads.  The three parameters
+  ``Tmmax`` (message passing), ``Tabo`` (abortion) and ``Treso`` (resolution)
+  are varied.
+
+* **Experiment 2** (Figures 12 and 13): three threads enter a CA action and,
+  after some computation, all of them raise *different* exceptions nearly at
+  the same time, so resolution is always required.  The same application and
+  the same resolution graph are run under the paper's algorithm and under
+  the Campbell–Randell algorithm.
+
+The builders below construct fully configured
+:class:`~repro.runtime.system.DistributedCASystem` instances for those
+scenarios (plus a generic N-thread scenario used by the message-complexity
+benchmarks) and small runner functions returning the measured quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.action import CAActionDefinition, RoleDefinition
+from ..core.exception_graph import ExceptionGraph, generate_full_graph
+from ..core.exceptions import internal
+from ..core.handlers import HandlerMap, HandlerResult
+from ..net.latency import ConstantLatency
+from ..runtime.config import RuntimeConfig
+from ..runtime.report import ActionStatus
+from ..runtime.system import DistributedCASystem
+
+#: Default loop count of experiment 1 ("executed in a loop (20 times)").
+EXPERIMENT1_ITERATIONS = 20
+
+#: Amount of "normal computation" virtual time each role performs before the
+#: exception scenario unfolds; a fixed constant shared by both experiments so
+#: the measured totals are dominated by the swept parameters, as in the paper.
+NORMAL_COMPUTATION_TIME = 1.0
+
+#: Duration of the resolving-exception handlers (the paper's Δ).
+HANDLER_TIME = 0.2
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    total_time: float
+    iterations: int
+    protocol_messages: int
+    resolution_calls: int
+    reports: List = None
+
+    @property
+    def time_per_iteration(self) -> float:
+        return self.total_time / max(1, self.iterations)
+
+
+# ----------------------------------------------------------------------
+# Experiment 1: nested action aborted by an enclosing exception
+# ----------------------------------------------------------------------
+def build_experiment1(t_msg: float, t_abort: float, t_resolution: float,
+                      iterations: int = EXPERIMENT1_ITERATIONS,
+                      algorithm: str = "ours") -> DistributedCASystem:
+    """Build the Figure 9/10 application system.
+
+    Threads ``T1``–``T3`` participate in the containing action ``Outer``;
+    ``T2`` and ``T3`` additionally enter the nested action ``Inner``.  Each
+    iteration: T1 raises ``outer_fault`` in ``Outer`` while T2/T3 are inside
+    ``Inner``; the nested action is aborted; the abortion handlers signal
+    ``abort_residue``; both exceptions are resolved into their covering
+    exception, which every thread handles.
+    """
+    config = RuntimeConfig(algorithm=algorithm, resolution_time=t_resolution,
+                           abort_time=t_abort)
+    system = DistributedCASystem(config, latency=ConstantLatency(t_msg))
+    system.add_threads(["T1", "T2", "T3"])
+    system.create_object("plant", {"state": "idle", "processed": 0})
+
+    outer_fault = internal("outer_fault")
+    abort_residue = internal("abort_residue")
+    outer_graph = generate_full_graph([outer_fault, abort_residue],
+                                      action_name="Outer")
+
+    def resolving_handler(ctx):
+        yield ctx.delay(HANDLER_TIME)
+        ctx.write("plant", "state", "repaired")
+        return HandlerResult.success()
+
+    def abortion_handler(ctx):
+        return HandlerResult.signal(abort_residue)
+
+    def inner_role(ctx):
+        # Long-running cooperative work, interrupted by the outer exception.
+        yield ctx.delay(50.0 * NORMAL_COMPUTATION_TIME)
+        return "inner-done"
+
+    inner = CAActionDefinition(
+        "Inner",
+        [RoleDefinition("b1", inner_role,
+                        HandlerMap(abortion_handler=abortion_handler,
+                                   default_handler=resolving_handler)),
+         RoleDefinition("b2", inner_role,
+                        HandlerMap(abortion_handler=abortion_handler,
+                                   default_handler=resolving_handler))],
+        graph=ExceptionGraph("Inner"), parent="Outer")
+
+    def raising_role(ctx):
+        yield ctx.delay(NORMAL_COMPUTATION_TIME)
+        ctx.raise_exception(outer_fault)
+
+    def nesting_role(role_name):
+        def body(ctx):
+            yield ctx.delay(0.1)
+            report = yield from ctx.perform_nested("Inner", role_name)
+            return report
+        return body
+
+    outer_handlers = HandlerMap(default_handler=resolving_handler)
+    outer = CAActionDefinition(
+        "Outer",
+        [RoleDefinition("a1", raising_role,
+                        HandlerMap(default_handler=resolving_handler)),
+         RoleDefinition("a2", nesting_role("b1"), outer_handlers),
+         RoleDefinition("a3", nesting_role("b2"),
+                        HandlerMap(default_handler=resolving_handler))],
+        internal_exceptions=[outer_fault, abort_residue], graph=outer_graph,
+        external_objects=["plant"])
+
+    system.define_action(outer)
+    system.define_action(inner)
+    system.bind("Outer", {"a1": "T1", "a2": "T2", "a3": "T3"})
+    system.bind("Inner", {"b1": "T2", "b2": "T3"})
+
+    def make_program(role):
+        def program(ctx):
+            reports = []
+            for _ in range(iterations):
+                report = yield from ctx.perform_action("Outer", role)
+                reports.append(report)
+            return reports
+        return program
+
+    system.spawn("T1", make_program("a1"))
+    system.spawn("T2", make_program("a2"))
+    system.spawn("T3", make_program("a3"))
+    return system
+
+
+def run_experiment1(t_msg: float, t_abort: float, t_resolution: float,
+                    iterations: int = EXPERIMENT1_ITERATIONS,
+                    algorithm: str = "ours") -> ExperimentResult:
+    """Run the Figure 9/10 scenario and return the measured totals."""
+    system = build_experiment1(t_msg, t_abort, t_resolution, iterations,
+                               algorithm)
+    reports = system.run_to_completion()
+    return ExperimentResult(
+        total_time=system.now,
+        iterations=iterations,
+        protocol_messages=system.network.stats.protocol_messages(),
+        resolution_calls=sum(p.coordinator.resolution_calls
+                             for p in system.partitions.values()),
+        reports=reports,
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment 2: three concurrent exceptions, algorithm comparison
+# ----------------------------------------------------------------------
+def build_experiment2(t_msg: float, t_resolution: float,
+                      algorithm: str = "ours",
+                      iterations: int = 1,
+                      n_threads: int = 3) -> DistributedCASystem:
+    """Build the Figure 12/13 application system.
+
+    ``n_threads`` threads enter one CA action, perform some computation and
+    then all raise *different* exceptions nearly at the same time, forcing
+    exception resolution on every iteration.
+    """
+    config = RuntimeConfig(algorithm=algorithm, resolution_time=t_resolution)
+    system = DistributedCASystem(config, latency=ConstantLatency(t_msg))
+    threads = [f"T{i}" for i in range(1, n_threads + 1)]
+    system.add_threads(threads)
+
+    primitives = [internal(f"fault_{i}") for i in range(1, n_threads + 1)]
+    graph = generate_full_graph(primitives, action_name="Compare")
+
+    def resolving_handler(ctx):
+        yield ctx.delay(HANDLER_TIME)
+        return HandlerResult.success()
+
+    def make_raising_role(index):
+        def body(ctx):
+            yield ctx.delay(NORMAL_COMPUTATION_TIME + 0.001 * index)
+            ctx.raise_exception(primitives[index])
+        return body
+
+    roles = [
+        RoleDefinition(f"r{i + 1}", make_raising_role(i),
+                       HandlerMap(default_handler=resolving_handler))
+        for i in range(n_threads)
+    ]
+    action = CAActionDefinition("Compare", roles,
+                                internal_exceptions=primitives, graph=graph)
+    system.define_action(action)
+    system.bind("Compare", {f"r{i + 1}": threads[i] for i in range(n_threads)})
+
+    def make_program(role):
+        def program(ctx):
+            reports = []
+            for _ in range(iterations):
+                report = yield from ctx.perform_action("Compare", role)
+                reports.append(report)
+            return reports
+        return program
+
+    for i, thread in enumerate(threads):
+        system.spawn(thread, make_program(f"r{i + 1}"))
+    return system
+
+
+def run_experiment2(t_msg: float, t_resolution: float,
+                    algorithm: str = "ours",
+                    iterations: int = 1,
+                    n_threads: int = 3) -> ExperimentResult:
+    """Run the Figure 12/13 scenario for one algorithm."""
+    system = build_experiment2(t_msg, t_resolution, algorithm, iterations,
+                               n_threads)
+    reports = system.run_to_completion()
+    return ExperimentResult(
+        total_time=system.now,
+        iterations=iterations,
+        protocol_messages=system.network.stats.protocol_messages(),
+        resolution_calls=sum(p.coordinator.resolution_calls
+                             for p in system.partitions.values()),
+        reports=reports,
+    )
+
+
+# ----------------------------------------------------------------------
+# Generic message-complexity scenario (Theorem 2 / Section 3.2.3)
+# ----------------------------------------------------------------------
+def run_complexity_scenario(n_threads: int, n_exceptions: int,
+                            algorithm: str = "ours") -> Dict[str, int]:
+    """Run an N-thread action where ``n_exceptions`` threads raise concurrently.
+
+    Returns the per-type protocol-message counts and the total, which the
+    complexity benchmarks compare against the analytic formulas.
+    """
+    if not 1 <= n_exceptions <= n_threads:
+        raise ValueError("need 1 <= n_exceptions <= n_threads")
+    config = RuntimeConfig(algorithm=algorithm)
+    system = DistributedCASystem(config, latency=ConstantLatency(0.01))
+    threads = [f"T{i:02d}" for i in range(1, n_threads + 1)]
+    system.add_threads(threads)
+
+    primitives = [internal(f"fault_{i}") for i in range(1, n_exceptions + 1)]
+    graph = generate_full_graph(primitives, max_level=1,
+                                action_name="Complexity") \
+        if n_exceptions > 1 else generate_full_graph(primitives,
+                                                     action_name="Complexity")
+
+    def handler(ctx):
+        return HandlerResult.success()
+
+    def make_role(index):
+        if index < n_exceptions:
+            def body(ctx):
+                yield ctx.delay(0.5)
+                ctx.raise_exception(primitives[index])
+        else:
+            def body(ctx):
+                yield ctx.delay(5.0)
+        return body
+
+    roles = [RoleDefinition(f"r{i}", make_role(i),
+                            HandlerMap(default_handler=handler))
+             for i in range(n_threads)]
+    action = CAActionDefinition("Complexity", roles,
+                                internal_exceptions=primitives, graph=graph)
+    system.define_action(action)
+    system.bind("Complexity", {f"r{i}": threads[i] for i in range(n_threads)})
+
+    def make_program(role):
+        def program(ctx):
+            report = yield from ctx.perform_action("Complexity", role)
+            return report
+        return program
+
+    for i, thread in enumerate(threads):
+        system.spawn(thread, make_program(f"r{i}"))
+    system.run_to_completion()
+
+    by_type = dict(system.network.stats.by_type)
+    resolution_types = ("ExceptionMessage", "SuspendedMessage", "CommitMessage",
+                        "CRForwardMessage", "CRResolvedMessage",
+                        "CRConfirmMessage", "AgreementMessage",
+                        "ConfirmMessage")
+    total = sum(by_type.get(name, 0) for name in resolution_types)
+    signalling = by_type.get("ToBeSignalledMessage", 0)
+    return {
+        "by_type": by_type,
+        "resolution_messages": total,
+        "signalling_messages": signalling,
+        "resolution_calls": sum(p.coordinator.resolution_calls
+                                for p in system.partitions.values()),
+    }

@@ -1,0 +1,141 @@
+"""Core CA-action exception model and coordination algorithms.
+
+This package contains the paper's primary contribution, independent of any
+particular transport or simulator:
+
+* the exception vocabulary (internal, interface, µ, ƒ, universal, abortion);
+* exception graphs with resolution, generation and simplification;
+* CA-action and role definitions, handler maps;
+* the per-thread protocol state (N/X/S, ``LEi``, ``SAi``);
+* the coordinated exception handling and resolution algorithm
+  (Section 3.3.2) and the exception signalling algorithm (Section 3.4),
+  both as pure message-driven state machines;
+* the Campbell–Randell and Romanovsky-96 baseline algorithms.
+"""
+
+from .action import (
+    ActionDefinitionError,
+    ActionRegistry,
+    CAActionDefinition,
+    RoleDefinition,
+)
+from .effects import (
+    AbortNested,
+    ChargeTime,
+    Effect,
+    HandleResolved,
+    InformObjects,
+    InterruptRole,
+    LogEvent,
+    SendTo,
+    count_messages,
+    sends,
+)
+from .exception_graph import (
+    ExceptionGraph,
+    ExceptionGraphError,
+    generate_full_graph,
+    graph_statistics,
+    prune_impossible_combinations,
+)
+from .exceptions import (
+    ABORTION,
+    ActionAborted,
+    ActionFailure,
+    ExceptionDescriptor,
+    ExceptionKind,
+    FAILURE,
+    NO_EXCEPTION,
+    RaisedException,
+    RaisedRecord,
+    UNDO,
+    UNIVERSAL,
+    interface,
+    internal,
+)
+from .handlers import (
+    Handler,
+    HandlerMap,
+    HandlerResult,
+    HandlerStatus,
+    default_abort_handler,
+)
+from .messages import (
+    ApplicationMessage,
+    CommitMessage,
+    EnterActionMessage,
+    ExceptionMessage,
+    ExitConfirmMessage,
+    ExitReadyMessage,
+    ProtocolMessage,
+    SuspendedMessage,
+    ToBeSignalledMessage,
+)
+from .resolution import CoordinatorBase, ProtocolError, ResolutionCoordinator
+from .signalling import (
+    PerformUndo,
+    SignalCoordinator,
+    SignalOutcome,
+    SignalProtocolError,
+)
+from .state import ActionContext, ContextStack, LocalExceptionList, ThreadState
+
+__all__ = [
+    "ABORTION",
+    "AbortNested",
+    "ActionAborted",
+    "ActionContext",
+    "ActionDefinitionError",
+    "ActionFailure",
+    "ActionRegistry",
+    "ApplicationMessage",
+    "CAActionDefinition",
+    "ChargeTime",
+    "CommitMessage",
+    "ContextStack",
+    "CoordinatorBase",
+    "count_messages",
+    "default_abort_handler",
+    "Effect",
+    "EnterActionMessage",
+    "ExceptionDescriptor",
+    "ExceptionGraph",
+    "ExceptionGraphError",
+    "ExceptionKind",
+    "ExceptionMessage",
+    "ExitConfirmMessage",
+    "ExitReadyMessage",
+    "FAILURE",
+    "generate_full_graph",
+    "graph_statistics",
+    "HandleResolved",
+    "Handler",
+    "HandlerMap",
+    "HandlerResult",
+    "HandlerStatus",
+    "InformObjects",
+    "interface",
+    "internal",
+    "InterruptRole",
+    "LocalExceptionList",
+    "LogEvent",
+    "NO_EXCEPTION",
+    "PerformUndo",
+    "ProtocolError",
+    "ProtocolMessage",
+    "prune_impossible_combinations",
+    "RaisedException",
+    "RaisedRecord",
+    "ResolutionCoordinator",
+    "RoleDefinition",
+    "SendTo",
+    "sends",
+    "SignalCoordinator",
+    "SignalOutcome",
+    "SignalProtocolError",
+    "SuspendedMessage",
+    "ThreadState",
+    "ToBeSignalledMessage",
+    "UNDO",
+    "UNIVERSAL",
+]

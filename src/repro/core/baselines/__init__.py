@@ -1,0 +1,41 @@
+"""Baseline resolution algorithms used for the experimental comparison.
+
+Both baselines share the coordinator interface of
+:class:`repro.core.resolution.ResolutionCoordinator`, so the runtime (and
+the comparison benchmark of Figures 12/13) can swap the algorithm while
+keeping every other part of the CA-action support unchanged.
+"""
+
+from .campbell_randell import (
+    CampbellRandellCoordinator,
+    CRConfirmMessage,
+    CRForwardMessage,
+    CRResolvedMessage,
+)
+from .romanovsky96 import (
+    AgreementMessage,
+    ConfirmMessage,
+    Romanovsky96Coordinator,
+)
+
+#: Payload class names that count as resolution-protocol traffic for each
+#: algorithm (used by the message-complexity benchmarks).
+PROTOCOL_MESSAGE_TYPES = {
+    "ours": ("ExceptionMessage", "SuspendedMessage", "CommitMessage"),
+    "campbell-randell": ("ExceptionMessage", "SuspendedMessage",
+                         "CRForwardMessage", "CRResolvedMessage",
+                         "CRConfirmMessage"),
+    "romanovsky96": ("ExceptionMessage", "SuspendedMessage",
+                     "AgreementMessage", "ConfirmMessage"),
+}
+
+__all__ = [
+    "AgreementMessage",
+    "CRConfirmMessage",
+    "CampbellRandellCoordinator",
+    "ConfirmMessage",
+    "CRForwardMessage",
+    "CRResolvedMessage",
+    "PROTOCOL_MESSAGE_TYPES",
+    "Romanovsky96Coordinator",
+]

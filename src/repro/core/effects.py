@@ -1,0 +1,113 @@
+"""Effects emitted by the coordination state machines.
+
+The resolution and signalling algorithms are implemented as *pure* state
+machines: they never touch the network or the clock themselves.  Every call
+into a coordinator returns a list of :class:`Effect` objects describing what
+the surrounding runtime must now do — send messages, abort nested actions,
+invoke a handler, inform external objects.  This keeps the algorithms
+unit-testable without a simulator and lets the same implementation run on
+any transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .exceptions import ExceptionDescriptor
+from .messages import ProtocolMessage
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Base class for all effects (marker type)."""
+
+
+@dataclass(frozen=True)
+class SendTo(Effect):
+    """Send ``message`` to every thread named in ``recipients``."""
+
+    recipients: Tuple[str, ...]
+    message: ProtocolMessage
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "recipients", tuple(self.recipients))
+
+
+@dataclass(frozen=True)
+class InformObjects(Effect):
+    """Inform the external objects used within ``action`` of ``exception``."""
+
+    action: str
+    exception: ExceptionDescriptor
+
+
+@dataclass(frozen=True)
+class AbortNested(Effect):
+    """Abort the nested actions in ``actions`` (innermost first).
+
+    After the abortion handlers have run, the runtime must call
+    ``coordinator.abortion_completed(resume_action, raised)`` where
+    ``raised`` is the exception signalled by the abortion handler of the
+    outermost aborted action, or ``None``.
+    """
+
+    actions: Tuple[str, ...]
+    resume_action: str
+    cause: Optional[ExceptionDescriptor] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+
+@dataclass(frozen=True)
+class HandleResolved(Effect):
+    """Invoke this thread's handler for the resolving exception."""
+
+    action: str
+    exception: ExceptionDescriptor
+    resolver: str
+
+
+@dataclass(frozen=True)
+class InterruptRole(Effect):
+    """Interrupt the role's normal computation (ATC analogue).
+
+    Emitted when a thread moves from state N to S or X because of an
+    exception raised elsewhere — the runtime must stop the role's primary
+    attempt at the next interruption point.
+    """
+
+    action: str
+    reason: ExceptionDescriptor
+
+
+@dataclass(frozen=True)
+class ChargeTime(Effect):
+    """Ask the runtime to let virtual time pass before the next effect.
+
+    ``kind`` names a configured duration (``"resolution"`` maps to the
+    experiment parameter ``Treso``); ``count`` multiplies it.  The pure
+    state machines cannot know the configured durations, so they emit this
+    effect and the runtime converts it into a timeout.
+    """
+
+    kind: str
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class LogEvent(Effect):
+    """Diagnostic trace entry (never affects behaviour)."""
+
+    text: str
+
+
+def sends(effects: Sequence[Effect]) -> List[SendTo]:
+    """Filter helper: the SendTo effects in ``effects`` (used by tests)."""
+    return [effect for effect in effects if isinstance(effect, SendTo)]
+
+
+def count_messages(effects: Sequence[Effect]) -> int:
+    """Total number of point-to-point messages implied by ``effects``."""
+    return sum(len(effect.recipients) for effect in sends(effects))

@@ -1,0 +1,150 @@
+"""Exception handlers and their outcomes.
+
+Each role of a CA action has a set of handlers, one per declared internal
+exception (different roles may have different handlers for the same
+exception).  Under the termination model, "handlers take over the duties of
+participating threads in a CA action and complete the action either
+successfully or by signalling an exception ε to the enclosing action".
+
+A handler is any callable taking the runtime role context and returning a
+:class:`HandlerResult` (or ``None``, which is treated as success).  Handler
+bodies may be generator functions when they need to consume virtual time
+(e.g. the ``Treso``/handler-duration parameters of the experiments); the
+runtime detects this and drives the generator.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .exceptions import (
+    ABORTION,
+    ExceptionDescriptor,
+    FAILURE,
+    NO_EXCEPTION,
+    UNDO,
+)
+
+
+class HandlerStatus(Enum):
+    """How a handler (or a role's primary attempt) finished."""
+
+    SUCCESS = "success"          # the action can exit with a normal outcome
+    SIGNAL = "signal"            # an interface exception must be signalled
+    ABORT = "abort"              # the action must be undone (µ if undo works)
+    FAILED = "failed"            # the handler itself failed (leads to ƒ)
+
+
+@dataclass
+class HandlerResult:
+    """Outcome of running a handler.
+
+    ``exception`` is meaningful for ``SIGNAL`` (the interface exception ε to
+    signal); for the other statuses it is ignored.
+    """
+
+    status: HandlerStatus = HandlerStatus.SUCCESS
+    exception: Optional[ExceptionDescriptor] = None
+    note: str = ""
+
+    @classmethod
+    def success(cls, note: str = "") -> "HandlerResult":
+        """The handler recovered the action; it can complete normally."""
+        return cls(HandlerStatus.SUCCESS, None, note)
+
+    @classmethod
+    def signal(cls, exception: ExceptionDescriptor, note: str = "") -> "HandlerResult":
+        """The handler only partially recovered: signal ``exception``."""
+        return cls(HandlerStatus.SIGNAL, exception, note)
+
+    @classmethod
+    def abort(cls, note: str = "") -> "HandlerResult":
+        """The action must be aborted and undone (µ, or ƒ if undo fails)."""
+        return cls(HandlerStatus.ABORT, UNDO, note)
+
+    @classmethod
+    def failed(cls, note: str = "") -> "HandlerResult":
+        """The handler could not recover at all: signal ƒ."""
+        return cls(HandlerStatus.FAILED, FAILURE, note)
+
+
+#: Type of a handler callable (context is the runtime RoleContext; typed as
+#: object here to keep the core model independent of the runtime package).
+Handler = Callable[[object], Optional[HandlerResult]]
+
+
+class HandlerMap:
+    """The handlers one role provides for its action's internal exceptions.
+
+    The map may also hold a dedicated *abortion handler* (invoked when the
+    enclosing action aborts this one) and a *default handler* used for any
+    declared exception without an explicit entry — the paper requires every
+    role to be able to respond to every declared exception, so lookups for a
+    declared exception never fail: in the absence of anything better the
+    :func:`default_abort_handler` is returned.
+    """
+
+    def __init__(self, handlers: Optional[Dict[ExceptionDescriptor, Handler]] = None,
+                 abortion_handler: Optional[Handler] = None,
+                 default_handler: Optional[Handler] = None) -> None:
+        self._handlers: Dict[ExceptionDescriptor, Handler] = dict(handlers or {})
+        self.abortion_handler = abortion_handler
+        self.default_handler = default_handler
+
+    def register(self, exception: ExceptionDescriptor, handler: Handler) -> None:
+        """Associate ``handler`` with ``exception`` for this role."""
+        self._handlers[exception] = handler
+
+    def register_abortion(self, handler: Handler) -> None:
+        """Set the handler invoked when the action is aborted from above."""
+        self.abortion_handler = handler
+
+    def lookup(self, exception: ExceptionDescriptor) -> Handler:
+        """Find the handler for ``exception`` (falls back to the defaults)."""
+        if exception in self._handlers:
+            return self._handlers[exception]
+        if exception == ABORTION and self.abortion_handler is not None:
+            return self.abortion_handler
+        if self.default_handler is not None:
+            return self.default_handler
+        return default_abort_handler
+
+    def has_specific(self, exception: ExceptionDescriptor) -> bool:
+        """True if a dedicated (non-default) handler exists."""
+        return exception in self._handlers
+
+    def declared(self) -> List[ExceptionDescriptor]:
+        """Exceptions with dedicated handlers."""
+        return list(self._handlers)
+
+    def __len__(self) -> int:
+        return len(self._handlers)
+
+
+def default_abort_handler(_context: object) -> HandlerResult:
+    """Fallback handler: give up and request abortion of the action.
+
+    Used when a role has no handler for the resolved exception — the safest
+    interpretation of the model is that the action cannot be recovered and
+    must be undone.
+    """
+    return HandlerResult.abort("no specific handler; aborting the action")
+
+
+def is_generator_handler(handler: Handler) -> bool:
+    """True if ``handler`` is a generator function (consumes virtual time)."""
+    return inspect.isgeneratorfunction(handler)
+
+
+def normalise_result(value: object) -> HandlerResult:
+    """Coerce a handler return value into a :class:`HandlerResult`."""
+    if value is None:
+        return HandlerResult.success()
+    if isinstance(value, HandlerResult):
+        return value
+    if isinstance(value, ExceptionDescriptor):
+        return HandlerResult.signal(value)
+    raise TypeError(f"handler returned unsupported value {value!r}")

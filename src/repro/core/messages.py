@@ -1,0 +1,137 @@
+"""Protocol messages of the coordination algorithms.
+
+Section 3.3.1 defines three messages for the resolution algorithm and
+Section 3.4 adds one for the signalling algorithm:
+
+* ``Exception(A, Ti, E)`` — sent by thread ``Ti`` to all other threads of
+  action ``A`` when it raises exception ``E``;
+* ``Suspended(A, Ti, S)`` — sent by a thread that raised no exception but
+  has received Exception/Suspended messages from others;
+* ``Commit(A, E)`` — sent by the resolving thread after it resolves the
+  concurrent exceptions into ``E``;
+* ``toBeSignalled(Ti, ε)`` — sent during exception signalling to agree on
+  the interface exceptions the roles will signal to the enclosing action.
+
+The runtime adds a few auxiliary messages for action entry/exit
+coordination; they are application-level from the algorithm's point of view
+and are therefore kept in a separate section and never counted as protocol
+messages by the complexity benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .exceptions import ExceptionDescriptor
+
+
+@dataclass(frozen=True)
+class ProtocolMessage:
+    """Base class for all coordination messages (marker type)."""
+
+
+# ----------------------------------------------------------------------
+# Resolution algorithm messages (Section 3.3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExceptionMessage(ProtocolMessage):
+    """``Exception(A, Ti, E)``: ``thread`` raised ``exception`` in ``action``."""
+
+    action: str
+    thread: str
+    exception: ExceptionDescriptor
+
+
+@dataclass(frozen=True)
+class SuspendedMessage(ProtocolMessage):
+    """``Suspended(A, Ti, S)``: ``thread`` halted normal computation in ``action``."""
+
+    action: str
+    thread: str
+
+
+@dataclass(frozen=True)
+class CommitMessage(ProtocolMessage):
+    """``Commit(A, E)``: the resolver fixed ``exception`` as the resolving exception."""
+
+    action: str
+    resolver: str
+    exception: ExceptionDescriptor
+
+
+# ----------------------------------------------------------------------
+# Signalling algorithm message (Section 3.4)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ToBeSignalledMessage(ProtocolMessage):
+    """``toBeSignalled(Ti, ε)``: ``thread`` intends to signal ``exception``.
+
+    ``round_number`` distinguishes the optional second round triggered when
+    some thread intends to signal µ and every role must first perform its
+    undo operations (Section 3.4, "after the second round of message passing
+    no more operations will be executed").
+    """
+
+    action: str
+    thread: str
+    exception: ExceptionDescriptor
+    round_number: int = 1
+
+
+# ----------------------------------------------------------------------
+# Runtime coordination messages (not counted as protocol messages)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnterActionMessage:
+    """A thread announces that it has reached the entry point of an action.
+
+    ``instance`` identifies the particular action instance (the enclosing
+    instance chain plus a per-parent occurrence number), so that entry
+    barriers of successive instances of the same action never get confused —
+    even when some threads abandoned an earlier attempt because the
+    enclosing action was recovering.
+    """
+
+    action: str
+    thread: str
+    role: str
+    instance: str = ""
+
+
+@dataclass(frozen=True)
+class ExitReadyMessage:
+    """A thread is ready to leave the action (synchronous exit protocol)."""
+
+    action: str
+    thread: str
+    outcome: str  # "success" or "failure"
+    instance: str = ""
+
+
+@dataclass(frozen=True)
+class ExitConfirmMessage:
+    """The exit coordinator confirms all threads may leave the action."""
+
+    action: str
+    outcome: str
+
+
+@dataclass(frozen=True)
+class ApplicationMessage:
+    """Cooperation traffic between roles inside an action (user payload)."""
+
+    action: str
+    sender: str
+    recipient: str
+    tag: str
+    body: object = None
+
+
+#: Message type names counted by the complexity benchmarks as belonging to
+#: the resolution algorithm (Theorem 2 and the Section 3.2.3 enumerations).
+RESOLUTION_MESSAGE_TYPES: Tuple[str, ...] = (
+    "ExceptionMessage", "SuspendedMessage", "CommitMessage")
+
+#: Message type names counted as belonging to the signalling algorithm.
+SIGNALLING_MESSAGE_TYPES: Tuple[str, ...] = ("ToBeSignalledMessage",)

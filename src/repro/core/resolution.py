@@ -1,0 +1,378 @@
+"""The distributed algorithm for coordinated exception handling and resolution.
+
+This module implements the algorithm of Section 3.3.2 as a per-thread,
+message-driven state machine (:class:`ResolutionCoordinator`).  Inputs are
+the local events of the algorithm's loop (entering/leaving an action,
+raising an exception, receiving a protocol message, completing an abortion);
+outputs are :mod:`effects <repro.core.effects>` the runtime executes.
+
+Summary of the algorithm for thread ``Ti`` (states N = normal,
+X = exceptional, S = suspended):
+
+* raising ``Ei`` in the active action ``A``: record ``<A, Ti, Ei>`` in
+  ``LEi``, broadcast ``Exception(A, Ti, Ei)``, inform external objects;
+* receiving ``Exception``/``Suspended`` for ``A*``:
+
+  - if ``A*`` equals the active action: record it; if still normal,
+    suspend and broadcast ``Suspended``;
+  - if ``A*`` strictly contains the active action: abort every nested
+    action up to ``A*``; if the abortion handler signalled ``Eab``, become
+    exceptional and broadcast ``Exception(A*, Ti, Eab)``, otherwise suspend
+    and broadcast ``Suspended``;
+  - if ``A*`` is not on the stack yet: retain the message until the thread
+    enters ``A*``;
+
+* when ``Ti`` knows the status (exception or S) of every participant of the
+  active action and has the largest identifier among the exceptional
+  threads, it resolves the recorded exceptions through the action's
+  exception graph, broadcasts ``Commit(A, E)``, empties ``LEi`` and handles
+  ``E``;
+* receiving ``Commit(A*, E)`` with ``A*`` the active action: empty ``LEi``
+  and handle ``E``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .effects import (
+    AbortNested,
+    ChargeTime,
+    Effect,
+    HandleResolved,
+    InformObjects,
+    InterruptRole,
+    LogEvent,
+    SendTo,
+)
+from .exceptions import ExceptionDescriptor, RaisedRecord
+from .messages import (
+    CommitMessage,
+    ExceptionMessage,
+    ProtocolMessage,
+    SuspendedMessage,
+)
+from .state import ActionContext, ContextStack, LocalExceptionList, ThreadState
+
+
+class ProtocolError(RuntimeError):
+    """Raised on misuse of the coordinator API (not on remote behaviour)."""
+
+
+class CoordinatorBase:
+    """State shared by the paper's algorithm and the baseline algorithms.
+
+    Subclasses customise how exceptions are propagated and who resolves;
+    the bookkeeping of contexts, retained messages and abortions is common
+    (the paper's experimental comparison also keeps "the rest of the CA
+    action support unchanged").
+    """
+
+    def __init__(self, thread_id: str) -> None:
+        self.thread_id = thread_id
+        self.state = ThreadState.NORMAL
+        self.le = LocalExceptionList()
+        self.sa = ContextStack()
+        #: Messages for actions this thread has not entered yet.
+        self.retained: List[ProtocolMessage] = []
+        #: Action the thread is currently aborting towards (None if not).
+        self.pending_abort_target: Optional[str] = None
+        #: Resolving exception currently being handled, per action.
+        self.handling: Dict[str, ExceptionDescriptor] = {}
+        #: Trace of state transitions for debugging and tests.
+        self.trace: List[str] = []
+        #: Count of local invocations of the resolution procedure.
+        self.resolution_calls = 0
+
+    # ------------------------------------------------------------------
+    # Context management (common to all algorithms)
+    # ------------------------------------------------------------------
+    def enter_action(self, context: ActionContext) -> List[Effect]:
+        """The thread enters ``context.action``: push it and consume retained
+        messages that were waiting for this action."""
+        if self.thread_id not in context.participants:
+            raise ProtocolError(
+                f"{self.thread_id} is not a participant of {context.action}")
+        self.sa.push(context)
+        self.state = ThreadState.NORMAL
+        self._trace(f"enter {context.action}")
+        effects: List[Effect] = []
+        pending, self.retained = self._split_retained(context.action)
+        for message in pending:
+            effects.extend(self.receive(message))
+        return effects
+
+    def leave_action(self, action: str, success: bool = True) -> List[Effect]:
+        """The thread leaves ``action`` (after the synchronous exit protocol)."""
+        top = self.sa.top()
+        if top is None or top.action != action:
+            raise ProtocolError(
+                f"{self.thread_id} cannot leave {action}: active action is "
+                f"{top.action if top else None}")
+        self.sa.pop()
+        self.le.remove_other_actions(self.active_action_name() or "")
+        self.handling.pop(action, None)
+        self._clear_action_state(action)
+        self.state = ThreadState.NORMAL if success else ThreadState.EXCEPTIONAL
+        self._trace(f"leave {action} ({'success' if success else 'failure'})")
+        return []
+
+    def _clear_action_state(self, action: str) -> None:
+        """Hook: drop any per-action protocol state when the action is left.
+
+        The base algorithm keeps everything it needs in ``handling``/``le``;
+        the baseline algorithms override this to clear their extra per-action
+        round state, so a later instance of the same action starts fresh.
+        """
+
+    def active_context(self) -> Optional[ActionContext]:
+        """The context of the currently active (innermost entered) action."""
+        return self.sa.top()
+
+    def active_action_name(self) -> Optional[str]:
+        context = self.sa.top()
+        return context.action if context else None
+
+    # ------------------------------------------------------------------
+    # Inputs that subclasses implement
+    # ------------------------------------------------------------------
+    def raise_exception(self, exception: ExceptionDescriptor) -> List[Effect]:
+        raise NotImplementedError
+
+    def receive(self, message: ProtocolMessage) -> List[Effect]:
+        raise NotImplementedError
+
+    def abortion_completed(self, action: str,
+                           raised: Optional[ExceptionDescriptor]) -> List[Effect]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _split_retained(self, action: str) -> Tuple[List[ProtocolMessage],
+                                                    List[ProtocolMessage]]:
+        matching = [m for m in self.retained if getattr(m, "action", None) == action]
+        remaining = [m for m in self.retained if getattr(m, "action", None) != action]
+        return matching, remaining
+
+    def _trace(self, text: str) -> None:
+        self.trace.append(f"{self.thread_id}: {text}")
+
+    def _record(self, action: str, thread: str,
+                exception: Optional[ExceptionDescriptor]) -> RaisedRecord:
+        record = RaisedRecord(action=action, thread=thread, exception=exception)
+        self.le.add(record)
+        return record
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.thread_id} state={self.state.value} "
+                f"active={self.active_action_name()}>")
+
+
+class ResolutionCoordinator(CoordinatorBase):
+    """The paper's new algorithm (Section 3.3.2).
+
+    Exactly one thread — the one with the largest identifier among the
+    exceptional (state X) threads — performs resolution and sends the
+    ``Commit`` message, which is what gives the algorithm its
+    ``n_max × (N² − 1)`` worst-case message complexity (Theorem 2).
+    """
+
+    # ------------------------------------------------------------------
+    # Local exception
+    # ------------------------------------------------------------------
+    def raise_exception(self, exception: ExceptionDescriptor) -> List[Effect]:
+        """The role running on this thread raised ``exception`` locally."""
+        context = self.active_context()
+        if context is None:
+            raise ProtocolError(
+                f"{self.thread_id} raised {exception} outside any action")
+        action = context.action
+        self.state = ThreadState.EXCEPTIONAL
+        self._record(action, self.thread_id, exception)
+        self._trace(f"raise {exception.name} in {action}")
+
+        effects: List[Effect] = [
+            SendTo(context.others(self.thread_id),
+                   ExceptionMessage(action, self.thread_id, exception)),
+            InformObjects(action, exception),
+        ]
+        effects.extend(self._check_resolution())
+        return effects
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def receive(self, message: ProtocolMessage) -> List[Effect]:
+        """Process one incoming protocol message."""
+        if isinstance(message, (ExceptionMessage, SuspendedMessage)):
+            return self._receive_exception_or_suspended(message)
+        if isinstance(message, CommitMessage):
+            return self._receive_commit(message)
+        raise ProtocolError(f"unexpected message {message!r}")
+
+    def _receive_exception_or_suspended(self, message) -> List[Effect]:
+        target_action = message.action
+        context = self.active_context()
+
+        if context is None or not self.sa.contains(target_action):
+            # "retain the Exception or Suspended message till Ti enters A*"
+            self.retained.append(message)
+            self._trace(f"retain message for {target_action}")
+            return [LogEvent(f"{self.thread_id} retained message for "
+                             f"{target_action}")]
+
+        exception = (message.exception
+                     if isinstance(message, ExceptionMessage) else None)
+        record = self._record(target_action, message.thread, exception)
+        effects: List[Effect] = []
+        if exception is not None:
+            # "exception information ⇒ uninformed external objects"
+            effects.append(InformObjects(target_action, exception))
+
+        if target_action != context.action:
+            # A* strictly contains the active action: abort nested actions.
+            effects.extend(self._begin_abort(target_action, record, exception))
+            return effects
+
+        # A* equals the active action.
+        if self.state is ThreadState.NORMAL:
+            self.state = ThreadState.SUSPENDED
+            self._record(target_action, self.thread_id, None)
+            self._trace(f"suspend in {target_action}")
+            effects.append(InterruptRole(target_action,
+                                         exception if exception is not None
+                                         else ExceptionDescriptor("suspended-peer")))
+            effects.append(SendTo(
+                self.sa.find(target_action).others(self.thread_id),
+                SuspendedMessage(target_action, self.thread_id)))
+        effects.extend(self._check_resolution())
+        return effects
+
+    def _receive_commit(self, message: CommitMessage) -> List[Effect]:
+        context = self.active_context()
+        if context is None or context.action != message.action:
+            self._trace(f"ignore Commit for {message.action}")
+            return [LogEvent(f"{self.thread_id} ignored Commit for "
+                             f"{message.action}")]
+        self.le.clear()
+        self.handling[message.action] = message.exception
+        self._trace(f"commit {message.exception.name} in {message.action}")
+        return [HandleResolved(message.action, message.exception,
+                               resolver=message.resolver)]
+
+    # ------------------------------------------------------------------
+    # Abortion of nested actions
+    # ------------------------------------------------------------------
+    def _begin_abort(self, target_action: str, record: RaisedRecord,
+                     cause: Optional[ExceptionDescriptor]) -> List[Effect]:
+        if self.pending_abort_target is not None:
+            # Already aborting; if the new target is even higher, extend it.
+            if self.sa.contains(target_action) and \
+                    self._is_strictly_higher(target_action,
+                                             self.pending_abort_target):
+                self.pending_abort_target = target_action
+                self._trace(f"extend abort target to {target_action}")
+            return [LogEvent(f"{self.thread_id} already aborting")]
+
+        nested = self.sa.actions_between_top_and(target_action)
+        self.pending_abort_target = target_action
+        # "remove all elements except <A*, Tj, Ej> in LEi"
+        self.le.keep_only(record)
+        self._trace(f"abort nested {nested} up to {target_action}")
+        return [
+            InterruptRole(self.active_action_name() or target_action,
+                          cause if cause is not None
+                          else ExceptionDescriptor("enclosing-exception")),
+            AbortNested(tuple(nested), resume_action=target_action, cause=cause),
+        ]
+
+    def abortion_completed(self, action: str,
+                           raised: Optional[ExceptionDescriptor]) -> List[Effect]:
+        """The runtime finished aborting nested actions down to ``action``.
+
+        ``raised`` is ``Eab``, the exception signalled by the abortion
+        handler of the outermost aborted action (or None if the handlers
+        completed silently).
+        """
+        if self.pending_abort_target is None:
+            raise ProtocolError(
+                f"{self.thread_id}: abortion_completed with no abort pending")
+        target = self.pending_abort_target
+
+        # Pop the aborted contexts so that ``target`` becomes the active one.
+        for popped in self.sa.pop_until(target):
+            self.handling.pop(popped.action, None)
+            self._clear_action_state(popped.action)
+        context = self.sa.top()
+        effects: List[Effect] = []
+
+        if target != action and self.sa.contains(target):
+            # The abort target was extended while the runtime was aborting;
+            # keep aborting the remaining chain.
+            remaining = self.sa.actions_between_top_and(target)
+            self._trace(f"continue aborting {remaining} up to {target}")
+            effects.append(AbortNested(tuple(remaining), resume_action=target,
+                                       cause=raised))
+            return effects
+
+        self.pending_abort_target = None
+        if raised is not None:
+            self.state = ThreadState.EXCEPTIONAL
+            self._record(target, self.thread_id, raised)
+            self._trace(f"abortion handler raised {raised.name} in {target}")
+            effects.append(SendTo(context.others(self.thread_id),
+                                  ExceptionMessage(target, self.thread_id,
+                                                   raised)))
+            effects.append(InformObjects(target, raised))
+        else:
+            self.state = ThreadState.SUSPENDED
+            self._record(target, self.thread_id, None)
+            self._trace(f"suspended after abortion in {target}")
+            effects.append(SendTo(context.others(self.thread_id),
+                                  SuspendedMessage(target, self.thread_id)))
+        effects.extend(self._check_resolution())
+        return effects
+
+    def _is_strictly_higher(self, candidate: str, reference: str) -> bool:
+        """True if ``candidate`` encloses ``reference`` on this thread's stack."""
+        names = self.sa.as_names()
+        if candidate not in names or reference not in names:
+            return False
+        return names.index(candidate) < names.index(reference)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def _check_resolution(self) -> List[Effect]:
+        """The algorithm's resolution guard, evaluated after each transition."""
+        context = self.active_context()
+        if context is None or self.pending_abort_target is not None:
+            return []
+        action = context.action
+        if action in self.handling:
+            return []
+        if self.state is not ThreadState.EXCEPTIONAL:
+            # Only a thread in state X can be the resolver.
+            return []
+
+        reported = self.le.threads_reported(action)
+        if reported != set(context.participants):
+            return []
+        exceptional = self.le.exceptional_threads(action)
+        if not exceptional or max(exceptional) != self.thread_id:
+            return []
+
+        raised = self.le.exceptions_for(action)
+        self.resolution_calls += 1
+        resolved = context.graph.resolve(raised)
+        self.le.clear()
+        self.handling[action] = resolved
+        self._trace(f"resolve {sorted(e.name for e in raised)} -> "
+                    f"{resolved.name} in {action}")
+        return [
+            ChargeTime("resolution", 1),
+            SendTo(context.others(self.thread_id),
+                   CommitMessage(action, self.thread_id, resolved)),
+            HandleResolved(action, resolved, resolver=self.thread_id),
+        ]

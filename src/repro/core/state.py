@@ -1,0 +1,186 @@
+"""Per-thread protocol state: thread states, the list LEi and the stack SAi.
+
+Section 3.3.1: "each thread Ti keeps the following data structures: list
+LEi — records exceptions that have been raised or suspended states of
+threads that have halted normal computation; stack SAi — stores the
+exception context and the exception graph corresponding to each of nested
+CA actions", and each thread is in one of the states N (normal), X
+(exceptional) or S (suspended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .exception_graph import ExceptionGraph
+from .exceptions import ExceptionDescriptor, RaisedRecord
+
+
+class ThreadState(Enum):
+    """The three states a participating thread can be in."""
+
+    NORMAL = "N"
+    EXCEPTIONAL = "X"
+    SUSPENDED = "S"
+
+
+@dataclass
+class ActionContext:
+    """One element of the stack SAi: the exception context of one action.
+
+    Holds everything a thread needs to participate in coordination for that
+    action: its name, the ordered participant list ``GA``, the exception
+    graph, and the nesting parent's name (None for the outermost action).
+    """
+
+    action: str
+    participants: Tuple[str, ...]
+    graph: ExceptionGraph
+    parent: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.participants:
+            raise ValueError(f"action {self.action!r} has no participants")
+        ordered = tuple(sorted(self.participants))
+        object.__setattr__(self, "participants", ordered)
+
+    def others(self, me: str) -> Tuple[str, ...]:
+        """All participants except ``me``."""
+        return tuple(p for p in self.participants if p != me)
+
+    def __repr__(self) -> str:
+        return f"<ActionContext {self.action} G={list(self.participants)}>"
+
+
+class ContextStack:
+    """The stack SAi of nested action contexts for one thread."""
+
+    def __init__(self) -> None:
+        self._stack: List[ActionContext] = []
+
+    def push(self, context: ActionContext) -> None:
+        """Enter an action: push its context."""
+        self._stack.append(context)
+
+    def pop(self) -> ActionContext:
+        """Leave the innermost action: pop its context."""
+        if not self._stack:
+            raise IndexError("context stack is empty")
+        return self._stack.pop()
+
+    def top(self) -> Optional[ActionContext]:
+        """The context of the currently active (innermost) action, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def find(self, action: str) -> Optional[ActionContext]:
+        """Find the context for ``action`` anywhere in the stack."""
+        for context in self._stack:
+            if context.action == action:
+                return context
+        return None
+
+    def contains(self, action: str) -> bool:
+        """True if ``action`` is somewhere on the stack."""
+        return self.find(action) is not None
+
+    def actions_between_top_and(self, action: str) -> List[str]:
+        """Names of the nested actions strictly inside ``action``, innermost first.
+
+        These are the actions that must be aborted when an exception arrives
+        from the containing action ``action``.
+        """
+        if not self.contains(action):
+            raise KeyError(f"action {action!r} not on the stack")
+        inner: List[str] = []
+        for context in reversed(self._stack):
+            if context.action == action:
+                return inner
+            inner.append(context.action)
+        return inner  # pragma: no cover - unreachable, contains() checked
+
+    def pop_until(self, action: str) -> List[ActionContext]:
+        """Pop contexts until ``action`` is on top; returns the popped ones."""
+        popped: List[ActionContext] = []
+        while self._stack and self._stack[-1].action != action:
+            popped.append(self._stack.pop())
+        if not self._stack:
+            raise KeyError(f"action {action!r} was not on the stack")
+        return popped
+
+    def depth(self) -> int:
+        """Number of nested contexts currently entered."""
+        return len(self._stack)
+
+    def as_names(self) -> List[str]:
+        """Action names from outermost to innermost."""
+        return [context.action for context in self._stack]
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __repr__(self) -> str:
+        return f"<ContextStack {self.as_names()}>"
+
+
+class LocalExceptionList:
+    """The list LEi of exceptions raised / suspensions observed.
+
+    Only entries for the currently relevant action are kept (the algorithm
+    removes other entries when an abortion switches the active context).
+    """
+
+    def __init__(self) -> None:
+        self._records: List[RaisedRecord] = []
+
+    def add(self, record: RaisedRecord) -> None:
+        """Append a record, replacing any previous record for the same thread.
+
+        A thread that first suspended and later raised an abortion exception
+        (or vice versa) must be represented by its most recent status,
+        otherwise the resolver could double-count it.
+        """
+        self._records = [r for r in self._records
+                         if not (r.action == record.action
+                                 and r.thread == record.thread)]
+        self._records.append(record)
+
+    def remove_other_actions(self, action: str) -> None:
+        """Drop every record that does not belong to ``action``."""
+        self._records = [r for r in self._records if r.action == action]
+
+    def keep_only(self, record: RaisedRecord) -> None:
+        """Algorithm step: "remove all elements except <A*, Tj, Ej> in LEi"."""
+        self._records = [record]
+
+    def clear(self) -> None:
+        """Empty the list (after a Commit or when handling completes)."""
+        self._records = []
+
+    def records_for(self, action: str) -> List[RaisedRecord]:
+        """All records belonging to ``action``."""
+        return [r for r in self._records if r.action == action]
+
+    def threads_reported(self, action: str) -> Set[str]:
+        """Threads of ``action`` for which a record (exception or S) exists."""
+        return {r.thread for r in self.records_for(action)}
+
+    def exceptions_for(self, action: str) -> List[ExceptionDescriptor]:
+        """The exceptions (not suspensions) recorded for ``action``."""
+        return [r.exception for r in self.records_for(action)
+                if r.exception is not None]
+
+    def exceptional_threads(self, action: str) -> Set[str]:
+        """Threads that raised an exception (state X) in ``action``."""
+        return {r.thread for r in self.records_for(action)
+                if r.exception is not None}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return f"<LE {self._records}>"

@@ -1,0 +1,39 @@
+"""Message-passing substrate: nodes, network, latency models, fault injection.
+
+This package models the distributed half of the paper's prototype
+architecture (Figure 8): one node per action participant, a message-passing
+subsystem based on asynchronous calls, per-node cyclic receive buffers, and
+configurable message latency (the ``Tmmax`` parameter of the experiments).
+"""
+
+from .faults import NO_FAULTS, FaultPlan, FaultStatistics
+from .latency import (
+    ConstantLatency,
+    LatencyModel,
+    PerLinkLatency,
+    TruncatedExponentialLatency,
+    UniformLatency,
+)
+from .message import Envelope
+from .network import MessageStatistics, Network, UnknownNodeError
+from .node import Node
+from .rpc import RpcEndpoint, RpcReply, RpcRequest
+
+__all__ = [
+    "ConstantLatency",
+    "Envelope",
+    "FaultPlan",
+    "FaultStatistics",
+    "LatencyModel",
+    "MessageStatistics",
+    "Network",
+    "NO_FAULTS",
+    "Node",
+    "PerLinkLatency",
+    "RpcEndpoint",
+    "RpcReply",
+    "RpcRequest",
+    "TruncatedExponentialLatency",
+    "UniformLatency",
+    "UnknownNodeError",
+]

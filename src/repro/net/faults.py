@@ -1,0 +1,157 @@
+"""Fault injection for the message-passing substrate.
+
+The resolution algorithm of the paper assumes reliable FIFO messaging
+(Assumptions 1 and 2) and explicitly does *not* tolerate node or link
+crashes; the signalling algorithm, by contrast, "can be easily extended to
+cope with crashes of nodes or communication lines" by treating a corrupted
+or lost message as a failure exception ``ƒ``.
+
+This module provides the injection hooks that let the test-suite exercise
+both sides: verifying the algorithm under the stated assumptions, and
+verifying that the signalling layer degrades to ``ƒ`` when the assumptions
+are violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..simkernel.rng import SeededStreams
+from .message import Envelope
+
+
+@dataclass
+class FaultStatistics:
+    """Counts of injected faults, for assertions in tests and reports."""
+
+    dropped: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+    blocked_by_crash: int = 0
+
+    def total(self) -> int:
+        return self.dropped + self.corrupted + self.delayed + self.blocked_by_crash
+
+
+class FaultPlan:
+    """A deterministic plan of message- and node-level faults.
+
+    Faults can be specified either probabilistically (per-message drop and
+    corruption probabilities drawn from a seeded stream) or surgically
+    (drop/corrupt the *n*-th message on a given link, crash a node at a
+    given time).  Surgical injection is what the tests mostly use, because
+    it makes failure scenarios reproducible and targeted.
+    """
+
+    def __init__(self, streams: Optional[SeededStreams] = None,
+                 drop_probability: float = 0.0,
+                 corrupt_probability: float = 0.0) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if not 0.0 <= corrupt_probability <= 1.0:
+            raise ValueError("corrupt_probability must be in [0, 1]")
+        self._streams = streams or SeededStreams(0)
+        self.drop_probability = drop_probability
+        self.corrupt_probability = corrupt_probability
+        self._drop_nth: Dict[Tuple[str, str], Set[int]] = {}
+        self._corrupt_nth: Dict[Tuple[str, str], Set[int]] = {}
+        self._extra_delay: Dict[Tuple[str, str], float] = {}
+        self._link_counts: Dict[Tuple[str, str], int] = {}
+        self._crashed_nodes: Set[str] = set()
+        self._crash_times: Dict[str, float] = {}
+        self.stats = FaultStatistics()
+        self.log: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def drop_nth_message(self, source: str, destination: str, n: int) -> None:
+        """Drop the ``n``-th (1-based) message sent from source to destination."""
+        if n < 1:
+            raise ValueError("n is 1-based and must be >= 1")
+        self._drop_nth.setdefault((source, destination), set()).add(n)
+
+    def corrupt_nth_message(self, source: str, destination: str, n: int) -> None:
+        """Corrupt the ``n``-th (1-based) message on the given link."""
+        if n < 1:
+            raise ValueError("n is 1-based and must be >= 1")
+        self._corrupt_nth.setdefault((source, destination), set()).add(n)
+
+    def add_link_delay(self, source: str, destination: str, extra: float) -> None:
+        """Add a fixed extra delay to every message on the given link."""
+        if extra < 0:
+            raise ValueError("extra delay must be non-negative")
+        self._extra_delay[(source, destination)] = extra
+
+    def crash_node(self, node: str, at_time: Optional[float] = None) -> None:
+        """Mark a node as crashed (optionally from ``at_time`` onwards).
+
+        A crashed node neither sends nor receives messages.
+        """
+        if at_time is None:
+            self._crashed_nodes.add(node)
+        else:
+            self._crash_times[node] = at_time
+
+    def restore_node(self, node: str) -> None:
+        """Undo a crash (used by recovery-oriented tests)."""
+        self._crashed_nodes.discard(node)
+        self._crash_times.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # Queries used by the network
+    # ------------------------------------------------------------------
+    def is_crashed(self, node: str, now: float) -> bool:
+        """True if ``node`` is considered crashed at virtual time ``now``."""
+        if node in self._crashed_nodes:
+            return True
+        crash_at = self._crash_times.get(node)
+        return crash_at is not None and now >= crash_at
+
+    def apply(self, envelope: Envelope, now: float) -> Tuple[bool, float]:
+        """Decide the fate of ``envelope``.
+
+        Returns ``(deliver, extra_delay)``.  May also set
+        ``envelope.corrupted``.  Updates the fault statistics.
+        """
+        link = (envelope.source, envelope.destination)
+        count = self._link_counts.get(link, 0) + 1
+        self._link_counts[link] = count
+
+        if self.is_crashed(envelope.source, now) or self.is_crashed(
+                envelope.destination, now):
+            self.stats.blocked_by_crash += 1
+            self.log.append(f"blocked {envelope!r} (crashed endpoint)")
+            return False, 0.0
+
+        if count in self._drop_nth.get(link, ()):  # surgical drop
+            self.stats.dropped += 1
+            self.log.append(f"dropped {envelope!r} (surgical #{count})")
+            return False, 0.0
+
+        if self.drop_probability and \
+                self._streams.random("drop") < self.drop_probability:
+            self.stats.dropped += 1
+            self.log.append(f"dropped {envelope!r} (probabilistic)")
+            return False, 0.0
+
+        if count in self._corrupt_nth.get(link, ()):  # surgical corruption
+            envelope.corrupted = True
+            self.stats.corrupted += 1
+            self.log.append(f"corrupted {envelope!r} (surgical #{count})")
+        elif self.corrupt_probability and \
+                self._streams.random("corrupt") < self.corrupt_probability:
+            envelope.corrupted = True
+            self.stats.corrupted += 1
+            self.log.append(f"corrupted {envelope!r} (probabilistic)")
+
+        extra = self._extra_delay.get(link, 0.0)
+        if extra:
+            self.stats.delayed += 1
+        return True, extra
+
+
+#: A fault plan that never injects anything — the default for experiments
+#: reproducing the paper's figures, which assume a reliable network.
+NO_FAULTS = FaultPlan()

@@ -1,0 +1,127 @@
+"""Latency models for the simulated network.
+
+The paper's experiments are parameterised by ``Tmmax``, the *maximum* time
+of message passing between two threads.  The models below all expose a
+``bound()`` that reports the value of ``Tmmax`` implied by the model, so the
+analytic time bound of Lemma 1 can be evaluated against measured runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+from ..simkernel.rng import SeededStreams
+
+
+class LatencyModel(abc.ABC):
+    """Strategy object mapping a (source, destination) pair to a delay."""
+
+    @abc.abstractmethod
+    def sample(self, source: str, destination: str) -> float:
+        """Return the one-way delay for a message on this link."""
+
+    @abc.abstractmethod
+    def bound(self) -> float:
+        """Return ``Tmmax``: an upper bound on any sampled delay."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units.
+
+    This is the model used when reproducing the paper's experiments, where
+    ``Tmmax`` is swept directly.
+    """
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = float(delay)
+
+    def sample(self, source: str, destination: str) -> float:
+        return self.delay
+
+    def bound(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float,
+                 streams: Optional[SeededStreams] = None) -> None:
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self.low = float(low)
+        self.high = float(high)
+        self._streams = streams or SeededStreams(0)
+
+    def sample(self, source: str, destination: str) -> float:
+        return self._streams.uniform("latency", self.low, self.high)
+
+    def bound(self) -> float:
+        return self.high
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class TruncatedExponentialLatency(LatencyModel):
+    """Exponential delays truncated at ``cap`` (so a finite Tmmax exists)."""
+
+    def __init__(self, mean: float, cap: float,
+                 streams: Optional[SeededStreams] = None) -> None:
+        if mean <= 0 or cap <= 0:
+            raise ValueError("mean and cap must be positive")
+        self.mean = float(mean)
+        self.cap = float(cap)
+        self._streams = streams or SeededStreams(0)
+
+    def sample(self, source: str, destination: str) -> float:
+        value = self._streams.expovariate("latency", 1.0 / self.mean)
+        return min(value, self.cap)
+
+    def bound(self) -> float:
+        return self.cap
+
+    def __repr__(self) -> str:
+        return f"TruncatedExponentialLatency(mean={self.mean}, cap={self.cap})"
+
+
+class PerLinkLatency(LatencyModel):
+    """Different constant delay per (source, destination) pair.
+
+    Useful for modelling asymmetric topologies, e.g. a controller node
+    co-located with some devices of the production cell but remote from
+    others.
+    """
+
+    def __init__(self, default: float,
+                 overrides: Optional[Dict[Tuple[str, str], float]] = None) -> None:
+        if default < 0:
+            raise ValueError("default delay must be non-negative")
+        self.default = float(default)
+        self.overrides: Dict[Tuple[str, str], float] = dict(overrides or {})
+        for key, value in self.overrides.items():
+            if value < 0:
+                raise ValueError(f"negative delay for link {key}")
+
+    def set_link(self, source: str, destination: str, delay: float) -> None:
+        """Set the delay for one directed link."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.overrides[(source, destination)] = float(delay)
+
+    def sample(self, source: str, destination: str) -> float:
+        return self.overrides.get((source, destination), self.default)
+
+    def bound(self) -> float:
+        if not self.overrides:
+            return self.default
+        return max(self.default, max(self.overrides.values()))
+
+    def __repr__(self) -> str:
+        return f"PerLinkLatency(default={self.default}, links={len(self.overrides)})"

@@ -1,0 +1,59 @@
+"""Message envelopes carried by the simulated network.
+
+The CA-action protocols (see :mod:`repro.core.messages`) define *payloads*;
+the network wraps each payload in an :class:`Envelope` that records the
+routing and timing metadata used by metrics and by fault injection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_sequence = itertools.count(1)
+
+
+@dataclass
+class Envelope:
+    """A single message in flight between two nodes.
+
+    Attributes
+    ----------
+    source:
+        Name of the sending node.
+    destination:
+        Name of the receiving node.
+    payload:
+        The application- or protocol-level message object.
+    send_time:
+        Virtual time at which the message was handed to the network.
+    deliver_time:
+        Virtual time at which it will be (or was) placed in the receiver's
+        buffer.  ``None`` until the network schedules delivery.
+    sequence:
+        Globally unique, monotonically increasing identifier; used for
+        deterministic tie-breaking and for tracing.
+    corrupted:
+        Set by fault injection; a corrupted payload must not be trusted by
+        the receiver (the signalling algorithm treats it as ``ƒ``).
+    """
+
+    source: str
+    destination: str
+    payload: Any
+    send_time: float = 0.0
+    deliver_time: Optional[float] = None
+    sequence: int = field(default_factory=lambda: next(_sequence))
+    corrupted: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Delivery latency, if delivery has been scheduled."""
+        if self.deliver_time is None:
+            return None
+        return self.deliver_time - self.send_time
+
+    def __repr__(self) -> str:
+        return (f"<Envelope #{self.sequence} {self.source}->{self.destination} "
+                f"{type(self.payload).__name__} t={self.send_time:.3f}>")

@@ -1,0 +1,211 @@
+"""The simulated communication network.
+
+Guarantees provided (matching the paper's assumptions):
+
+* **Assumption 1 — dependable communication**: unless a
+  :class:`~repro.net.faults.FaultPlan` says otherwise, every message sent is
+  delivered exactly once, uncorrupted.
+* **Assumption 2 — FIFO links**: two messages from node A to node B are
+  delivered in the order they were sent, even if the latency model would
+  assign the second a shorter delay (delivery times are clamped to be
+  non-decreasing per directed link).
+
+The network also keeps per-category message counters, which the complexity
+benchmarks (Theorem 2, Section 3.2.3) read.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..simkernel.kernel import Kernel
+from .faults import FaultPlan
+from .latency import ConstantLatency, LatencyModel
+from .message import Envelope
+from .node import Node
+
+
+class UnknownNodeError(KeyError):
+    """Raised when sending to or registering a node name that is unknown."""
+
+
+class MessageStatistics:
+    """Message counters kept by the network.
+
+    ``by_type`` counts envelopes by the class name of their payload, which
+    is how the benchmarks distinguish protocol messages (``Exception``,
+    ``Suspended``, ``Commit``, ``ToBeSignalled``) from application traffic.
+    """
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.by_type: Dict[str, int] = defaultdict(int)
+        self.by_link: Dict[tuple, int] = defaultdict(int)
+
+    def record_sent(self, envelope: Envelope) -> None:
+        self.sent += 1
+        self.by_type[type(envelope.payload).__name__] += 1
+        self.by_link[(envelope.source, envelope.destination)] += 1
+
+    def record_delivered(self, envelope: Envelope) -> None:
+        self.delivered += 1
+
+    def record_dropped(self, envelope: Envelope) -> None:
+        self.dropped += 1
+
+    def count(self, *type_names: str) -> int:
+        """Total number of sent messages whose payload type is in ``type_names``."""
+        return sum(self.by_type.get(name, 0) for name in type_names)
+
+    def protocol_messages(self) -> int:
+        """Messages belonging to the exception-handling protocols.
+
+        Counts the new algorithm's messages, the signalling algorithm's
+        messages and the baseline algorithms' messages, so comparisons
+        between algorithms are like for like.
+        """
+        return self.count("ExceptionMessage", "SuspendedMessage",
+                          "CommitMessage", "ToBeSignalledMessage",
+                          "CRForwardMessage", "CRResolvedMessage",
+                          "CRConfirmMessage", "AgreementMessage",
+                          "ConfirmMessage")
+
+    def resolution_messages(self) -> int:
+        """Messages belonging to the resolution protocols only (no signalling)."""
+        return self.count("ExceptionMessage", "SuspendedMessage",
+                          "CommitMessage", "CRForwardMessage",
+                          "CRResolvedMessage", "CRConfirmMessage",
+                          "AgreementMessage", "ConfirmMessage")
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Return a plain-dict summary (for reports)."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "by_type": dict(self.by_type),
+        }
+
+
+class Network:
+    """Connects nodes and delivers messages with configurable latency.
+
+    Parameters
+    ----------
+    kernel:
+        The shared simulation kernel.
+    latency:
+        Latency model; defaults to zero-delay delivery.
+    faults:
+        Fault-injection plan; defaults to a fresh no-fault plan.
+    """
+
+    def __init__(self, kernel: Kernel,
+                 latency: Optional[LatencyModel] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
+        self.kernel = kernel
+        self.latency = latency or ConstantLatency(0.0)
+        self.faults = faults or FaultPlan()
+        self.nodes: Dict[str, Node] = {}
+        self.stats = MessageStatistics()
+        #: Last scheduled delivery time per directed link, used to enforce
+        #: FIFO even under non-deterministic latency.
+        self._link_clock: Dict[tuple, float] = {}
+        #: Full trace of envelopes (in send order) for debugging.
+        self.trace: List[Envelope] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, buffer_capacity: int = 4096) -> Node:
+        """Create and register a node called ``name``."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = Node(self.kernel, name, buffer_capacity=buffer_capacity)
+        node.attach(self)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise UnknownNodeError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, source: str, destination: str, payload: Any) -> Envelope:
+        """Send ``payload`` from ``source`` to ``destination``.
+
+        Returns the envelope (already stamped with the scheduled delivery
+        time unless it was dropped).
+        """
+        if source not in self.nodes:
+            raise UnknownNodeError(source)
+        if destination not in self.nodes:
+            raise UnknownNodeError(destination)
+
+        envelope = Envelope(source=source, destination=destination,
+                            payload=payload, send_time=self.kernel.now)
+        self.stats.record_sent(envelope)
+        self.trace.append(envelope)
+
+        deliver, extra_delay = self.faults.apply(envelope, self.kernel.now)
+        if not deliver:
+            self.stats.record_dropped(envelope)
+            return envelope
+
+        delay = self.latency.sample(source, destination) + extra_delay
+        deliver_at = self.kernel.now + delay
+        # FIFO clamp: never deliver before a previously sent message on the
+        # same directed link.
+        link = (source, destination)
+        deliver_at = max(deliver_at, self._link_clock.get(link, 0.0))
+        self._link_clock[link] = deliver_at
+        envelope.deliver_time = deliver_at
+
+        def _deliver(_event, env=envelope):
+            target = self.nodes.get(env.destination)
+            if target is None or not target.alive:
+                self.stats.record_dropped(env)
+                return
+            self.stats.record_delivered(env)
+            target.deliver(env)
+
+        timeout = self.kernel.timeout(deliver_at - self.kernel.now)
+        timeout.callbacks.append(_deliver)
+        return envelope
+
+    def broadcast(self, source: str, destinations: Iterable[str],
+                  payload: Any) -> List[Envelope]:
+        """Send ``payload`` from ``source`` to every name in ``destinations``.
+
+        The sender itself is silently skipped if present in the list, which
+        matches the protocols' "send to all other threads" phrasing.
+        """
+        envelopes = []
+        for destination in destinations:
+            if destination == source:
+                continue
+            envelopes.append(self.send(source, destination, payload))
+        return envelopes
+
+    # ------------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Zero the message counters (used between benchmark phases)."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return (f"<Network nodes={len(self.nodes)} latency={self.latency!r} "
+                f"sent={self.stats.sent}>")

@@ -1,0 +1,144 @@
+"""Asynchronous remote procedure calls over the simulated network.
+
+The paper's prototype implements its message-passing subsystem with
+"asynchronous remote procedure calls (without out parameters)".  This module
+provides the equivalent: a node can expose named procedures, and any other
+node can invoke them one-way.  A thin request/reply convenience layer is
+also provided (used by the external-object transaction protocol), built from
+two one-way calls, because some substrates genuinely need an answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..simkernel.events import Event
+from ..simkernel.kernel import Kernel
+from .network import Network
+from .node import Node
+
+_call_ids = itertools.count(1)
+
+
+@dataclass
+class RpcRequest:
+    """One-way invocation of ``procedure`` with positional ``args``."""
+
+    procedure: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    call_id: int = field(default_factory=lambda: next(_call_ids))
+    reply_to: Optional[str] = None
+    expects_reply: bool = False
+
+
+@dataclass
+class RpcReply:
+    """Reply to a request that asked for one."""
+
+    call_id: int
+    value: Any = None
+    error: Optional[str] = None
+
+
+class RpcEndpoint:
+    """Attaches RPC dispatch to a node.
+
+    The endpoint owns the node's inbox-draining process: incoming
+    :class:`RpcRequest` envelopes are dispatched to registered handlers;
+    anything else is passed to the ``fallback`` callable (the CA-action
+    partition executive registers itself as the fallback so protocol
+    messages flow to it).
+    """
+
+    def __init__(self, node: Node, network: Network,
+                 fallback: Optional[Callable[[Any], None]] = None) -> None:
+        self.node = node
+        self.network = network
+        self.kernel: Kernel = node.kernel
+        self.fallback = fallback
+        self._procedures: Dict[str, Callable[..., Any]] = {}
+        self._pending_replies: Dict[int, Event] = {}
+        self._dispatcher = self.kernel.process(
+            self._dispatch_loop(), name=f"rpc-dispatch:{node.name}")
+        node.services["rpc"] = self
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def register(self, name: str, handler: Callable[..., Any]) -> None:
+        """Expose ``handler`` under ``name`` for remote invocation."""
+        if name in self._procedures:
+            raise ValueError(f"procedure {name!r} already registered")
+        self._procedures[name] = handler
+
+    def unregister(self, name: str) -> None:
+        """Remove a previously registered procedure."""
+        self._procedures.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def call_oneway(self, destination: str, procedure: str,
+                    *args: Any, **kwargs: Any) -> None:
+        """Invoke a remote procedure without waiting for any result."""
+        request = RpcRequest(procedure=procedure, args=args, kwargs=kwargs)
+        self.network.send(self.node.name, destination, request)
+
+    def call(self, destination: str, procedure: str,
+             *args: Any, **kwargs: Any) -> Event:
+        """Invoke a remote procedure and return an event for the reply.
+
+        The returned event fires with the reply value, or fails with a
+        ``RuntimeError`` carrying the remote error message.
+        """
+        request = RpcRequest(procedure=procedure, args=args, kwargs=kwargs,
+                             reply_to=self.node.name, expects_reply=True)
+        reply_event = self.kernel.event()
+        self._pending_replies[request.call_id] = reply_event
+        self.network.send(self.node.name, destination, request)
+        return reply_event
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self):
+        while True:
+            envelope = yield self.node.inbox.get()
+            payload = envelope.payload
+            if isinstance(payload, RpcRequest):
+                self._handle_request(payload)
+            elif isinstance(payload, RpcReply):
+                self._handle_reply(payload)
+            elif self.fallback is not None:
+                self.fallback(envelope)
+            # Messages with no handler and no fallback are dropped silently;
+            # the network statistics still recorded them.
+
+    def _handle_request(self, request: RpcRequest) -> None:
+        handler = self._procedures.get(request.procedure)
+        if handler is None:
+            if request.expects_reply and request.reply_to:
+                self.network.send(self.node.name, request.reply_to,
+                                  RpcReply(request.call_id, error=
+                                           f"unknown procedure {request.procedure!r}"))
+            return
+        try:
+            value = handler(*request.args, **request.kwargs)
+            error = None
+        except Exception as exc:  # deliberate broad catch: errors cross nodes
+            value, error = None, f"{type(exc).__name__}: {exc}"
+        if request.expects_reply and request.reply_to:
+            self.network.send(self.node.name, request.reply_to,
+                              RpcReply(request.call_id, value=value, error=error))
+
+    def _handle_reply(self, reply: RpcReply) -> None:
+        event = self._pending_replies.pop(reply.call_id, None)
+        if event is None:
+            return
+        if reply.error is None:
+            event.succeed(reply.value)
+        else:
+            event.fail(RuntimeError(reply.error))

@@ -1,0 +1,50 @@
+"""External atomic objects and their transactional machinery.
+
+CA actions manipulate two kinds of objects: *local* objects private to the
+action, and *external* objects shared with the rest of the system.  External
+objects must preserve the ACID properties; this package implements them with
+versioned state, strict two-phase locking, per-transaction working copies,
+undo (backward recovery) and repair (forward recovery).
+"""
+
+from .atomic_object import (
+    AtomicObject,
+    ExceptionNotification,
+    IntegrityError,
+    OperationRecord,
+    UndoFailure,
+)
+from .locks import DeadlockError, LockManager, LockMode
+from .recovery import (
+    RecoveryKind,
+    RecoveryOutcome,
+    RecoveryPlan,
+    RecoveryStep,
+    outcome_to_interface_exception,
+)
+from .transaction import (
+    Transaction,
+    TransactionError,
+    TransactionManager,
+    TransactionStatus,
+)
+
+__all__ = [
+    "AtomicObject",
+    "DeadlockError",
+    "ExceptionNotification",
+    "IntegrityError",
+    "LockManager",
+    "LockMode",
+    "OperationRecord",
+    "RecoveryKind",
+    "RecoveryOutcome",
+    "RecoveryPlan",
+    "RecoveryStep",
+    "Transaction",
+    "TransactionError",
+    "TransactionManager",
+    "TransactionStatus",
+    "UndoFailure",
+    "outcome_to_interface_exception",
+]

@@ -1,0 +1,212 @@
+"""External atomic objects.
+
+In the paper's model, objects that are external to a CA action "can hence be
+shared with other actions concurrently, must be atomic and individually
+responsible for their own integrity".  A CA action accesses them under a
+transaction; when an exception is raised inside the action, the external
+objects are informed of the exception, and recovery either repairs them
+(forward recovery to a *new* valid state) or restores their prior state
+(backward recovery / undo).  If neither works the action must signal the
+failure exception ``ƒ``.
+
+:class:`AtomicObject` implements exactly that life-cycle:
+
+* ``read``/``write`` record operations against a per-transaction working
+  copy (isolation);
+* ``commit`` installs the working copy as the new committed state
+  (durability within the simulated world);
+* ``undo`` discards the working copy, restoring the committed state —
+  unless an injected *undo fault* makes the undo fail, which is how the
+  test-suite exercises the ``ƒ`` signalling path;
+* ``repair`` applies a caller-supplied repair function to the working copy,
+  modelling forward recovery by handlers;
+* ``notify_exception`` records exception notifications, mirroring the
+  algorithm step "inform external objects (used by Ti within A) of the
+  exception".
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class UndoFailure(RuntimeError):
+    """Raised when an atomic object cannot restore its prior state."""
+
+
+class IntegrityError(RuntimeError):
+    """Raised when an invariant check on the object's state fails."""
+
+
+@dataclass
+class ExceptionNotification:
+    """Record of an exception reported to the object by a CA action role."""
+
+    transaction_id: str
+    action_name: str
+    exception_name: str
+    time: float
+
+
+@dataclass
+class OperationRecord:
+    """One read or write performed under a transaction (the object's log)."""
+
+    transaction_id: str
+    operation: str
+    key: str
+    value: Any = None
+    time: float = 0.0
+
+
+class AtomicObject:
+    """A named, shared object with transactional state.
+
+    Parameters
+    ----------
+    name:
+        Unique object name.
+    initial_state:
+        Mapping holding the initial committed state.
+    invariant:
+        Optional callable ``state -> bool``; checked at commit time and by
+        :meth:`check_integrity`.  A failing invariant models the situation
+        in which "one or more external shared objects fail to reach a
+        correct state" and a failure exception must be signalled.
+    """
+
+    def __init__(self, name: str, initial_state: Optional[Dict[str, Any]] = None,
+                 invariant: Optional[Callable[[Dict[str, Any]], bool]] = None) -> None:
+        self.name = name
+        self._committed: Dict[str, Any] = dict(initial_state or {})
+        self._working: Dict[str, Dict[str, Any]] = {}
+        self._invariant = invariant
+        self._history: List[Dict[str, Any]] = [copy.deepcopy(self._committed)]
+        self.operations: List[OperationRecord] = []
+        self.notifications: List[ExceptionNotification] = []
+        #: Transactions whose undo should fail (fault injection for ƒ tests).
+        self._undo_faults: set = set()
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Transactional access
+    # ------------------------------------------------------------------
+    def read(self, transaction_id: str, key: str, now: float = 0.0) -> Any:
+        """Read ``key`` as seen by ``transaction_id``."""
+        self.operations.append(OperationRecord(transaction_id, "read", key,
+                                               time=now))
+        working = self._working.get(transaction_id)
+        if working is not None and key in working:
+            return working[key]
+        if key not in self._committed:
+            raise KeyError(f"{self.name}: no such field {key!r}")
+        return self._committed[key]
+
+    def write(self, transaction_id: str, key: str, value: Any,
+              now: float = 0.0) -> None:
+        """Write ``key`` in the working copy of ``transaction_id``."""
+        self.operations.append(OperationRecord(transaction_id, "write", key,
+                                               value, time=now))
+        self._working.setdefault(transaction_id, {})[key] = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Return a copy of the committed state."""
+        return copy.deepcopy(self._committed)
+
+    def committed_value(self, key: str) -> Any:
+        """Read a field of the committed state directly (no transaction)."""
+        return self._committed[key]
+
+    def dirty(self, transaction_id: str) -> bool:
+        """True if the transaction has uncommitted writes on this object."""
+        return bool(self._working.get(transaction_id))
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def commit(self, transaction_id: str) -> None:
+        """Install the transaction's working copy as the committed state."""
+        working = self._working.pop(transaction_id, None)
+        if not working:
+            return
+        candidate = dict(self._committed)
+        candidate.update(working)
+        if self._invariant is not None and not self._invariant(candidate):
+            # Put the working copy back so the caller can still undo.
+            self._working[transaction_id] = working
+            raise IntegrityError(
+                f"{self.name}: commit of {transaction_id} violates invariant")
+        self._committed = candidate
+        self.version += 1
+        self._history.append(copy.deepcopy(self._committed))
+
+    def undo(self, transaction_id: str) -> None:
+        """Discard the transaction's working copy (backward recovery).
+
+        Raises
+        ------
+        UndoFailure
+            If an undo fault was injected for this transaction (or for all
+            transactions), modelling the paper's "undo is not always
+            possible".
+        """
+        if transaction_id in self._undo_faults or None in self._undo_faults:
+            raise UndoFailure(
+                f"{self.name}: undo of {transaction_id} failed (injected fault)")
+        self._working.pop(transaction_id, None)
+
+    def repair(self, transaction_id: str,
+               repair_function: Callable[[Dict[str, Any]], Dict[str, Any]]) -> None:
+        """Apply forward recovery: transform the working copy into a new state.
+
+        ``repair_function`` receives the merged view (committed state
+        overlaid with the working copy) and returns the repaired state,
+        which replaces the working copy entirely.
+        """
+        merged = dict(self._committed)
+        merged.update(self._working.get(transaction_id, {}))
+        repaired = repair_function(merged)
+        if not isinstance(repaired, dict):
+            raise TypeError("repair_function must return a dict state")
+        self._working[transaction_id] = dict(repaired)
+
+    def check_integrity(self, transaction_id: Optional[str] = None) -> bool:
+        """Evaluate the invariant against the (merged) state."""
+        if self._invariant is None:
+            return True
+        state = dict(self._committed)
+        if transaction_id is not None:
+            state.update(self._working.get(transaction_id, {}))
+        return bool(self._invariant(state))
+
+    # ------------------------------------------------------------------
+    # Exception protocol and fault injection
+    # ------------------------------------------------------------------
+    def notify_exception(self, transaction_id: str, action_name: str,
+                         exception_name: str, now: float = 0.0) -> None:
+        """Record that an exception was raised by an action using this object."""
+        self.notifications.append(ExceptionNotification(
+            transaction_id, action_name, exception_name, now))
+
+    def inject_undo_fault(self, transaction_id: Optional[str] = None) -> None:
+        """Make future undo attempts fail.
+
+        With ``transaction_id`` the fault is scoped to that transaction;
+        without it every undo on this object fails.
+        """
+        self._undo_faults.add(transaction_id)
+
+    def clear_undo_fault(self, transaction_id: Optional[str] = None) -> None:
+        """Remove an injected undo fault."""
+        self._undo_faults.discard(transaction_id)
+
+    @property
+    def history(self) -> List[Dict[str, Any]]:
+        """All committed states, oldest first (index 0 is the initial state)."""
+        return list(self._history)
+
+    def __repr__(self) -> str:
+        return (f"<AtomicObject {self.name} v{self.version} "
+                f"fields={sorted(self._committed)}>")

@@ -1,0 +1,147 @@
+"""Lock manager for external atomic objects.
+
+External objects shared between CA actions must be *atomic* — "individually
+responsible for their own integrity" — which the paper delegates to an
+associated transaction mechanism guaranteeing the ACID properties.  The lock
+manager implements strict two-phase locking with reader/writer modes; locks
+are held until the owning transaction commits or aborts.
+
+Waiting is modelled with kernel events so that a blocked role consumes
+virtual time rather than spinning.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..simkernel.events import Event
+from ..simkernel.kernel import Kernel
+
+
+class LockMode(Enum):
+    """Lock compatibility modes."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class DeadlockError(RuntimeError):
+    """Raised when a lock request would create a wait-for cycle."""
+
+
+class LockManager:
+    """Per-object reader/writer locks with transaction-scoped ownership.
+
+    The manager performs simple deadlock *avoidance* by detecting wait-for
+    cycles at request time and failing the request that would close the
+    cycle.  Failed requests surface as :class:`DeadlockError` on the
+    returned event, which upper layers convert into an exception raised
+    inside the requesting CA action.
+    """
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        #: Granted locks: object name -> list of (transaction id, mode).
+        self._granted: Dict[str, List[Tuple[str, LockMode]]] = {}
+        #: Wait queues: object name -> FIFO of pending requests.
+        self._waiting: Dict[str, Deque[Tuple[str, LockMode, Event]]] = {}
+        #: Wait-for graph edges: waiter -> set of holders it waits on.
+        self._wait_for: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    def acquire(self, object_name: str, transaction_id: str,
+                mode: LockMode) -> Event:
+        """Request a lock; the returned event fires when it is granted."""
+        event = self.kernel.event()
+        granted = self._granted.setdefault(object_name, [])
+
+        if self._compatible(granted, transaction_id, mode) and not \
+                self._waiting.get(object_name):
+            self._grant(object_name, transaction_id, mode)
+            event.succeed()
+            return event
+
+        holders = {tid for tid, _mode in granted if tid != transaction_id}
+        if self._would_deadlock(transaction_id, holders):
+            event.fail(DeadlockError(
+                f"transaction {transaction_id} would deadlock waiting for "
+                f"{object_name}"))
+            return event
+
+        self._wait_for.setdefault(transaction_id, set()).update(holders)
+        self._waiting.setdefault(object_name, deque()).append(
+            (transaction_id, mode, event))
+        return event
+
+    def release_all(self, transaction_id: str) -> None:
+        """Release every lock held by ``transaction_id`` (commit/abort time)."""
+        self._wait_for.pop(transaction_id, None)
+        for object_name in list(self._granted):
+            granted = self._granted[object_name]
+            remaining = [(tid, mode) for tid, mode in granted
+                         if tid != transaction_id]
+            if len(remaining) != len(granted):
+                self._granted[object_name] = remaining
+                self._promote_waiters(object_name)
+        # Drop any still-queued requests from this transaction (it is gone).
+        for object_name, queue in self._waiting.items():
+            self._waiting[object_name] = deque(
+                (tid, mode, ev) for tid, mode, ev in queue
+                if tid != transaction_id)
+
+    def holders(self, object_name: str) -> List[Tuple[str, LockMode]]:
+        """Return the (transaction, mode) pairs currently holding the lock."""
+        return list(self._granted.get(object_name, ()))
+
+    def is_locked(self, object_name: str) -> bool:
+        """True if any transaction holds a lock on the object."""
+        return bool(self._granted.get(object_name))
+
+    # ------------------------------------------------------------------
+    def _compatible(self, granted: List[Tuple[str, LockMode]],
+                    transaction_id: str, mode: LockMode) -> bool:
+        for holder, held_mode in granted:
+            if holder == transaction_id:
+                continue
+            if mode is LockMode.EXCLUSIVE or held_mode is LockMode.EXCLUSIVE:
+                return False
+        return True
+
+    def _grant(self, object_name: str, transaction_id: str,
+               mode: LockMode) -> None:
+        granted = self._granted.setdefault(object_name, [])
+        # Lock upgrade: replace a shared grant with an exclusive one.
+        granted[:] = [(tid, held) for tid, held in granted
+                      if tid != transaction_id]
+        granted.append((transaction_id, mode))
+
+    def _promote_waiters(self, object_name: str) -> None:
+        queue = self._waiting.get(object_name)
+        if not queue:
+            return
+        granted = self._granted.setdefault(object_name, [])
+        while queue:
+            transaction_id, mode, event = queue[0]
+            if not self._compatible(granted, transaction_id, mode):
+                break
+            queue.popleft()
+            self._grant(object_name, transaction_id, mode)
+            self._wait_for.pop(transaction_id, None)
+            if event.callbacks is not None and not event.triggered:
+                event.succeed()
+
+    def _would_deadlock(self, requester: str, holders: Set[str]) -> bool:
+        """Detect whether waiting on ``holders`` closes a wait-for cycle."""
+        stack = list(holders)
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == requester:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._wait_for.get(current, ()))
+        return False

@@ -1,0 +1,114 @@
+"""Recovery helpers for external atomic objects.
+
+The paper distinguishes *forward* error recovery ("the appropriate exception
+handlers may well be able to lead them to new valid states") from *backward*
+error recovery (restoring prior states).  This module provides small,
+composable helpers that CA-action handlers use to express either strategy
+declaratively, plus a :class:`RecoveryPlan` that sequences them over several
+objects and reports whether a failure exception ``ƒ`` must be signalled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from .transaction import Transaction, TransactionStatus
+
+
+class RecoveryKind(Enum):
+    """The two recovery strategies of the paper plus "leave as is"."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    NONE = "none"
+
+
+@dataclass
+class RecoveryStep:
+    """One recovery action on one external object."""
+
+    object_name: str
+    kind: RecoveryKind
+    repair_function: Optional[Callable[[Dict], Dict]] = None
+
+    def validate(self) -> None:
+        if self.kind is RecoveryKind.FORWARD and self.repair_function is None:
+            raise ValueError(
+                f"forward recovery of {self.object_name} needs a repair function")
+
+
+@dataclass
+class RecoveryOutcome:
+    """Result of executing a recovery plan."""
+
+    succeeded: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every step succeeded (no ``ƒ`` needed)."""
+        return not self.failed
+
+
+class RecoveryPlan:
+    """An ordered list of recovery steps executed under one transaction.
+
+    Handlers build a plan describing, per external object, whether to repair
+    it forward or roll it back; :meth:`execute` runs the plan and reports
+    which objects could not be recovered.  The CA-action runtime maps an
+    incomplete outcome to the failure exception ``ƒ``.
+    """
+
+    def __init__(self, steps: Optional[List[RecoveryStep]] = None) -> None:
+        self.steps: List[RecoveryStep] = list(steps or [])
+
+    def repair(self, object_name: str,
+               repair_function: Callable[[Dict], Dict]) -> "RecoveryPlan":
+        """Add a forward-recovery step (fluent API)."""
+        self.steps.append(RecoveryStep(object_name, RecoveryKind.FORWARD,
+                                       repair_function))
+        return self
+
+    def rollback(self, object_name: str) -> "RecoveryPlan":
+        """Add a backward-recovery step (fluent API)."""
+        self.steps.append(RecoveryStep(object_name, RecoveryKind.BACKWARD))
+        return self
+
+    def leave(self, object_name: str) -> "RecoveryPlan":
+        """Explicitly record that an object needs no recovery."""
+        self.steps.append(RecoveryStep(object_name, RecoveryKind.NONE))
+        return self
+
+    def execute(self, transaction: Transaction) -> RecoveryOutcome:
+        """Run every step; never raises, always returns an outcome."""
+        outcome = RecoveryOutcome()
+        for step in self.steps:
+            step.validate()
+            try:
+                if step.kind is RecoveryKind.FORWARD:
+                    transaction.repair(step.object_name, step.repair_function)
+                elif step.kind is RecoveryKind.BACKWARD:
+                    transaction.manager.object(step.object_name).undo(
+                        transaction.transaction_id)
+                outcome.succeeded.append(step.object_name)
+            except Exception:
+                outcome.failed.append(step.object_name)
+        return outcome
+
+
+def outcome_to_interface_exception(transaction: Transaction) -> Optional[str]:
+    """Map a finished transaction's status to the exception to signal.
+
+    Returns ``None`` for a committed transaction, ``"mu"`` (µ, undone) for a
+    clean abort and ``"failure"`` (ƒ) when the undo was incomplete — the
+    special-exception vocabulary used throughout :mod:`repro.core`.
+    """
+    if transaction.status is TransactionStatus.COMMITTED:
+        return None
+    if transaction.status is TransactionStatus.ABORTED:
+        return "mu"
+    if transaction.status is TransactionStatus.FAILED_UNDO:
+        return "failure"
+    raise ValueError(f"transaction {transaction.transaction_id} is still active")

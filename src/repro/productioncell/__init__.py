@@ -1,0 +1,102 @@
+"""The production-cell case study (Section 4 of the paper).
+
+A Python plant simulator of the FZI production cell (feed belt, elevating
+rotary table, two-armed robot, press, deposit belt, traffic lights), a
+control program structured as nested CA actions with the exception graph of
+Figure 7, deterministic fault injection, and a facade
+(:class:`ProductionCell`) that runs production cycles and reports how the
+coordinated exception handling machinery dealt with the injected faults.
+"""
+
+from .cell import CellStatistics, ProductionCell
+from .controller import (
+    ARM1_FAULT,
+    DEPOSIT_FAULT,
+    GRAB_FAULT,
+    OPERATION_TIME,
+    PRESS_FAULT,
+    ProductionCellController,
+    THREADS,
+)
+from .devices import (
+    Blank,
+    DepositBelt,
+    Device,
+    FeedBelt,
+    Plant,
+    Press,
+    Robot,
+    RotaryTable,
+    TrafficLight,
+)
+from .exceptions import (
+    A1_SENSOR,
+    CS_FAULT,
+    DUAL_MOTOR_FAILURES,
+    L_MES,
+    L_PLATE_INT,
+    L_PLATE_SIGNAL,
+    MOVE_LOADED_TABLE_PRIMITIVES,
+    NCS_FAIL,
+    RM_NMOVE,
+    RM_STOP,
+    RT_EXC,
+    S_STUCK,
+    SENSOR_OR_LOST_PLATE,
+    T_SENSOR,
+    TABLE_AND_SENSOR_FAILURES,
+    TWO_UNRELATED,
+    VM_NMOVE,
+    VM_STOP,
+    build_move_loaded_table_graph,
+    build_table_press_robot_graph,
+    build_unload_table_graph,
+    exception_catalogue,
+)
+from .failures import FAULT_NAMES, FailureInjector, ScheduledFault
+
+__all__ = [
+    "A1_SENSOR",
+    "ARM1_FAULT",
+    "Blank",
+    "build_move_loaded_table_graph",
+    "build_table_press_robot_graph",
+    "build_unload_table_graph",
+    "CellStatistics",
+    "CS_FAULT",
+    "DepositBelt",
+    "DEPOSIT_FAULT",
+    "Device",
+    "DUAL_MOTOR_FAILURES",
+    "exception_catalogue",
+    "FailureInjector",
+    "FAULT_NAMES",
+    "FeedBelt",
+    "GRAB_FAULT",
+    "L_MES",
+    "L_PLATE_INT",
+    "L_PLATE_SIGNAL",
+    "MOVE_LOADED_TABLE_PRIMITIVES",
+    "NCS_FAIL",
+    "OPERATION_TIME",
+    "Plant",
+    "Press",
+    "PRESS_FAULT",
+    "ProductionCell",
+    "ProductionCellController",
+    "RM_NMOVE",
+    "RM_STOP",
+    "Robot",
+    "RotaryTable",
+    "RT_EXC",
+    "S_STUCK",
+    "ScheduledFault",
+    "SENSOR_OR_LOST_PLATE",
+    "T_SENSOR",
+    "TABLE_AND_SENSOR_FAILURES",
+    "THREADS",
+    "TrafficLight",
+    "TWO_UNRELATED",
+    "VM_NMOVE",
+    "VM_STOP",
+]

@@ -1,0 +1,175 @@
+"""The assembled production-cell case study: plant + controller + runtime.
+
+:class:`ProductionCell` wires everything together: it creates the simulated
+distributed system with the six controller threads of Figure 6, registers
+the nested CA-action definitions built by
+:class:`~repro.productioncell.controller.ProductionCellController`, and runs
+a configurable number of production cycles while the
+:class:`~repro.productioncell.failures.FailureInjector` injects device
+faults.  The resulting statistics (blanks forged, cycles skipped, exceptions
+resolved and signalled) are what the case-study benchmark and the example
+script report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..net.latency import ConstantLatency, LatencyModel
+from ..runtime.config import RuntimeConfig
+from ..runtime.report import ActionReport, ActionStatus
+from ..runtime.system import DistributedCASystem
+from .controller import OPERATION_TIME, ProductionCellController, THREADS
+from .devices import Blank, Plant
+from .failures import FailureInjector
+
+
+@dataclass
+class CellStatistics:
+    """Aggregate results of a production run."""
+
+    cycles_attempted: int = 0
+    cycles_succeeded: int = 0
+    cycles_recovered: int = 0
+    cycles_skipped: int = 0
+    cycles_failed: int = 0
+    blanks_forged: int = 0
+    exceptions_raised: int = 0
+    resolutions: int = 0
+    abortions: int = 0
+    signalled: Dict[str, int] = field(default_factory=dict)
+    handled_log: List[str] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def completed_cycles(self) -> int:
+        return self.cycles_succeeded + self.cycles_recovered
+
+
+class ProductionCell:
+    """Facade assembling plant, controller and the CA-action runtime.
+
+    Parameters
+    ----------
+    injector:
+        Optional pre-configured failure schedule.
+    message_latency:
+        Network latency between the controller nodes.
+    algorithm:
+        Resolution algorithm to use (all three are supported, so the case
+        study doubles as an integration test for the baselines).
+    resolution_time / abort_time:
+        The ``Treso`` / ``Tabo`` charges of the runtime.
+    """
+
+    def __init__(self, injector: Optional[FailureInjector] = None,
+                 message_latency: float = 0.01,
+                 algorithm: str = "ours",
+                 resolution_time: float = 0.05,
+                 abort_time: float = 0.05,
+                 latency_model: Optional[LatencyModel] = None) -> None:
+        self.injector = injector or FailureInjector()
+        self.plant = Plant(self.injector)
+        self.controller = ProductionCellController(self.plant)
+        config = RuntimeConfig(algorithm=algorithm,
+                               resolution_time=resolution_time,
+                               abort_time=abort_time)
+        self.system = DistributedCASystem(
+            config,
+            latency=latency_model or ConstantLatency(message_latency))
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        self.system.add_threads(THREADS)
+        self.system.create_object("cell_state",
+                                  {"last_cycle": "none", "forged": 0})
+        for definition in self.controller.all_actions():
+            self.system.define_action(definition)
+
+        self.system.bind("Table_Press_Robot", {
+            "table": "Table", "table_sensor": "TableSensor",
+            "robot": "Robot", "robot_sensor": "RobotSensor",
+            "press": "Press", "press_sensor": "PressSensor",
+        })
+        self.system.bind("Unload_Table", {
+            "table": "Table", "table_sensor": "TableSensor",
+            "robot": "Robot", "robot_sensor": "RobotSensor",
+        })
+        self.system.bind("Move_Loaded_Table", {
+            "table": "Table", "table_sensor": "TableSensor",
+        })
+        self.system.bind("Press_Plate", {
+            "robot": "Robot", "robot_sensor": "RobotSensor",
+            "press": "Press", "press_sensor": "PressSensor",
+        })
+
+    # ------------------------------------------------------------------
+    def run(self, cycles: int = 3) -> CellStatistics:
+        """Run ``cycles`` production cycles and return aggregate statistics."""
+        if cycles < 1:
+            raise ValueError("need at least one production cycle")
+        plant, injector = self.plant, self.injector
+        role_of_thread = {
+            "Table": "table", "TableSensor": "table_sensor",
+            "Robot": "robot", "RobotSensor": "robot_sensor",
+            "Press": "press", "PressSensor": "press_sensor",
+        }
+
+        def make_program(thread: str):
+            role = role_of_thread[thread]
+            is_feeder = thread == "Table"
+
+            def program(ctx):
+                reports: List[ActionReport] = []
+                for cycle in range(1, cycles + 1):
+                    if is_feeder:
+                        # The environment inserts a blank and the feed belt
+                        # conveys it to the table before the joint action.
+                        injector.begin_cycle(cycle)
+                        blank = Blank()
+                        plant.feed_belt.insert_blank(blank)
+                        yield ctx.delay(OPERATION_TIME)
+                        conveyed = plant.feed_belt.convey_to_table()
+                        if conveyed is not None:
+                            plant.table.load(conveyed)
+                    report = yield from ctx.perform_action(
+                        "Table_Press_Robot", role)
+                    reports.append(report)
+                    if is_feeder:
+                        plant.deposit_belt.convey_to_environment()
+                return reports
+            return program
+
+        for thread in THREADS:
+            self.system.spawn(thread, make_program(thread))
+        results = self.system.run_to_completion()
+        return self._collect_statistics(cycles, results)
+
+    # ------------------------------------------------------------------
+    def _collect_statistics(self, cycles: int, results: List) -> CellStatistics:
+        stats = CellStatistics(cycles_attempted=cycles)
+        table_reports = results[THREADS.index("Table")]
+        for report in table_reports:
+            if report.status is ActionStatus.SUCCESS:
+                stats.cycles_succeeded += 1
+            elif report.status is ActionStatus.RECOVERED:
+                stats.cycles_recovered += 1
+            elif report.status in (ActionStatus.UNDONE, ActionStatus.SIGNALLED):
+                stats.cycles_skipped += 1
+            else:
+                stats.cycles_failed += 1
+        stats.blanks_forged = self.plant.forged_count
+        metrics = self.system.metrics
+        stats.exceptions_raised = metrics.exceptions_raised
+        stats.resolutions = metrics.resolutions
+        stats.abortions = metrics.abortions
+        stats.signalled = dict(metrics.signalled)
+        stats.handled_log = list(self.controller.log.handled)
+        stats.total_time = self.system.now
+        return stats
+
+    def __repr__(self) -> str:
+        return (f"<ProductionCell algorithm={self.system.config.algorithm} "
+                f"faults={len(self.injector.pending_for_cycle(1))}>")

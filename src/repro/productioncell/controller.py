@@ -1,0 +1,426 @@
+"""The production-cell control program, structured as nested CA actions.
+
+Following Figure 6 of the paper, six execution threads — one per device
+controller or sensor reader (``Table``, ``TableSensor``, ``Robot``,
+``RobotSensor``, ``Press``, ``PressSensor``) — cooperate inside the
+outermost ``Table_Press_Robot`` CA action.  Within it:
+
+* ``Unload_Table`` (table, table sensor, robot, robot sensor) gets the blank
+  off the table and onto arm 1; it contains the further-nested
+  ``Move_Loaded_Table`` (table, table sensor), whose exception graph is the
+  paper's Figure 7;
+* ``Press_Plate`` (robot, robot sensor, press, press sensor) forges the
+  blank and moves the forged plate to the deposit belt.
+
+Device faults injected by the
+:class:`~repro.productioncell.failures.FailureInjector` surface as internal
+exceptions of the innermost action in which they are detected; handlers
+perform forward recovery (retries, recalibration) where possible and
+otherwise signal interface exceptions (``L_PLATE``, ``NCS_FAIL``,
+``T_SENSOR``, ``A1_SENSOR``, µ, ƒ) to the enclosing action, exactly as the
+case-study section of the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.action import CAActionDefinition, RoleDefinition
+from ..core.exceptions import FAILURE, UNDO, internal
+from ..core.handlers import HandlerMap, HandlerResult
+from .devices import Plant
+from .exceptions import (
+    A1_SENSOR,
+    CS_FAULT,
+    DUAL_MOTOR_FAILURES,
+    L_PLATE_INT,
+    L_PLATE_SIGNAL,
+    MOVE_LOADED_TABLE_PRIMITIVES,
+    NCS_FAIL,
+    RM_NMOVE,
+    RM_STOP,
+    S_STUCK,
+    SENSOR_OR_LOST_PLATE,
+    T_SENSOR,
+    TABLE_AND_SENSOR_FAILURES,
+    TWO_UNRELATED,
+    VM_NMOVE,
+    VM_STOP,
+    build_move_loaded_table_graph,
+    build_table_press_robot_graph,
+    build_unload_table_graph,
+)
+
+#: Thread names of the six device controllers / sensor readers (Figure 6).
+THREADS = ("Table", "TableSensor", "Robot", "RobotSensor", "Press",
+           "PressSensor")
+
+#: Virtual time taken by one elementary device operation.
+OPERATION_TIME = 0.05
+
+# Additional internal exceptions of the enclosing actions.
+ARM1_FAULT = internal("arm1_fault", "arm_1 positioning fault")
+GRAB_FAULT = internal("grab_fault", "magnet failed to grab the plate")
+PRESS_FAULT = internal("press_fault", "press failed to forge")
+DEPOSIT_FAULT = internal("deposit_fault", "deposit-stage fault")
+
+
+@dataclass
+class CycleLog:
+    """Per-run log kept by the controller (inspected by tests/benchmarks)."""
+
+    handled: List[str] = field(default_factory=list)
+    signalled: List[str] = field(default_factory=list)
+    skipped_cycles: int = 0
+    recovered_cycles: int = 0
+
+
+class ProductionCellController:
+    """Builds the CA-action definitions operating a given plant."""
+
+    def __init__(self, plant: Plant) -> None:
+        self.plant = plant
+        self.log = CycleLog()
+
+    # ==================================================================
+    # Move_Loaded_Table: turn the table and move it up to the robot
+    # ==================================================================
+    def _move_loaded_table_roles(self) -> List[RoleDefinition]:
+        plant, log = self.plant, self.log
+
+        def table_role(ctx):
+            yield ctx.delay(OPERATION_TIME)
+            if not plant.table.move_up():
+                ctx.raise_exception(VM_STOP)
+            yield ctx.delay(OPERATION_TIME)
+            if not plant.table.rotate_to_robot():
+                ctx.raise_exception(RM_STOP)
+            return "table-in-position"
+
+        def sensor_role(ctx):
+            yield ctx.delay(2 * OPERATION_TIME)
+            readings = plant.table.read_position_sensors()
+            if readings["height"] == 0 and plant.table.height != 0:
+                ctx.raise_exception(S_STUCK)
+            return readings
+
+        def retry_motor_handler(ctx):
+            """Forward recovery: retry the failed motor operation once."""
+            yield ctx.delay(OPERATION_TIME)
+            if plant.table.move_up() and plant.table.rotate_to_robot():
+                log.handled.append("motor-retry-ok")
+                return HandlerResult.success()
+            log.handled.append("motor-retry-failed")
+            return HandlerResult.signal(NCS_FAIL)
+
+        def dual_motor_handler(ctx):
+            """Both motors failed: the table cannot be positioned; undo."""
+            log.handled.append("dual-motor-abort")
+            return HandlerResult.abort()
+
+        def sensor_handler(ctx):
+            """Recalibrate the stuck sensor and carry on."""
+            yield ctx.delay(OPERATION_TIME)
+            plant.table.vertical_sensor_ok = True
+            log.handled.append("sensor-recalibrated")
+            return HandlerResult.success()
+
+        def lost_plate_handler(ctx):
+            log.handled.append("lost-plate")
+            return HandlerResult.signal(L_PLATE_SIGNAL)
+
+        def universal_handler(ctx):
+            log.handled.append("universal")
+            return HandlerResult.failed("unresolvable fault combination")
+
+        graph = build_move_loaded_table_graph()
+        table_handlers = HandlerMap({
+            VM_STOP: retry_motor_handler, VM_NMOVE: retry_motor_handler,
+            RM_STOP: retry_motor_handler, RM_NMOVE: retry_motor_handler,
+            DUAL_MOTOR_FAILURES: dual_motor_handler,
+            TABLE_AND_SENSOR_FAILURES: dual_motor_handler,
+            S_STUCK: sensor_handler,
+            SENSOR_OR_LOST_PLATE: lost_plate_handler,
+            L_PLATE_INT: lost_plate_handler,
+            TWO_UNRELATED: universal_handler,
+        }, default_handler=universal_handler)
+        sensor_handlers = HandlerMap({
+            S_STUCK: sensor_handler,
+            SENSOR_OR_LOST_PLATE: lost_plate_handler,
+        }, default_handler=self._acknowledge_handler("MLT-sensor"))
+
+        return [RoleDefinition("table", table_role, table_handlers),
+                RoleDefinition("table_sensor", sensor_role, sensor_handlers)]
+
+    def move_loaded_table_action(self) -> CAActionDefinition:
+        """The Move_Loaded_Table nested action (Figure 7 graph)."""
+        return CAActionDefinition(
+            "Move_Loaded_Table",
+            self._move_loaded_table_roles(),
+            internal_exceptions=list(MOVE_LOADED_TABLE_PRIMITIVES) + [
+                DUAL_MOTOR_FAILURES, TABLE_AND_SENSOR_FAILURES,
+                SENSOR_OR_LOST_PLATE, TWO_UNRELATED],
+            interface_exceptions=[L_PLATE_SIGNAL, NCS_FAIL],
+            graph=build_move_loaded_table_graph(),
+            parent="Unload_Table")
+
+    # ==================================================================
+    # Unload_Table: position the table, grab the blank with arm 1
+    # ==================================================================
+    def _unload_table_roles(self) -> List[RoleDefinition]:
+        plant, log = self.plant, self.log
+
+        def table_role(ctx):
+            report = yield from ctx.perform_nested("Move_Loaded_Table", "table")
+            ctx.send("robot", "table_ready", report.status.value)
+            return "table-ready"
+
+        def table_sensor_role(ctx):
+            yield from ctx.perform_nested("Move_Loaded_Table", "table_sensor")
+            return "table-sensor-done"
+
+        def robot_role(ctx):
+            yield ctx.receive("table_ready")
+            yield ctx.delay(OPERATION_TIME)
+            if not plant.robot.extend_arm1():
+                ctx.raise_exception(ARM1_FAULT)
+            yield ctx.delay(OPERATION_TIME)
+            if not plant.robot.grab_from_table(plant.table):
+                ctx.raise_exception(GRAB_FAULT)
+            yield ctx.delay(OPERATION_TIME)
+            plant.robot.retract_arm1()
+            return "blank-on-arm1"
+
+        def robot_sensor_role(ctx):
+            yield ctx.delay(OPERATION_TIME)
+            if not plant.robot.arm1_sensor_ok:
+                ctx.raise_exception(ARM1_FAULT)
+            return "arm1-sensor-ok"
+
+        def lost_plate_handler(ctx):
+            """The blank is gone: undo the unload stage for this cycle."""
+            log.handled.append("unload-lost-plate")
+            return HandlerResult.abort()
+
+        def ncs_handler(ctx):
+            """Sensors are degraded but the blank made it: note and continue."""
+            log.handled.append("unload-ncs")
+            return HandlerResult.signal(T_SENSOR)
+
+        def arm_handler(ctx):
+            yield ctx.delay(OPERATION_TIME)
+            if plant.robot.grab_from_table(plant.table) or \
+                    plant.robot.arm1_load is not None:
+                log.handled.append("arm-retry-ok")
+                return HandlerResult.success()
+            log.handled.append("arm-retry-failed")
+            return HandlerResult.signal(A1_SENSOR)
+
+        def universal_handler(ctx):
+            log.handled.append("unload-universal")
+            return HandlerResult.abort()
+
+        handlers = lambda: HandlerMap({
+            L_PLATE_SIGNAL: lost_plate_handler,
+            NCS_FAIL: ncs_handler,
+            ARM1_FAULT: arm_handler,
+            GRAB_FAULT: arm_handler,
+            UNDO: lost_plate_handler,
+            FAILURE: universal_handler,
+        }, default_handler=universal_handler)
+
+        return [RoleDefinition("table", table_role, handlers()),
+                RoleDefinition("table_sensor", table_sensor_role, handlers()),
+                RoleDefinition("robot", robot_role, handlers()),
+                RoleDefinition("robot_sensor", robot_sensor_role, handlers())]
+
+    def unload_table_action(self) -> CAActionDefinition:
+        """The Unload_Table nested action."""
+        return CAActionDefinition(
+            "Unload_Table",
+            self._unload_table_roles(),
+            internal_exceptions=[L_PLATE_SIGNAL, NCS_FAIL, ARM1_FAULT,
+                                 GRAB_FAULT, UNDO, FAILURE],
+            interface_exceptions=[T_SENSOR, A1_SENSOR],
+            graph=build_unload_table_graph(),
+            parent="Table_Press_Robot")
+
+    # ==================================================================
+    # Press_Plate: forge the blank and move it to the deposit belt
+    # ==================================================================
+    def _press_plate_roles(self) -> List[RoleDefinition]:
+        plant, log = self.plant, self.log
+
+        def robot_role(ctx):
+            yield ctx.delay(OPERATION_TIME)
+            if not plant.robot.rotate_to_press():
+                ctx.raise_exception(PRESS_FAULT)
+            if not plant.robot.place_in_press(plant.press):
+                ctx.raise_exception(L_PLATE_INT)
+            ctx.send("press", "plate_loaded", True)
+            yield ctx.receive("forged")
+            yield ctx.delay(OPERATION_TIME)
+            plant.robot.extend_arm2()
+            if not plant.robot.grab_from_press(plant.press):
+                ctx.raise_exception(PRESS_FAULT)
+            plant.robot.retract_arm2()
+            if not plant.robot.place_on_deposit(plant.deposit_belt):
+                ctx.raise_exception(DEPOSIT_FAULT)
+            return "plate-on-deposit"
+
+        def robot_sensor_role(ctx):
+            yield ctx.delay(OPERATION_TIME)
+            return "robot-sensor-ok"
+
+        def press_role(ctx):
+            yield ctx.receive("plate_loaded")
+            yield ctx.delay(2 * OPERATION_TIME)
+            if not plant.press.forge():
+                ctx.raise_exception(PRESS_FAULT)
+            ctx.send("robot", "forged", True)
+            return "forged"
+
+        def press_sensor_role(ctx):
+            yield ctx.delay(OPERATION_TIME)
+            return "press-sensor-ok"
+
+        def press_retry_handler(ctx):
+            yield ctx.delay(OPERATION_TIME)
+            if plant.press.occupied and plant.press.forge():
+                log.handled.append("press-retry-ok")
+                # The robot still needs the "forged" notification to proceed,
+                # but under the termination model the action completes from
+                # the handlers, so simply report success.
+                return HandlerResult.success()
+            log.handled.append("press-failed")
+            return HandlerResult.signal(PRESS_FAULT)
+
+        def lost_plate_handler(ctx):
+            log.handled.append("press-lost-plate")
+            return HandlerResult.abort()
+
+        def universal_handler(ctx):
+            log.handled.append("press-universal")
+            return HandlerResult.abort()
+
+        handlers = lambda: HandlerMap({
+            PRESS_FAULT: press_retry_handler,
+            L_PLATE_INT: lost_plate_handler,
+            DEPOSIT_FAULT: universal_handler,
+        }, default_handler=universal_handler)
+
+        return [RoleDefinition("robot", robot_role, handlers()),
+                RoleDefinition("robot_sensor", robot_sensor_role, handlers()),
+                RoleDefinition("press", press_role, handlers()),
+                RoleDefinition("press_sensor", press_sensor_role, handlers())]
+
+    def press_plate_action(self) -> CAActionDefinition:
+        """The Press_Plate nested action."""
+        from ..core.exception_graph import ExceptionGraph
+        graph = ExceptionGraph("Press_Plate")
+        graph.declare_hierarchy(
+            internal("press_stage_failures", "multiple press-stage faults"),
+            [PRESS_FAULT, L_PLATE_INT, DEPOSIT_FAULT])
+        return CAActionDefinition(
+            "Press_Plate",
+            self._press_plate_roles(),
+            internal_exceptions=[PRESS_FAULT, L_PLATE_INT, DEPOSIT_FAULT],
+            interface_exceptions=[PRESS_FAULT, DEPOSIT_FAULT],
+            graph=graph,
+            parent="Table_Press_Robot")
+
+    # ==================================================================
+    # Table_Press_Robot: the outermost action of one production cycle
+    # ==================================================================
+    def _table_press_robot_roles(self) -> List[RoleDefinition]:
+        plant, log = self.plant, self.log
+
+        def table_role(ctx):
+            yield from ctx.perform_nested("Unload_Table", "table")
+            yield ctx.delay(OPERATION_TIME)
+            plant.table.move_down()
+            plant.table.rotate_to_feed()
+            return "table-cycle-done"
+
+        def table_sensor_role(ctx):
+            yield from ctx.perform_nested("Unload_Table", "table_sensor")
+            return "table-sensor-cycle-done"
+
+        def robot_role(ctx):
+            yield from ctx.perform_nested("Unload_Table", "robot")
+            report = yield from ctx.perform_nested("Press_Plate", "robot")
+            ctx.write("cell_state", "last_cycle", report.status.value)
+            return "robot-cycle-done"
+
+        def robot_sensor_role(ctx):
+            yield from ctx.perform_nested("Unload_Table", "robot_sensor")
+            yield from ctx.perform_nested("Press_Plate", "robot_sensor")
+            return "robot-sensor-cycle-done"
+
+        def press_role(ctx):
+            report = yield from ctx.perform_nested("Press_Plate", "press")
+            return report.status.value
+
+        def press_sensor_role(ctx):
+            yield from ctx.perform_nested("Press_Plate", "press_sensor")
+            return "press-sensor-cycle-done"
+
+        def degraded_handler(ctx):
+            """Non-critical sensor failures: continue in degraded mode."""
+            log.handled.append("cycle-degraded")
+            log.recovered_cycles += 1
+            return HandlerResult.success()
+
+        def skip_cycle_handler(ctx):
+            """The blank was lost or the cycle undone: skip this blank."""
+            log.handled.append("cycle-skipped")
+            log.skipped_cycles += 1
+            yield ctx.delay(OPERATION_TIME)
+            return HandlerResult.success()
+
+        def fail_handler(ctx):
+            log.handled.append("cycle-failed")
+            return HandlerResult.failed("production cycle cannot continue")
+
+        handlers = lambda: HandlerMap({
+            T_SENSOR: degraded_handler,
+            A1_SENSOR: degraded_handler,
+            PRESS_FAULT: skip_cycle_handler,
+            DEPOSIT_FAULT: skip_cycle_handler,
+            UNDO: skip_cycle_handler,
+            FAILURE: fail_handler,
+        }, default_handler=skip_cycle_handler)
+
+        return [RoleDefinition("table", table_role, handlers()),
+                RoleDefinition("table_sensor", table_sensor_role, handlers()),
+                RoleDefinition("robot", robot_role, handlers()),
+                RoleDefinition("robot_sensor", robot_sensor_role, handlers()),
+                RoleDefinition("press", press_role, handlers()),
+                RoleDefinition("press_sensor", press_sensor_role, handlers())]
+
+    def table_press_robot_action(self) -> CAActionDefinition:
+        """The outermost Table_Press_Robot action."""
+        return CAActionDefinition(
+            "Table_Press_Robot",
+            self._table_press_robot_roles(),
+            internal_exceptions=[T_SENSOR, A1_SENSOR, PRESS_FAULT,
+                                 DEPOSIT_FAULT, UNDO, FAILURE],
+            graph=build_table_press_robot_graph(),
+            external_objects=["cell_state"])
+
+    # ==================================================================
+    def all_actions(self) -> List[CAActionDefinition]:
+        """Every action definition of the control program (outermost first)."""
+        return [self.table_press_robot_action(),
+                self.unload_table_action(),
+                self.move_loaded_table_action(),
+                self.press_plate_action()]
+
+    def _acknowledge_handler(self, label: str):
+        log = self.log
+
+        def handler(ctx):
+            log.handled.append(f"{label}-ack")
+            return HandlerResult.success()
+        return handler

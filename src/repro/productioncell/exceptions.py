@@ -1,0 +1,118 @@
+"""Exceptions and exception graphs of the production-cell case study.
+
+Figure 7 of the paper gives the exception graph of the
+``Move_Loaded_Table`` action: nine primitive exceptions at level 0, four
+resolving exceptions (``dual_motor_failures``, ``table&sensor failures``,
+``sensor failure or/and lost plate``, ``two unrelated exceptions``) and the
+universal exception on top.  Only pairs of concurrent exceptions are
+resolved; three or more concurrent exceptions (and undeclared ones) resolve
+to the universal exception.
+
+The interface exceptions of the nested actions follow Section 4:
+``Move_Loaded_Table`` may signal ``L_PLATE``, ``NCS_FAIL``, µ or ƒ to
+``Unload_Table``; ``Unload_Table`` may signal ``T_SENSOR`` and ``A1_SENSOR``
+(plus µ/ƒ) to ``Table_Press_Robot``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.exception_graph import ExceptionGraph
+from ..core.exceptions import ExceptionDescriptor, interface, internal
+
+# ----------------------------------------------------------------------
+# Primitive (internal) exceptions of Move_Loaded_Table (Figure 7, level 0)
+# ----------------------------------------------------------------------
+VM_STOP = internal("vm_stop", "vertical table motor stops unexpectedly")
+RM_STOP = internal("rm_stop", "rotation table motor stops unexpectedly")
+VM_NMOVE = internal("vm_nmove", "vertical motor can't move")
+RM_NMOVE = internal("rm_nmove", "rotation motor can't move")
+S_STUCK = internal("s_stuck", "sensor(s) stuck at 0")
+L_PLATE_INT = internal("l_plate", "lost plate")
+CS_FAULT = internal("cs_fault", "control software fault(s)")
+L_MES = internal("l_mes", "lost or corrupted message")
+RT_EXC = internal("rt_exc", "run-time exception (underflow/overflow)")
+
+MOVE_LOADED_TABLE_PRIMITIVES: List[ExceptionDescriptor] = [
+    VM_STOP, RM_STOP, VM_NMOVE, RM_NMOVE, S_STUCK, L_PLATE_INT,
+    CS_FAULT, L_MES, RT_EXC,
+]
+
+# ----------------------------------------------------------------------
+# Resolving exceptions of Move_Loaded_Table (Figure 7, level 1)
+# ----------------------------------------------------------------------
+DUAL_MOTOR_FAILURES = internal("dual_motor_failures",
+                               "both table motors fail concurrently")
+TABLE_AND_SENSOR_FAILURES = internal("table_and_sensor_failures",
+                                     "motor and sensor fail concurrently")
+SENSOR_OR_LOST_PLATE = internal("sensor_or_lost_plate",
+                                "sensor failure and/or lost plate")
+TWO_UNRELATED = internal("two_unrelated_exceptions",
+                         "two unrelated exceptions raised concurrently")
+
+# ----------------------------------------------------------------------
+# Interface exceptions signalled between the nested actions (Section 4)
+# ----------------------------------------------------------------------
+L_PLATE_SIGNAL = interface("L_PLATE", "lost plate (signalled)")
+NCS_FAIL = interface("NCS_FAIL", "non-critical sensor failure (signalled)")
+T_SENSOR = interface("T_SENSOR", "non-critical table sensor failure")
+A1_SENSOR = interface("A1_SENSOR", "one of arm_1's sensors failed")
+
+
+def build_move_loaded_table_graph() -> ExceptionGraph:
+    """Build the Figure 7 exception graph for the Move_Loaded_Table action."""
+    graph = ExceptionGraph("Move_Loaded_Table")
+    motor_faults = [VM_STOP, RM_STOP, VM_NMOVE, RM_NMOVE]
+    graph.declare_hierarchy(DUAL_MOTOR_FAILURES, motor_faults)
+    graph.declare_hierarchy(TABLE_AND_SENSOR_FAILURES, motor_faults + [S_STUCK])
+    graph.declare_hierarchy(SENSOR_OR_LOST_PLATE, [S_STUCK, L_PLATE_INT])
+    graph.declare_hierarchy(TWO_UNRELATED, [CS_FAULT, L_MES, RT_EXC])
+    graph.validate()
+    return graph
+
+
+def build_unload_table_graph() -> ExceptionGraph:
+    """Exception graph of the Unload_Table action.
+
+    Its internal exceptions include everything its nested actions may
+    signal (``ε_nested ⊆ e_enclosing``): the plain interface exceptions of
+    ``Move_Loaded_Table`` plus its own operational faults, structured "in
+    the form similar to the graph of Figure 7".
+    """
+    graph = ExceptionGraph("Unload_Table")
+    arm_fault = internal("arm1_fault", "arm_1 positioning fault")
+    grab_fault = internal("grab_fault", "magnet failed to grab the plate")
+    arm_and_table = internal("arm_and_table_failures",
+                             "arm and table faults concurrently")
+    graph.declare_hierarchy(arm_and_table,
+                            [arm_fault, grab_fault,
+                             L_PLATE_SIGNAL, NCS_FAIL])
+    graph.add_exception(internal("unload_unrelated",
+                                 "unrelated unload-stage exceptions"))
+    graph.validate()
+    return graph
+
+
+def build_table_press_robot_graph() -> ExceptionGraph:
+    """Exception graph of the outermost Table_Press_Robot action."""
+    graph = ExceptionGraph("Table_Press_Robot")
+    press_fault = internal("press_fault", "press failed to forge")
+    deposit_fault = internal("deposit_fault", "deposit-stage fault")
+    cell_degraded = internal("cell_degraded",
+                             "multiple device-level failures in one cycle")
+    graph.declare_hierarchy(cell_degraded,
+                            [T_SENSOR, A1_SENSOR, press_fault, deposit_fault])
+    graph.validate()
+    return graph
+
+
+def exception_catalogue() -> Dict[str, ExceptionDescriptor]:
+    """All named case-study exceptions, keyed by name (for tests and docs)."""
+    catalogue = {}
+    for descriptor in MOVE_LOADED_TABLE_PRIMITIVES + [
+            DUAL_MOTOR_FAILURES, TABLE_AND_SENSOR_FAILURES,
+            SENSOR_OR_LOST_PLATE, TWO_UNRELATED,
+            L_PLATE_SIGNAL, NCS_FAIL, T_SENSOR, A1_SENSOR]:
+        catalogue[descriptor.name] = descriptor
+    return catalogue

@@ -1,0 +1,123 @@
+"""Failure injection for the production-cell plant.
+
+Section 4 of the paper lists the internal exceptions of the
+``Move_Loaded_Table`` action: ``vm_stop`` (vertical table motor stops
+unexpectedly), ``rm_stop`` (rotation motor stops), ``vm_nmove`` (vertical
+motor can't move), ``rm_nmove`` (rotation motor can't move), ``s_stuck``
+(sensor stuck at 0), ``l_plate`` (lost plate), ``cs_fault`` (control
+software fault), ``l_mes`` (lost or corrupted message) and ``rt_exc``
+(run-time exceptions).
+
+The :class:`FailureInjector` decides, per production cycle and per device
+operation, which of these physical/logical faults manifest.  Injection is
+fully deterministic: failures are scheduled by (cycle, fault name), so every
+test and benchmark run reproduces the same fault pattern.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+#: The canonical fault names of the case study.
+FAULT_NAMES = (
+    "vm_stop", "rm_stop", "vm_nmove", "rm_nmove",
+    "s_stuck", "l_plate", "cs_fault", "l_mes", "rt_exc",
+)
+
+
+@dataclass
+class ScheduledFault:
+    """A fault scheduled for a specific production cycle.
+
+    ``device`` optionally narrows the fault to one device; ``persistent``
+    faults keep firing until explicitly cleared (non-persistent faults fire
+    once and disappear, modelling transient faults).
+    """
+
+    cycle: int
+    fault: str
+    device: Optional[str] = None
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_NAMES:
+            raise ValueError(f"unknown fault {self.fault!r}; "
+                             f"expected one of {FAULT_NAMES}")
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+
+
+class FailureInjector:
+    """Deterministic schedule of plant faults, queried by the devices."""
+
+    def __init__(self, faults: Optional[Iterable[ScheduledFault]] = None) -> None:
+        self._scheduled: List[ScheduledFault] = list(faults or [])
+        self._cleared: Set[int] = set()
+        self.current_cycle = 0
+        self.fired: List[Tuple[int, str, Optional[str]]] = []
+
+    # ------------------------------------------------------------------
+    # Schedule construction
+    # ------------------------------------------------------------------
+    def schedule(self, cycle: int, fault: str, device: Optional[str] = None,
+                 persistent: bool = False) -> "FailureInjector":
+        """Add one fault to the schedule (fluent API)."""
+        self._scheduled.append(ScheduledFault(cycle, fault, device, persistent))
+        return self
+
+    def schedule_many(self, faults: Iterable[Tuple[int, str]]) -> "FailureInjector":
+        """Add (cycle, fault) pairs in bulk."""
+        for cycle, fault in faults:
+            self.schedule(cycle, fault)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries made by devices / the controller
+    # ------------------------------------------------------------------
+    def begin_cycle(self, cycle: int) -> None:
+        """Advance to a new production cycle."""
+        self.current_cycle = cycle
+
+    def should_fail(self, fault: str, device: Optional[str] = None) -> bool:
+        """True if ``fault`` (optionally scoped to ``device``) fires now.
+
+        Non-persistent faults are consumed by the query that observes them.
+        """
+        for index, scheduled in enumerate(self._scheduled):
+            if index in self._cleared:
+                continue
+            if scheduled.cycle != self.current_cycle:
+                continue
+            if scheduled.fault != fault:
+                continue
+            if scheduled.device is not None and device is not None \
+                    and scheduled.device != device:
+                continue
+            self.fired.append((self.current_cycle, fault, device))
+            if not scheduled.persistent:
+                self._cleared.add(index)
+            return True
+        return False
+
+    def pending_for_cycle(self, cycle: int) -> List[ScheduledFault]:
+        """Faults scheduled (and not yet consumed) for ``cycle``."""
+        return [scheduled for index, scheduled in enumerate(self._scheduled)
+                if scheduled.cycle == cycle and index not in self._cleared]
+
+    def clear_all(self) -> None:
+        """Remove every remaining scheduled fault."""
+        self._cleared.update(range(len(self._scheduled)))
+
+    def summary(self) -> Dict[str, int]:
+        """Count of fired faults by name."""
+        counts: Dict[str, int] = defaultdict(int)
+        for _cycle, fault, _device in self.fired:
+            counts[fault] += 1
+        return dict(counts)
+
+    def __repr__(self) -> str:
+        return (f"<FailureInjector scheduled={len(self._scheduled)} "
+                f"fired={len(self.fired)}>")

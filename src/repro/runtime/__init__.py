@@ -1,0 +1,28 @@
+"""Distributed CA-action runtime (the paper's prototype architecture, Figure 8).
+
+Each participating thread runs on its own node with a copy of the run-time
+system; the runtime provides nested action entry/exit, raising and
+signalling of exceptions, abortion of nested actions, handler dispatch, and
+the coordination protocols of :mod:`repro.core` executed over the simulated
+network of :mod:`repro.net`.
+"""
+
+from .config import ALGORITHMS, RuntimeConfig
+from .context import ProgramContext, RoleContext
+from .partition import ActionFrame, Partition, PendingAbort
+from .report import ActionReport, ActionStatus
+from .system import DistributedCASystem, SystemConfigurationError
+
+__all__ = [
+    "ActionFrame",
+    "ActionReport",
+    "ActionStatus",
+    "ALGORITHMS",
+    "DistributedCASystem",
+    "Partition",
+    "PendingAbort",
+    "ProgramContext",
+    "RoleContext",
+    "RuntimeConfig",
+    "SystemConfigurationError",
+]

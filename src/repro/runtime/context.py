@@ -1,0 +1,147 @@
+"""Execution contexts handed to user code (programs, role bodies, handlers).
+
+Two context classes exist:
+
+* :class:`ProgramContext` — given to a top-level program running on a
+  thread; it can perform (outermost) CA actions and let time pass.
+* :class:`RoleContext` — given to a role body or handler while it executes
+  inside a CA action; it adds intra-action cooperation (send/receive),
+  access to the external objects through the action's transaction, raising
+  internal exceptions, and entering nested actions.
+
+Both are thin facades over the :class:`~repro.runtime.partition.Partition`,
+so that user code never needs to touch runtime internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from ..core.exceptions import ExceptionDescriptor, RaisedException
+from ..objects.transaction import Transaction
+from .report import ActionReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .partition import ActionFrame, Partition
+
+
+class ProgramContext:
+    """Context for top-level programs executing on one thread (partition)."""
+
+    def __init__(self, partition: "Partition") -> None:
+        self._partition = partition
+
+    @property
+    def thread_id(self) -> str:
+        """Name of the thread (and of its node) this program runs on."""
+        return self._partition.name
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._partition.kernel.now
+
+    def delay(self, duration: float):
+        """Yieldable event: let ``duration`` units of virtual time pass."""
+        return self._partition.kernel.timeout(duration)
+
+    def perform_action(self, action: str, role: str) -> Generator:
+        """Perform (the thread's role of) a top-level CA action.
+
+        Use as ``report = yield from ctx.perform_action("A", role="r1")``.
+        Returns an :class:`~repro.runtime.report.ActionReport`.
+        """
+        return self._partition.execute_action(action, role)
+
+    def __repr__(self) -> str:
+        return f"<ProgramContext {self.thread_id}>"
+
+
+class RoleContext(ProgramContext):
+    """Context for a role body (or exception handler) inside a CA action."""
+
+    def __init__(self, partition: "Partition", frame: "ActionFrame") -> None:
+        super().__init__(partition)
+        self._frame = frame
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def action(self) -> str:
+        """Name of the CA action this role is participating in."""
+        return self._frame.action
+
+    @property
+    def role(self) -> str:
+        """Name of the role this thread performs in the action."""
+        return self._frame.role
+
+    @property
+    def resolved_exception(self) -> Optional[ExceptionDescriptor]:
+        """The resolving exception being handled (None during the primary attempt)."""
+        return self._frame.resolved
+
+    @property
+    def transaction(self) -> Transaction:
+        """The action instance's transaction on external atomic objects."""
+        return self._frame.transaction
+
+    # ------------------------------------------------------------------
+    # External objects (convenience wrappers over the transaction)
+    # ------------------------------------------------------------------
+    def read(self, object_name: str, key: str) -> Any:
+        """Transactionally read a field of an external atomic object."""
+        return self._frame.transaction.read(object_name, key)
+
+    def write(self, object_name: str, key: str, value: Any) -> None:
+        """Transactionally write a field of an external atomic object."""
+        self._frame.transaction.write(object_name, key, value)
+
+    def repair(self, object_name: str, repair_function) -> None:
+        """Forward-recover an external object (typically from a handler)."""
+        self._frame.transaction.repair(object_name, repair_function)
+
+    # ------------------------------------------------------------------
+    # Exceptions
+    # ------------------------------------------------------------------
+    def raise_exception(self, exception: ExceptionDescriptor,
+                        **detail: Any) -> None:
+        """Raise an internal exception of the action.
+
+        This never returns: under the termination model the primary attempt
+        is abandoned and control will transfer to the appropriate handler
+        once the concurrently raised exceptions have been resolved.
+        """
+        raise RaisedException(exception, detail)
+
+    # ------------------------------------------------------------------
+    # Cooperation between roles
+    # ------------------------------------------------------------------
+    def send(self, role: str, tag: str, body: Any = None) -> None:
+        """Send a cooperation message to another role of the same action."""
+        self._partition.send_application_message(self._frame, role, tag, body)
+
+    def receive(self, tag: str):
+        """Yieldable event: receive the next cooperation message with ``tag``.
+
+        Use as ``value = yield ctx.receive("ready")``.
+        """
+        return self._partition.receive_application_message(self._frame, tag)
+
+    # ------------------------------------------------------------------
+    # Nesting
+    # ------------------------------------------------------------------
+    def perform_nested(self, action: str, role: str) -> Generator:
+        """Enter a nested CA action from within this role.
+
+        Use as ``report = yield from ctx.perform_nested("B", role="r2")``.
+        If the nested action signals an interface exception ε to this
+        context, ε is automatically raised here as an internal exception of
+        the enclosing action (the model treats signalled exceptions "as if
+        they are concurrently raised in the enclosing action").
+        """
+        return self._partition.execute_nested(self._frame, action, role)
+
+    def __repr__(self) -> str:
+        return f"<RoleContext {self.thread_id} {self.action}/{self.role}>"

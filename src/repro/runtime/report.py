@@ -1,0 +1,54 @@
+"""Outcome reports returned by action execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..core.exceptions import ExceptionDescriptor, NO_EXCEPTION
+
+
+class ActionStatus(Enum):
+    """How one thread's participation in an action instance ended."""
+
+    SUCCESS = "success"                # normal exit, no exception handled
+    RECOVERED = "recovered"            # exception handled, exited normally
+    SIGNALLED = "signalled"            # an interface exception ε was signalled
+    UNDONE = "undone"                  # the action aborted and signalled µ
+    FAILED = "failed"                  # the action aborted and signalled ƒ
+    ABORTED_BY_ENCLOSING = "aborted"   # aborted because of the enclosing action
+
+
+@dataclass
+class ActionReport:
+    """Per-thread summary of one executed action instance.
+
+    ``signalled`` is the interface exception this thread signalled to the
+    enclosing context (φ when nothing was signalled).
+    """
+
+    action: str
+    role: str
+    thread: str
+    status: ActionStatus
+    signalled: ExceptionDescriptor = NO_EXCEPTION
+    resolved: Optional[ExceptionDescriptor] = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    result: object = None
+
+    @property
+    def ok(self) -> bool:
+        """True if the action completed without signalling anything."""
+        return self.status in (ActionStatus.SUCCESS, ActionStatus.RECOVERED)
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:
+        extra = f" signalled={self.signalled.name}" \
+            if self.signalled != NO_EXCEPTION else ""
+        return (f"<ActionReport {self.action}/{self.role}@{self.thread} "
+                f"{self.status.value}{extra}>")

@@ -1,0 +1,156 @@
+"""The distributed CA-action system: kernel, network, partitions, registry.
+
+:class:`DistributedCASystem` is the main entry point of the library.  A
+typical use (see ``examples/quickstart.py``) is:
+
+1. create the system with a latency model and a :class:`RuntimeConfig`;
+2. register atomic objects, action definitions and role→thread bindings;
+3. spawn one program per thread;
+4. ``run()`` and inspect the returned reports / collected metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..analysis.metrics import RunMetrics
+from ..core.action import ActionRegistry, CAActionDefinition
+from ..net.faults import FaultPlan
+from ..net.latency import ConstantLatency, LatencyModel
+from ..net.network import Network
+from ..objects.transaction import Transaction, TransactionManager
+from ..simkernel.kernel import Kernel
+from .config import RuntimeConfig
+from .partition import Partition
+
+
+class SystemConfigurationError(RuntimeError):
+    """Raised for inconsistent system setup (unknown threads, bindings...)."""
+
+
+class DistributedCASystem:
+    """A simulated distributed object system supporting CA actions.
+
+    Parameters
+    ----------
+    config:
+        Runtime configuration (algorithm selection, Treso/Tabo charges...).
+    latency:
+        Network latency model (``Tmmax`` of the experiments).
+    faults:
+        Optional fault-injection plan for the network.
+    kernel:
+        Optional pre-existing simulation kernel (a fresh one by default).
+    """
+
+    def __init__(self, config: Optional[RuntimeConfig] = None,
+                 latency: Optional[LatencyModel] = None,
+                 faults: Optional[FaultPlan] = None,
+                 kernel: Optional[Kernel] = None) -> None:
+        self.config = config or RuntimeConfig()
+        self.kernel = kernel or Kernel()
+        self.network = Network(self.kernel,
+                               latency=latency or ConstantLatency(0.0),
+                               faults=faults)
+        self.registry = ActionRegistry()
+        self.transactions = TransactionManager(self.kernel)
+        self.metrics = RunMetrics()
+        self.partitions: Dict[str, Partition] = {}
+        self._bindings: Dict[str, Dict[str, str]] = {}
+        self._instance_transactions: Dict[str, Transaction] = {}
+        self._programs: List = []
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+    def add_thread(self, name: str) -> Partition:
+        """Create a participating thread (and its node/partition)."""
+        if name in self.partitions:
+            raise SystemConfigurationError(f"thread {name!r} already exists")
+        partition = Partition(self, name)
+        self.partitions[name] = partition
+        return partition
+
+    def add_threads(self, names: Iterable[str]) -> List[Partition]:
+        """Create several threads at once."""
+        return [self.add_thread(name) for name in names]
+
+    def define_action(self, definition: CAActionDefinition) -> CAActionDefinition:
+        """Register a CA action definition."""
+        return self.registry.register(definition)
+
+    def bind(self, action: str, roles_to_threads: Dict[str, str]) -> None:
+        """Declare which thread performs which role of ``action``.
+
+        Every thread mentioned must already exist, and every role of the
+        action must be covered exactly once.
+        """
+        definition = self.registry.get(action)
+        missing_roles = set(definition.role_names) - set(roles_to_threads)
+        if missing_roles:
+            raise SystemConfigurationError(
+                f"binding for {action!r} misses roles {sorted(missing_roles)}")
+        unknown_roles = set(roles_to_threads) - set(definition.role_names)
+        if unknown_roles:
+            raise SystemConfigurationError(
+                f"binding for {action!r} names unknown roles {sorted(unknown_roles)}")
+        for thread in roles_to_threads.values():
+            if thread not in self.partitions:
+                raise SystemConfigurationError(
+                    f"binding for {action!r} names unknown thread {thread!r}")
+        self._bindings[action] = dict(roles_to_threads)
+
+    def binding(self, action: str) -> Dict[str, str]:
+        """The role→thread binding of ``action``."""
+        try:
+            return self._bindings[action]
+        except KeyError:
+            raise SystemConfigurationError(
+                f"action {action!r} has no role binding") from None
+
+    def create_object(self, name: str, initial_state=None, invariant=None):
+        """Create and register an external atomic object."""
+        return self.transactions.create_object(name, initial_state, invariant)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def spawn(self, thread: str, program: Callable) -> "object":
+        """Start ``program`` (generator function of a ProgramContext) on ``thread``."""
+        if thread not in self.partitions:
+            raise SystemConfigurationError(f"unknown thread {thread!r}")
+        process = self.partitions[thread].run_program(program)
+        self._programs.append(process)
+        return process
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation until quiescence (or until a given time)."""
+        self.kernel.run(until=until)
+
+    def run_to_completion(self) -> List[object]:
+        """Run until every spawned program has finished; return their results."""
+        if not self._programs:
+            raise SystemConfigurationError("no programs have been spawned")
+        gate = self.kernel.all_of(self._programs)
+        self.kernel.run(until=gate)
+        return [process.value for process in self._programs]
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.kernel.now
+
+    # ------------------------------------------------------------------
+    # Per-instance transactions
+    # ------------------------------------------------------------------
+    def transaction_for(self, instance_key: str,
+                        definition: CAActionDefinition) -> Transaction:
+        """The shared transaction of one action instance (created on first use)."""
+        if instance_key not in self._instance_transactions:
+            self._instance_transactions[instance_key] = \
+                self.transactions.begin(definition.name)
+        return self._instance_transactions[instance_key]
+
+    def __repr__(self) -> str:
+        return (f"<DistributedCASystem threads={sorted(self.partitions)} "
+                f"actions={len(self.registry)} algorithm={self.config.algorithm}>")

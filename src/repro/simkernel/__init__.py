@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel.
+
+This package provides the virtual-time substrate on which the distributed
+CA-action runtime executes: a kernel with an event queue, generator-based
+processes, timeouts, interrupts, condition events, FIFO stores/mailboxes and
+seeded random streams.
+
+The experiments of the paper sweep message-passing, abortion and resolution
+delays of up to several seconds; running them in virtual time keeps the
+benchmark suite fast and bit-reproducible (see DESIGN.md, "Substitutions").
+"""
+
+from .channels import CyclicBuffer, Mailbox, Store
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from .kernel import EmptySchedule, Kernel, StopSimulation
+from .process import Process, StopProcess
+from .rng import SeededStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "CyclicBuffer",
+    "EmptySchedule",
+    "Event",
+    "Interrupt",
+    "Kernel",
+    "Mailbox",
+    "Process",
+    "SeededStreams",
+    "StopProcess",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,292 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel (see :mod:`repro.simkernel.kernel`) advances a virtual clock and
+fires events in timestamp order.  Processes (see
+:mod:`repro.simkernel.process`) are generators that *yield* events; when a
+yielded event fires, the kernel resumes the process with the event's value
+(or throws the event's exception into it).
+
+The design intentionally mirrors the small core of SimPy, implemented from
+scratch so that the repository has no third-party runtime dependency and so
+that the scheduling policy is fully under our control (deterministic
+tie-breaking by insertion order).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .kernel import Kernel
+
+
+#: Sentinel used for the ``value`` of an event that has not yet fired.
+PENDING = object()
+
+#: Priority used for ordinary events.
+NORMAL = 1
+
+#: Priority used for urgent events (interrupts, process-initialisation).
+#: Urgent events scheduled for the same timestamp fire before normal ones.
+URGENT = 0
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts out *untriggered*.  It becomes *triggered* when it is
+    scheduled on the kernel queue and *processed* once its callbacks have
+    run.  Processes wait for events by yielding them.
+
+    Attributes
+    ----------
+    callbacks:
+        List of callables invoked with the event when it is processed.
+        ``None`` after processing (appending then is an error).
+    """
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Set by the kernel when a failed event's exception was delivered
+        #: to at least one waiter (otherwise the kernel re-raises it).
+        self.defused = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (valid only once triggered)."""
+        if self._ok is None:
+            raise RuntimeError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (or the exception, if it failed)."""
+        if self._value is PENDING:
+            raise RuntimeError("event has not been triggered yet")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.kernel.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception.
+
+        The exception will be thrown into every process waiting on the
+        event.  If nobody handles it, the kernel re-raises it and the
+        simulation stops.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.kernel.schedule(self, priority=NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of another event onto this one and fire.
+
+        Used as a callback so that one event can mirror another.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{self.__class__.__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay of virtual time."""
+
+    def __init__(self, kernel: "Kernel", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(kernel)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        kernel.schedule(self, priority=NORMAL, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, kernel: "Kernel", process: "Any") -> None:
+        super().__init__(kernel)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        kernel.schedule(self, priority=URGENT)
+
+
+class ConditionValue:
+    """Mapping-like result of a condition event.
+
+    Maps each fired sub-event to its value, in firing order.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(str(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()}>"
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (event.value for event in self.events)
+
+    def items(self):
+        return ((event, event.value) for event in self.events)
+
+    def todict(self) -> dict:
+        return {event: event.value for event in self.events}
+
+
+class Condition(Event):
+    """Composite event over several sub-events.
+
+    Fires when ``evaluate(events, count)`` returns True, where ``count`` is
+    the number of sub-events that have fired successfully so far.  If any
+    sub-event fails, the condition fails with the same exception.
+    """
+
+    def __init__(self, kernel: "Kernel",
+                 evaluate: Callable[[List[Event], int], bool],
+                 events: List[Event]) -> None:
+        super().__init__(kernel)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.kernel is not kernel:
+                raise ValueError("all events must belong to the same kernel")
+
+        if not self._events:
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _build_value(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            if isinstance(event, Condition):
+                value.events.extend(event.value.events
+                                    if isinstance(event.value, ConditionValue)
+                                    else [])
+            elif event.callbacks is None and event.triggered:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._build_value())
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        """Evaluator: fire when every sub-event has fired."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        """Evaluator: fire as soon as one sub-event has fired."""
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Condition that fires once all of the given events have fired."""
+
+    def __init__(self, kernel: "Kernel", events: List[Event]) -> None:
+        super().__init__(kernel, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires once any of the given events has fired."""
+
+    def __init__(self, kernel: "Kernel", events: List[Event]) -> None:
+        super().__init__(kernel, Condition.any_events, events)
+
+
+class Interrupt(Exception):
+    """Exception thrown into a process when it is interrupted.
+
+    The ``cause`` carries whatever object the interrupter supplied — in the
+    CA-action runtime this is the exception-notification that arrived while
+    the role was executing its normal (or handler) code, mirroring the use
+    of Ada 95 asynchronous transfer of control in the paper's prototype.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"Interrupt({self.cause!r})"

@@ -1,0 +1,172 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns the virtual clock and the event queue.  It is deliberately
+small: events are scheduled with :meth:`Kernel.schedule`, processes are
+created with :meth:`Kernel.process`, and :meth:`Kernel.run` advances the
+clock until a stop condition.
+
+Determinism: ties in the event queue are broken first by priority
+(urgent before normal) and then by insertion order, so two runs of the same
+program produce the same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Union
+
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout
+from .process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Kernel.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised to stop :meth:`Kernel.run` early (carries the stop value)."""
+
+
+Infinity = float("inf")
+
+
+class Kernel:
+    """Discrete-event simulation kernel with a virtual clock.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the virtual clock (defaults to 0.0).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Clock and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if the queue is empty."""
+        if not self._queue:
+            return Infinity
+        return self._queue[0][0]
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a plain, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Register a generator as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create an event that fires when all ``events`` have fired."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create an event that fires when any of ``events`` has fired."""
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Put ``event`` on the queue to fire ``delay`` from now."""
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, next(self._eid), event))
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            when, _priority, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # Nobody caught the failure: surface it to the caller of run().
+            raise event._value
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                Run until the event queue is exhausted.
+            a number
+                Run until the clock reaches that time.
+            an :class:`Event`
+                Run until that event fires; its value is returned.
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                # Already processed: return its value immediately.
+                return stop_event.value
+            stop_event.callbacks.append(self._stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise ValueError(
+                    f"until ({at}) must not be earlier than now ({self._now})")
+            stop_event = Event(self)
+            # Urgent so that the run stops *before* processing other events
+            # scheduled for exactly that time.
+            heapq.heappush(self._queue, (at, 0, next(self._eid), stop_event))
+            stop_event._ok = True
+            stop_event._value = None
+            stop_event.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise RuntimeError(
+                    "simulation ended before the awaited event fired") from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value

@@ -1,0 +1,53 @@
+"""Deterministic random-number streams for experiments.
+
+Every experiment in the benchmark harness takes a seed; all stochastic
+choices (latency jitter, fault injection, workload arrival) draw from named
+sub-streams derived from that seed, so that enabling or disabling one source
+of randomness does not perturb the others.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+
+class SeededStreams:
+    """A family of independent, named :class:`random.Random` streams.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Each named stream is seeded with a stable hash of the
+        master seed and the stream name.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream called ``name``."""
+        if name not in self._streams:
+            # A stable derivation that does not depend on PYTHONHASHSEED.
+            derived = self.seed
+            for ch in name:
+                derived = (derived * 1000003 + ord(ch)) % (2 ** 63)
+            self._streams[name] = random.Random(derived)
+        return self._streams[name]
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """Draw a uniform sample from the named stream."""
+        return self.stream(name).uniform(low, high)
+
+    def expovariate(self, name: str, rate: float) -> float:
+        """Draw an exponential sample from the named stream."""
+        return self.stream(name).expovariate(rate)
+
+    def choice(self, name: str, seq):
+        """Choose an element from ``seq`` using the named stream."""
+        return self.stream(name).choice(seq)
+
+    def random(self, name: str) -> float:
+        """Draw a uniform [0, 1) sample from the named stream."""
+        return self.stream(name).random()

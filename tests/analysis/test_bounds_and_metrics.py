@@ -1,0 +1,129 @@
+"""Tests for the analytic bounds and the run-metrics collector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ActionOutcome,
+    RunMetrics,
+    TimingParameters,
+    campbell_randell_reference_messages,
+    campbell_randell_resolution_calls,
+    exception_graph_level_size,
+    lemma1_completion_bound,
+    messages_all_exceptions,
+    messages_single_exception,
+    romanovsky96_messages,
+    signalling_messages_simple,
+    signalling_messages_worst_case,
+    theorem2_worst_case_messages,
+)
+
+
+class TestFormulas:
+    def test_values_from_the_paper_for_n3(self):
+        assert messages_single_exception(3) == 8
+        assert messages_all_exceptions(3) == 8
+        assert theorem2_worst_case_messages(3, 1) == 8
+        assert romanovsky96_messages(3) == 18
+        assert campbell_randell_resolution_calls(3) == 6
+        assert signalling_messages_simple(3) == 6
+        assert signalling_messages_worst_case(3) == 12
+
+    def test_single_and_all_are_equal_for_every_n(self):
+        for n in range(2, 20):
+            assert messages_single_exception(n) == messages_all_exceptions(n)
+            assert messages_single_exception(n) == n * n - 1
+
+    def test_nesting_multiplies_theorem2(self):
+        assert theorem2_worst_case_messages(4, 3) == 3 * 15
+        assert theorem2_worst_case_messages(4, 0) == 15   # level floor of 1
+
+    def test_minimum_thread_count_enforced(self):
+        for function in (messages_single_exception, messages_all_exceptions,
+                         romanovsky96_messages, signalling_messages_simple):
+            with pytest.raises(ValueError):
+                function(1)
+
+    def test_graph_level_sizes_match_binomials(self):
+        assert exception_graph_level_size(5, 0) == 5
+        assert exception_graph_level_size(5, 1) == 10
+        assert exception_graph_level_size(5, 2) == 10
+        assert exception_graph_level_size(5, 4) == 1
+        assert exception_graph_level_size(5, 7) == 0
+
+    def test_cr_reference_is_cubic(self):
+        assert campbell_randell_reference_messages(3) == 27
+        assert campbell_randell_reference_messages(4, max_nesting=2) == 128
+
+    @given(n=st.integers(min_value=2, max_value=50),
+           nesting=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_property_ordering_of_algorithm_costs(self, n, nesting):
+        """Ours ≤ Romanovsky-96 ≤ Campbell–Randell for every N and nesting."""
+        ours = theorem2_worst_case_messages(n, nesting)
+        r96 = romanovsky96_messages(n, nesting)
+        cr = campbell_randell_reference_messages(n, nesting)
+        assert ours <= r96 <= cr
+
+
+class TestLemma1:
+    def test_formula_matches_hand_computation(self):
+        params = TimingParameters(t_msg_max=0.2, t_resolution=0.3,
+                                  t_abort=0.1, t_handler_max=0.5,
+                                  max_nesting=1)
+        expected = (2 * 1 + 3) * 0.2 + 1 * 0.1 + (1 + 1) * (0.3 + 0.5)
+        assert lemma1_completion_bound(params) == pytest.approx(expected)
+
+    def test_no_nesting_reduces_to_three_message_rounds(self):
+        params = TimingParameters(1.0, 0.0, 0.0, 0.0, max_nesting=0)
+        assert lemma1_completion_bound(params) == pytest.approx(3.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TimingParameters(-1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            TimingParameters(0, 0, 0, 0, max_nesting=-1)
+
+    @given(t_msg=st.floats(0, 10), t_res=st.floats(0, 10),
+           t_abort=st.floats(0, 10), handler=st.floats(0, 10),
+           nesting=st.integers(0, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_property_bound_monotone_in_every_parameter(self, t_msg, t_res,
+                                                        t_abort, handler,
+                                                        nesting):
+        base = TimingParameters(t_msg, t_res, t_abort, handler, nesting)
+        bumped = TimingParameters(t_msg + 1, t_res, t_abort, handler, nesting)
+        deeper = TimingParameters(t_msg, t_res, t_abort, handler, nesting + 1)
+        assert lemma1_completion_bound(bumped) >= lemma1_completion_bound(base)
+        assert lemma1_completion_bound(deeper) >= lemma1_completion_bound(base)
+
+
+class TestRunMetrics:
+    def test_counters_accumulate(self):
+        metrics = RunMetrics()
+        metrics.record_raise("T1", "A", "fault", 1.0)
+        metrics.record_suspension("T2", "A", 1.1)
+        metrics.record_resolution("T3", "A", "fault", 1.5)
+        metrics.record_handler("T1", "A", "fault", 1.6)
+        metrics.record_abortion("T2", "B", 1.7)
+        metrics.record_signal("T1", "A", "eps", 2.0)
+        assert metrics.exceptions_raised == 1
+        assert metrics.suspensions == 1
+        assert metrics.resolutions == 1
+        assert metrics.handlers_invoked == 1
+        assert metrics.abortions == 1
+        assert metrics.signalled == {"eps": 1}
+        assert len(metrics.events) == 6
+
+    def test_outcomes_and_summary(self):
+        metrics = RunMetrics()
+        metrics.record_outcome(ActionOutcome("A", "success", None, 0.0, 2.0))
+        metrics.record_outcome(ActionOutcome("A", "recovered", None, 2.0, 5.0))
+        metrics.record_outcome(ActionOutcome("B", "failed", "failure", 0.0, 1.0))
+        assert len(metrics.outcomes_for("A")) == 2
+        assert metrics.outcomes_for("A")[1].duration == 3.0
+        summary = metrics.summary()
+        assert summary["outcomes"]["success"] == 1
+        assert summary["outcomes"]["failed"] == 1

@@ -1,0 +1,125 @@
+"""Tests of the Campbell–Randell and Romanovsky-96 baseline coordinators."""
+
+import pytest
+
+from repro.core import ActionContext, ThreadState, internal
+from repro.core.baselines import (
+    CampbellRandellCoordinator,
+    PROTOCOL_MESSAGE_TYPES,
+    Romanovsky96Coordinator,
+)
+from repro.core.exception_graph import generate_full_graph
+
+from tests.conftest import ProtocolDriver
+
+E1, E2, E3 = internal("e1"), internal("e2"), internal("e3")
+
+
+def make_driver(coordinator_class, threads=("T1", "T2", "T3")):
+    graph = generate_full_graph([E1, E2, E3], action_name="A")
+    driver = ProtocolDriver({t: coordinator_class(t) for t in threads})
+    driver.enter_all(lambda: ActionContext("A", tuple(threads), graph))
+    return driver
+
+
+@pytest.mark.parametrize("coordinator_class",
+                         [CampbellRandellCoordinator, Romanovsky96Coordinator],
+                         ids=["campbell-randell", "romanovsky96"])
+class TestBaselineCorrectness:
+    """Both baselines must reach the same *decisions* as the new algorithm."""
+
+    def test_single_exception_handled_by_all(self, coordinator_class):
+        driver = make_driver(coordinator_class)
+        driver.raise_in("T1", E1)
+        driver.deliver_all()
+        assert driver.handled == {"T1": E1, "T2": E1, "T3": E1}
+
+    def test_concurrent_exceptions_resolve_to_common_cover(self, coordinator_class):
+        driver = make_driver(coordinator_class)
+        driver.raise_in("T1", E1)
+        driver.raise_in("T3", E3)
+        driver.deliver_all()
+        assert set(driver.handled) == {"T1", "T2", "T3"}
+        assert all(e.name == "e1&e3" for e in driver.handled.values())
+
+    def test_all_raise_all_handle(self, coordinator_class):
+        driver = make_driver(coordinator_class)
+        for thread, exc in zip(("T1", "T2", "T3"), (E1, E2, E3)):
+            driver.raise_in(thread, exc)
+        driver.deliver_all()
+        assert all(e.name == "e1&e2&e3" for e in driver.handled.values())
+
+    def test_states_are_consistent(self, coordinator_class):
+        driver = make_driver(coordinator_class)
+        driver.raise_in("T2", E2)
+        driver.deliver_all()
+        assert driver.coordinators["T2"].state is ThreadState.EXCEPTIONAL
+        assert driver.coordinators["T1"].state is ThreadState.SUSPENDED
+
+    def test_repeated_instances_do_not_leak_state(self, coordinator_class):
+        graph = generate_full_graph([E1, E2, E3], action_name="A")
+        threads = ("T1", "T2", "T3")
+        driver = ProtocolDriver({t: coordinator_class(t) for t in threads})
+        for _ in range(3):
+            driver.handled.clear()
+            driver.enter_all(lambda: ActionContext("A", threads, graph))
+            driver.raise_in("T1", E1)
+            driver.deliver_all()
+            assert driver.handled == {"T1": E1, "T2": E1, "T3": E1}
+            for thread in threads:
+                driver.coordinators[thread].leave_action("A", success=True)
+
+
+class TestBaselineCosts:
+    """The baselines must exhibit the costs the paper attributes to them."""
+
+    def test_cr_sends_more_messages_than_ours(self):
+        from repro.core import ResolutionCoordinator
+        results = {}
+        for name, cls in (("ours", ResolutionCoordinator),
+                          ("cr", CampbellRandellCoordinator),
+                          ("r96", Romanovsky96Coordinator)):
+            driver = make_driver(cls)
+            for thread, exc in zip(("T1", "T2", "T3"), (E1, E2, E3)):
+                driver.raise_in(thread, exc)
+            driver.deliver_all()
+            results[name] = driver.message_count
+        assert results["cr"] > results["r96"] > results["ours"]
+
+    def test_r96_message_count_matches_formula(self):
+        driver = make_driver(Romanovsky96Coordinator)
+        for thread, exc in zip(("T1", "T2", "T3"), (E1, E2, E3)):
+            driver.raise_in(thread, exc)
+        driver.deliver_all()
+        assert driver.message_count == 3 * 3 * 2          # 3N(N-1), N=3
+
+    def test_cr_resolution_called_on_every_thread_repeatedly(self):
+        driver = make_driver(CampbellRandellCoordinator)
+        for thread, exc in zip(("T1", "T2", "T3"), (E1, E2, E3)):
+            driver.raise_in(thread, exc)
+        driver.deliver_all()
+        calls = {t: c.resolution_calls for t, c in driver.coordinators.items()}
+        assert all(count >= 2 for count in calls.values())
+        assert sum(calls.values()) > 3
+
+    def test_r96_resolution_called_once_per_thread(self):
+        driver = make_driver(Romanovsky96Coordinator)
+        for thread, exc in zip(("T1", "T2", "T3"), (E1, E2, E3)):
+            driver.raise_in(thread, exc)
+        driver.deliver_all()
+        assert all(c.resolution_calls == 1
+                   for c in driver.coordinators.values())
+
+    def test_ours_resolution_called_exactly_once_in_total(self):
+        from repro.core import ResolutionCoordinator
+        driver = make_driver(ResolutionCoordinator)
+        for thread, exc in zip(("T1", "T2", "T3"), (E1, E2, E3)):
+            driver.raise_in(thread, exc)
+        driver.deliver_all()
+        assert sum(c.resolution_calls
+                   for c in driver.coordinators.values()) == 1
+
+    def test_protocol_message_types_registry(self):
+        assert "CommitMessage" in PROTOCOL_MESSAGE_TYPES["ours"]
+        assert "CRConfirmMessage" in PROTOCOL_MESSAGE_TYPES["campbell-randell"]
+        assert "AgreementMessage" in PROTOCOL_MESSAGE_TYPES["romanovsky96"]

@@ -1,0 +1,201 @@
+"""Tests of the exception-signalling algorithm (Section 3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ActionContext,
+    ExceptionGraph,
+    FAILURE,
+    NO_EXCEPTION,
+    SignalCoordinator,
+    SignalProtocolError,
+    ToBeSignalledMessage,
+    UNDO,
+    interface,
+)
+from repro.core.effects import SendTo
+from repro.core.signalling import PerformUndo, SignalOutcome
+
+EPS1 = interface("eps1")
+EPS2 = interface("eps2")
+
+
+class SignallingDriver:
+    """Delivers toBeSignalled messages between signalling coordinators."""
+
+    def __init__(self, threads, action="A"):
+        context = ActionContext(action, tuple(threads), ExceptionGraph(action))
+        self.coordinators = {t: SignalCoordinator(t, context) for t in threads}
+        self.inflight = []
+        self.outcomes = {}
+        self.undo_requested = set()
+        self.messages = 0
+
+    def execute(self, sender, effects):
+        for effect in effects:
+            if isinstance(effect, SendTo):
+                self.messages += len(effect.recipients)
+                for recipient in effect.recipients:
+                    self.inflight.append((recipient, effect.message))
+            elif isinstance(effect, SignalOutcome):
+                self.outcomes[sender] = effect.exception
+            elif isinstance(effect, PerformUndo):
+                self.undo_requested.add(sender)
+
+    def propose(self, thread, exception):
+        self.execute(thread, self.coordinators[thread].propose(exception))
+
+    def undo_completed(self, thread, ok):
+        self.execute(thread, self.coordinators[thread].undo_completed(ok))
+
+    def deliver_all(self):
+        while self.inflight:
+            recipient, message = self.inflight.pop(0)
+            self.execute(recipient,
+                         self.coordinators[recipient].receive(message))
+
+
+class TestSimpleCases:
+    def test_each_thread_signals_its_own_exception(self):
+        driver = SignallingDriver(("T1", "T2", "T3"))
+        driver.propose("T1", EPS1)
+        driver.propose("T2", EPS2)
+        driver.propose("T3", None)
+        driver.deliver_all()
+        assert driver.outcomes == {"T1": EPS1, "T2": EPS2, "T3": NO_EXCEPTION}
+
+    def test_no_exception_at_all_signals_phi_everywhere(self):
+        driver = SignallingDriver(("T1", "T2"))
+        driver.propose("T1", None)
+        driver.propose("T2", None)
+        driver.deliver_all()
+        assert set(driver.outcomes.values()) == {NO_EXCEPTION}
+
+    def test_message_count_simple_case(self):
+        driver = SignallingDriver(tuple(f"T{i}" for i in range(1, 6)))
+        for thread in driver.coordinators:
+            driver.propose(thread, None)
+        driver.deliver_all()
+        assert driver.messages == 5 * 4
+
+    def test_failure_anywhere_forces_failure_everywhere(self):
+        driver = SignallingDriver(("T1", "T2", "T3"))
+        driver.propose("T1", EPS1)
+        driver.propose("T2", FAILURE)
+        driver.propose("T3", None)
+        driver.deliver_all()
+        assert set(driver.outcomes.values()) == {FAILURE}
+
+
+class TestUndoCoordination:
+    def test_undo_requires_everyone_to_perform_undo(self):
+        driver = SignallingDriver(("T1", "T2", "T3"))
+        driver.propose("T1", UNDO)
+        driver.propose("T2", None)
+        driver.propose("T3", EPS1)
+        driver.deliver_all()
+        assert driver.undo_requested == {"T1", "T2", "T3"}
+        assert driver.outcomes == {}
+
+    def test_all_undos_succeed_then_everyone_signals_mu(self):
+        driver = SignallingDriver(("T1", "T2"))
+        driver.propose("T1", UNDO)
+        driver.propose("T2", None)
+        driver.deliver_all()
+        for thread in ("T1", "T2"):
+            driver.undo_completed(thread, True)
+        driver.deliver_all()
+        assert set(driver.outcomes.values()) == {UNDO}
+
+    def test_failed_undo_degrades_to_failure(self):
+        driver = SignallingDriver(("T1", "T2", "T3"))
+        driver.propose("T1", UNDO)
+        driver.propose("T2", None)
+        driver.propose("T3", None)
+        driver.deliver_all()
+        driver.undo_completed("T1", True)
+        driver.undo_completed("T2", False)
+        driver.undo_completed("T3", True)
+        driver.deliver_all()
+        assert set(driver.outcomes.values()) == {FAILURE}
+
+    def test_worst_case_message_count(self):
+        n = 4
+        driver = SignallingDriver(tuple(f"T{i}" for i in range(1, n + 1)))
+        driver.propose("T1", UNDO)
+        for thread in list(driver.coordinators)[1:]:
+            driver.propose(thread, None)
+        driver.deliver_all()
+        for thread in driver.coordinators:
+            driver.undo_completed(thread, True)
+        driver.deliver_all()
+        assert driver.messages == 2 * n * (n - 1)
+
+    def test_undo_completed_outside_undo_round_rejected(self):
+        driver = SignallingDriver(("T1", "T2"))
+        with pytest.raises(SignalProtocolError):
+            driver.coordinators["T1"].undo_completed(True)
+
+
+class TestProtocolEdgeCases:
+    def test_double_propose_rejected(self):
+        driver = SignallingDriver(("T1", "T2"))
+        driver.propose("T1", None)
+        with pytest.raises(SignalProtocolError):
+            driver.coordinators["T1"].propose(EPS1)
+
+    def test_propose_after_decision_rejected(self):
+        driver = SignallingDriver(("T1", "T2"))
+        driver.propose("T1", None)
+        driver.propose("T2", None)
+        driver.deliver_all()
+        with pytest.raises(SignalProtocolError):
+            driver.coordinators["T1"].propose(EPS1)
+
+    def test_message_for_other_action_ignored(self):
+        driver = SignallingDriver(("T1", "T2"))
+        effects = driver.coordinators["T1"].receive(
+            ToBeSignalledMessage("other-action", "T2", EPS1, 1))
+        assert not any(isinstance(e, SignalOutcome) for e in effects)
+
+    def test_peer_failure_counts_as_failure_proposal(self):
+        driver = SignallingDriver(("T1", "T2", "T3"))
+        driver.propose("T1", EPS1)
+        driver.propose("T2", None)
+        # T3 crashed: its silence is converted into ƒ by the survivors.
+        for thread in ("T1", "T2"):
+            driver.execute(thread,
+                           driver.coordinators[thread].peer_failed("T3"))
+        driver.deliver_all()
+        assert driver.outcomes["T1"] == FAILURE
+        assert driver.outcomes["T2"] == FAILURE
+
+    def test_single_participant_decides_alone(self):
+        driver = SignallingDriver(("T1",))
+        driver.propose("T1", EPS1)
+        assert driver.outcomes == {"T1": EPS1}
+        assert driver.messages == 0
+
+    @given(proposals=st.lists(
+        st.sampled_from([None, "eps", "undo", "failure"]),
+        min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_property_mu_and_f_outcomes_are_unanimous(self, proposals):
+        threads = tuple(f"T{i}" for i in range(len(proposals)))
+        driver = SignallingDriver(threads)
+        mapping = {"eps": EPS1, "undo": UNDO, "failure": FAILURE, None: None}
+        for thread, proposal in zip(threads, proposals):
+            driver.propose(thread, mapping[proposal])
+        driver.deliver_all()
+        if driver.undo_requested:
+            for thread in threads:
+                driver.undo_completed(thread, True)
+            driver.deliver_all()
+        values = set(driver.outcomes.values())
+        if FAILURE in values:
+            assert values == {FAILURE}
+        if UNDO in values:
+            assert values == {UNDO}
+        assert set(driver.outcomes) == set(threads)

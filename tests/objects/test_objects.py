@@ -1,0 +1,359 @@
+"""Tests for external atomic objects, locks, transactions and recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects import (
+    AtomicObject,
+    DeadlockError,
+    IntegrityError,
+    LockManager,
+    LockMode,
+    RecoveryPlan,
+    Transaction,
+    TransactionError,
+    TransactionManager,
+    TransactionStatus,
+    UndoFailure,
+    outcome_to_interface_exception,
+)
+from repro.simkernel import Kernel
+
+
+# ----------------------------------------------------------------------
+# AtomicObject
+# ----------------------------------------------------------------------
+class TestAtomicObject:
+    def test_read_committed_state(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        assert obj.read("t1", "balance") == 10
+
+    def test_missing_field_raises(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        with pytest.raises(KeyError):
+            obj.read("t1", "missing")
+
+    def test_write_is_isolated_until_commit(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        obj.write("t1", "balance", 99)
+        assert obj.read("t1", "balance") == 99          # own write visible
+        assert obj.read("t2", "balance") == 10          # other txn isolated
+        assert obj.committed_value("balance") == 10
+
+    def test_commit_installs_working_copy(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        obj.write("t1", "balance", 99)
+        obj.commit("t1")
+        assert obj.committed_value("balance") == 99
+        assert obj.version == 1
+
+    def test_commit_without_writes_is_noop(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        obj.commit("t1")
+        assert obj.version == 0
+
+    def test_undo_discards_working_copy(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        obj.write("t1", "balance", 99)
+        obj.undo("t1")
+        obj.commit("t1")
+        assert obj.committed_value("balance") == 10
+
+    def test_injected_undo_fault_raises(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        obj.write("t1", "balance", 99)
+        obj.inject_undo_fault("t1")
+        with pytest.raises(UndoFailure):
+            obj.undo("t1")
+
+    def test_global_undo_fault_applies_to_all_transactions(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        obj.inject_undo_fault()
+        obj.write("whatever", "balance", 1)
+        with pytest.raises(UndoFailure):
+            obj.undo("whatever")
+        obj.clear_undo_fault()
+        obj.undo("whatever")
+
+    def test_invariant_blocks_bad_commit(self):
+        obj = AtomicObject("acct", {"balance": 10},
+                           invariant=lambda s: s["balance"] >= 0)
+        obj.write("t1", "balance", -5)
+        with pytest.raises(IntegrityError):
+            obj.commit("t1")
+        # The working copy survives so the caller can still undo.
+        assert obj.dirty("t1")
+
+    def test_repair_replaces_working_state(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        obj.write("t1", "balance", -5)
+        obj.repair("t1", lambda state: {**state, "balance": 0})
+        obj.commit("t1")
+        assert obj.committed_value("balance") == 0
+
+    def test_repair_must_return_dict(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        with pytest.raises(TypeError):
+            obj.repair("t1", lambda state: None)
+
+    def test_check_integrity_with_and_without_transaction(self):
+        obj = AtomicObject("acct", {"balance": 10},
+                           invariant=lambda s: s["balance"] >= 0)
+        assert obj.check_integrity()
+        obj.write("t1", "balance", -1)
+        assert not obj.check_integrity("t1")
+        assert obj.check_integrity()           # committed state still fine
+
+    def test_notifications_are_recorded(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        obj.notify_exception("t1", "Transfer", "insufficient_funds", now=3.0)
+        assert len(obj.notifications) == 1
+        assert obj.notifications[0].exception_name == "insufficient_funds"
+
+    def test_history_tracks_committed_versions(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        for value in (20, 30):
+            obj.write("t", "balance", value)
+            obj.commit("t")
+        balances = [state["balance"] for state in obj.history]
+        assert balances == [10, 20, 30]
+
+    def test_operations_log(self):
+        obj = AtomicObject("acct", {"balance": 10})
+        obj.read("t1", "balance")
+        obj.write("t1", "balance", 5)
+        assert [op.operation for op in obj.operations] == ["read", "write"]
+
+    @given(writes=st.lists(st.integers(), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_last_committed_write_wins(self, writes):
+        obj = AtomicObject("acct", {"value": 0})
+        for i, value in enumerate(writes):
+            obj.write(f"t{i}", "value", value)
+            obj.commit(f"t{i}")
+        assert obj.committed_value("value") == writes[-1]
+        assert obj.version == len(writes)
+
+    @given(value=st.integers())
+    @settings(max_examples=50, deadline=None)
+    def test_property_undo_always_restores_committed_state(self, value):
+        obj = AtomicObject("acct", {"value": 123})
+        obj.write("t", "value", value)
+        obj.undo("t")
+        assert obj.committed_value("value") == 123
+        assert not obj.dirty("t")
+
+
+# ----------------------------------------------------------------------
+# LockManager
+# ----------------------------------------------------------------------
+class TestLockManager:
+    def test_exclusive_lock_granted_immediately(self, kernel):
+        locks = LockManager(kernel)
+        event = locks.acquire("obj", "t1", LockMode.EXCLUSIVE)
+        assert event.triggered and event.ok
+        assert locks.is_locked("obj")
+
+    def test_shared_locks_are_compatible(self, kernel):
+        locks = LockManager(kernel)
+        assert locks.acquire("obj", "t1", LockMode.SHARED).triggered
+        assert locks.acquire("obj", "t2", LockMode.SHARED).triggered
+        assert len(locks.holders("obj")) == 2
+
+    def test_exclusive_conflicts_with_shared(self, kernel):
+        locks = LockManager(kernel)
+        locks.acquire("obj", "t1", LockMode.SHARED)
+        waiting = locks.acquire("obj", "t2", LockMode.EXCLUSIVE)
+        assert not waiting.triggered
+        locks.release_all("t1")
+        assert waiting.triggered
+
+    def test_release_promotes_waiters_in_order(self, kernel):
+        locks = LockManager(kernel)
+        locks.acquire("obj", "t1", LockMode.EXCLUSIVE)
+        w2 = locks.acquire("obj", "t2", LockMode.EXCLUSIVE)
+        w3 = locks.acquire("obj", "t3", LockMode.EXCLUSIVE)
+        locks.release_all("t1")
+        assert w2.triggered and not w3.triggered
+        locks.release_all("t2")
+        assert w3.triggered
+
+    def test_lock_upgrade_same_transaction(self, kernel):
+        locks = LockManager(kernel)
+        locks.acquire("obj", "t1", LockMode.SHARED)
+        upgraded = locks.acquire("obj", "t1", LockMode.EXCLUSIVE)
+        assert upgraded.triggered
+        assert locks.holders("obj") == [("t1", LockMode.EXCLUSIVE)]
+
+    def test_deadlock_detected_and_refused(self, kernel):
+        locks = LockManager(kernel)
+        locks.acquire("a", "t1", LockMode.EXCLUSIVE)
+        locks.acquire("b", "t2", LockMode.EXCLUSIVE)
+        locks.acquire("b", "t1", LockMode.EXCLUSIVE)   # t1 waits on t2
+        doomed = locks.acquire("a", "t2", LockMode.EXCLUSIVE)  # would cycle
+        assert doomed.triggered and not doomed.ok
+        assert isinstance(doomed.value, DeadlockError)
+        doomed.defused = True
+
+    def test_release_clears_pending_requests(self, kernel):
+        locks = LockManager(kernel)
+        locks.acquire("obj", "t1", LockMode.EXCLUSIVE)
+        locks.acquire("obj", "t2", LockMode.EXCLUSIVE)
+        locks.release_all("t2")          # t2 gives up while still queued
+        locks.release_all("t1")
+        assert not locks.is_locked("obj")
+
+
+# ----------------------------------------------------------------------
+# Transactions
+# ----------------------------------------------------------------------
+class TestTransactions:
+    def make_manager(self):
+        manager = TransactionManager(Kernel())
+        manager.create_object("acct", {"balance": 100})
+        manager.create_object("log", {"entries": 0})
+        return manager
+
+    def test_commit_applies_all_writes(self):
+        manager = self.make_manager()
+        txn = manager.begin("Transfer")
+        txn.write("acct", "balance", 50)
+        txn.write("log", "entries", 1)
+        txn.commit()
+        assert txn.status is TransactionStatus.COMMITTED
+        assert manager.object("acct").committed_value("balance") == 50
+        assert manager.object("log").committed_value("entries") == 1
+
+    def test_abort_rolls_back_all_writes(self):
+        manager = self.make_manager()
+        txn = manager.begin("Transfer")
+        txn.write("acct", "balance", 50)
+        status = txn.abort()
+        assert status is TransactionStatus.ABORTED
+        assert manager.object("acct").committed_value("balance") == 100
+
+    def test_abort_with_failed_undo_reports_failed_undo(self):
+        manager = self.make_manager()
+        txn = manager.begin("Transfer")
+        txn.write("acct", "balance", 50)
+        manager.object("acct").inject_undo_fault(txn.transaction_id)
+        status = txn.abort()
+        assert status is TransactionStatus.FAILED_UNDO
+        assert txn.failed_objects == ["acct"]
+
+    def test_double_abort_is_idempotent(self):
+        manager = self.make_manager()
+        txn = manager.begin("A")
+        txn.write("acct", "balance", 1)
+        assert txn.abort() is TransactionStatus.ABORTED
+        assert txn.abort() is TransactionStatus.ABORTED
+
+    def test_use_after_commit_rejected(self):
+        manager = self.make_manager()
+        txn = manager.begin("A")
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.write("acct", "balance", 1)
+        with pytest.raises(TransactionError):
+            txn.read("acct", "balance")
+
+    def test_notify_exception_reaches_all_touched_objects(self):
+        manager = self.make_manager()
+        txn = manager.begin("A")
+        txn.write("acct", "balance", 1)
+        txn.write("log", "entries", 1)
+        txn.notify_exception("fault")
+        assert manager.object("acct").notifications[0].exception_name == "fault"
+        assert manager.object("log").notifications[0].exception_name == "fault"
+
+    def test_unknown_object_raises(self):
+        manager = self.make_manager()
+        txn = manager.begin("A")
+        with pytest.raises(KeyError):
+            txn.read("missing", "x")
+
+    def test_duplicate_object_registration_rejected(self):
+        manager = self.make_manager()
+        with pytest.raises(ValueError):
+            manager.create_object("acct")
+
+    def test_manager_tracks_active_and_finished(self):
+        manager = self.make_manager()
+        txn = manager.begin("A")
+        assert txn.transaction_id in manager.active
+        txn.commit()
+        assert txn.transaction_id not in manager.active
+        assert txn in manager.finished
+
+    def test_outcome_to_interface_exception_mapping(self):
+        manager = self.make_manager()
+        committed = manager.begin("A")
+        committed.commit()
+        assert outcome_to_interface_exception(committed) is None
+
+        aborted = manager.begin("B")
+        aborted.write("acct", "balance", 1)
+        aborted.abort()
+        assert outcome_to_interface_exception(aborted) == "mu"
+
+        failed = manager.begin("C")
+        failed.write("acct", "balance", 1)
+        manager.object("acct").inject_undo_fault(failed.transaction_id)
+        failed.abort()
+        assert outcome_to_interface_exception(failed) == "failure"
+
+    def test_outcome_of_active_transaction_raises(self):
+        manager = self.make_manager()
+        txn = manager.begin("A")
+        with pytest.raises(ValueError):
+            outcome_to_interface_exception(txn)
+
+
+# ----------------------------------------------------------------------
+# Recovery plans
+# ----------------------------------------------------------------------
+class TestRecoveryPlan:
+    def make_transaction(self):
+        manager = TransactionManager(Kernel())
+        manager.create_object("acct", {"balance": 100})
+        manager.create_object("audit", {"entries": 0})
+        txn = manager.begin("A")
+        txn.write("acct", "balance", -10)
+        txn.write("audit", "entries", 5)
+        return manager, txn
+
+    def test_forward_recovery_repairs_object(self):
+        manager, txn = self.make_transaction()
+        plan = RecoveryPlan().repair("acct",
+                                     lambda state: {**state, "balance": 0})
+        outcome = plan.execute(txn)
+        assert outcome.complete
+        txn.commit()
+        assert manager.object("acct").committed_value("balance") == 0
+
+    def test_backward_recovery_rolls_back_object(self):
+        manager, txn = self.make_transaction()
+        outcome = RecoveryPlan().rollback("audit").execute(txn)
+        assert outcome.complete
+        txn.commit()
+        assert manager.object("audit").committed_value("entries") == 0
+
+    def test_failed_step_reported_not_raised(self):
+        manager, txn = self.make_transaction()
+        manager.object("acct").inject_undo_fault(txn.transaction_id)
+        outcome = RecoveryPlan().rollback("acct").rollback("audit").execute(txn)
+        assert not outcome.complete
+        assert outcome.failed == ["acct"]
+        assert outcome.succeeded == ["audit"]
+
+    def test_forward_step_without_function_rejected(self):
+        from repro.objects.recovery import RecoveryKind, RecoveryStep
+        step = RecoveryStep("acct", RecoveryKind.FORWARD, None)
+        with pytest.raises(ValueError):
+            step.validate()
+
+    def test_leave_step_touches_nothing(self):
+        manager, txn = self.make_transaction()
+        outcome = RecoveryPlan().leave("acct").execute(txn)
+        assert outcome.complete

@@ -1,0 +1,65 @@
+"""Concurrent device faults in the case study: the Figure 7 graph at work.
+
+The deepest behaviour of the case study: two device faults detected by two
+*different* roles of ``Move_Loaded_Table`` at (nearly) the same instant must
+be resolved through the Figure 7 graph into a single covering exception,
+whose handler aborts the nested action; the resulting µ then climbs the
+nesting chain ``Move_Loaded_Table`` → ``Unload_Table`` →
+``Table_Press_Robot``, where the cycle is skipped — and the next cycle runs
+normally.
+"""
+
+from repro.productioncell import (
+    FailureInjector,
+    ProductionCell,
+    RM_STOP,
+    S_STUCK,
+    TABLE_AND_SENSOR_FAILURES,
+    build_move_loaded_table_graph,
+)
+
+
+class TestConcurrentDeviceFaults:
+    def make_cell(self):
+        injector = FailureInjector()
+        injector.schedule(1, "rm_stop")                      # rotation motor stops
+        injector.schedule(1, "s_stuck", device="table")      # sensor stuck at 0
+        injector.schedule(1, "rm_nmove", persistent=True)    # the retry fails too
+        return ProductionCell(injector=injector), injector
+
+    def test_graph_resolves_the_pair_as_table_and_sensor_failures(self):
+        graph = build_move_loaded_table_graph()
+        assert graph.resolve([RM_STOP, S_STUCK]) == TABLE_AND_SENSOR_FAILURES
+
+    def test_concurrent_faults_resolve_and_undo_the_cycle(self):
+        cell, injector = self.make_cell()
+        stats = cell.run(cycles=2)
+        # Both faults actually fired and surfaced as exceptions.
+        assert injector.summary().get("rm_stop") == 1
+        assert injector.summary().get("s_stuck") == 1
+        assert stats.exceptions_raised >= 2
+        # The covering exception's handler gave up on the table positioning,
+        # so µ was coordinated and signalled up the nesting chain.
+        assert "dual-motor-abort" in stats.handled_log
+        assert stats.signalled.get("mu", 0) >= 1
+        assert "cycle-skipped" in stats.handled_log
+        # No cycle fails outright, and the fault-free second cycle forges.
+        assert stats.cycles_failed == 0
+        assert stats.blanks_forged >= 1
+        assert stats.cycles_succeeded >= 1
+
+    def test_resolution_happened_at_least_once_per_affected_level(self):
+        cell, _injector = self.make_cell()
+        stats = cell.run(cycles=1)
+        # One resolution in Move_Loaded_Table plus the escalations above it.
+        assert stats.resolutions >= 2
+        assert stats.cycles_failed == 0
+
+    def test_second_run_is_deterministic(self):
+        first_cell, _ = self.make_cell()
+        second_cell, _ = self.make_cell()
+        first = first_cell.run(cycles=2)
+        second = second_cell.run(cycles=2)
+        assert first.handled_log == second.handled_log
+        assert first.signalled == second.signalled
+        assert first.total_time == second.total_time

@@ -1,0 +1,287 @@
+"""Tests for the production-cell case study: plant, failures, graphs, control."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.productioncell import (
+    A1_SENSOR,
+    Blank,
+    CS_FAULT,
+    DUAL_MOTOR_FAILURES,
+    FailureInjector,
+    FAULT_NAMES,
+    L_MES,
+    L_PLATE_INT,
+    MOVE_LOADED_TABLE_PRIMITIVES,
+    NCS_FAIL,
+    Plant,
+    ProductionCell,
+    RM_STOP,
+    RT_EXC,
+    S_STUCK,
+    SENSOR_OR_LOST_PLATE,
+    T_SENSOR,
+    TABLE_AND_SENSOR_FAILURES,
+    THREADS,
+    TWO_UNRELATED,
+    VM_NMOVE,
+    VM_STOP,
+    build_move_loaded_table_graph,
+    build_table_press_robot_graph,
+    build_unload_table_graph,
+    exception_catalogue,
+)
+from repro.productioncell.controller import ProductionCellController
+
+
+# ----------------------------------------------------------------------
+# Failure injector
+# ----------------------------------------------------------------------
+class TestFailureInjector:
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector().schedule(1, "not_a_fault")
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector().schedule(-1, "vm_stop")
+
+    def test_fault_fires_only_in_its_cycle(self):
+        injector = FailureInjector().schedule(2, "vm_stop")
+        injector.begin_cycle(1)
+        assert not injector.should_fail("vm_stop")
+        injector.begin_cycle(2)
+        assert injector.should_fail("vm_stop")
+
+    def test_transient_fault_fires_once(self):
+        injector = FailureInjector().schedule(1, "vm_stop")
+        injector.begin_cycle(1)
+        assert injector.should_fail("vm_stop")
+        assert not injector.should_fail("vm_stop")
+
+    def test_persistent_fault_keeps_firing(self):
+        injector = FailureInjector().schedule(1, "vm_nmove", persistent=True)
+        injector.begin_cycle(1)
+        assert injector.should_fail("vm_nmove")
+        assert injector.should_fail("vm_nmove")
+
+    def test_device_scoping(self):
+        injector = FailureInjector().schedule(1, "l_plate", device="table")
+        injector.begin_cycle(1)
+        assert not injector.should_fail("l_plate", device="robot")
+        assert injector.should_fail("l_plate", device="table")
+
+    def test_summary_and_pending(self):
+        injector = FailureInjector()
+        injector.schedule_many([(1, "vm_stop"), (1, "s_stuck"), (2, "rm_stop")])
+        assert len(injector.pending_for_cycle(1)) == 2
+        injector.begin_cycle(1)
+        injector.should_fail("vm_stop")
+        assert injector.summary() == {"vm_stop": 1}
+        injector.clear_all()
+        assert injector.pending_for_cycle(2) == []
+
+    def test_fault_names_cover_the_paper_list(self):
+        assert set(FAULT_NAMES) == {
+            "vm_stop", "rm_stop", "vm_nmove", "rm_nmove", "s_stuck",
+            "l_plate", "cs_fault", "l_mes", "rt_exc"}
+
+
+# ----------------------------------------------------------------------
+# Plant devices
+# ----------------------------------------------------------------------
+class TestPlant:
+    def make_plant(self, injector=None):
+        return Plant(injector or FailureInjector())
+
+    def test_blank_travels_through_a_fault_free_cycle(self):
+        plant = self.make_plant()
+        blank = Blank()
+        assert plant.feed_belt.insert_blank(blank)
+        conveyed = plant.feed_belt.convey_to_table()
+        plant.table.load(conveyed)
+        assert plant.table.move_up() and plant.table.rotate_to_robot()
+        assert plant.table.at_robot_position
+        assert plant.robot.extend_arm1()
+        assert plant.robot.grab_from_table(plant.table)
+        plant.robot.retract_arm1()
+        assert plant.robot.rotate_to_press()
+        assert plant.robot.place_in_press(plant.press)
+        assert plant.press.forge()
+        plant.robot.extend_arm2()
+        assert plant.robot.grab_from_press(plant.press)
+        assert plant.robot.place_on_deposit(plant.deposit_belt)
+        delivered = plant.deposit_belt.convey_to_environment()
+        assert delivered is blank and delivered.forged
+        assert plant.forged_count == 1
+
+    def test_red_insertion_light_blocks_blank(self):
+        plant = self.make_plant()
+        plant.feed_belt.light.set_green(False)
+        assert not plant.feed_belt.insert_blank(Blank())
+        assert not plant.feed_belt.occupied
+
+    def test_motor_fault_blocks_table_movement(self):
+        injector = FailureInjector().schedule(1, "vm_stop")
+        plant = self.make_plant(injector)
+        injector.begin_cycle(1)
+        assert not plant.table.move_up()
+        assert plant.table.height == plant.table.LOW
+        # The transient fault is consumed; a retry succeeds.
+        assert plant.table.move_up()
+
+    def test_stuck_sensor_reads_zero(self):
+        injector = FailureInjector().schedule(1, "s_stuck", device="table")
+        plant = self.make_plant(injector)
+        injector.begin_cycle(1)
+        plant.table.move_up()
+        readings = plant.table.read_position_sensors()
+        assert readings["height"] == 0 and plant.table.height == plant.table.HIGH
+
+    def test_lost_plate_during_grab(self):
+        injector = FailureInjector().schedule(1, "l_plate", device="table")
+        plant = self.make_plant(injector)
+        injector.begin_cycle(1)
+        plant.table.load(Blank())
+        assert not plant.robot.grab_from_table(plant.table)
+        assert plant.robot.arm1_load is None
+
+    def test_press_forge_requires_a_plate(self):
+        plant = self.make_plant()
+        assert not plant.press.forge()
+        plant.press.load(Blank())
+        assert plant.press.forge()
+        assert plant.press.plate.forged
+
+    def test_deposit_belt_respects_traffic_light(self):
+        plant = self.make_plant()
+        plant.deposit_belt.load(Blank())
+        plant.deposit_belt.light.set_green(False)
+        assert plant.deposit_belt.convey_to_environment() is None
+        plant.deposit_belt.light.set_green(True)
+        assert plant.deposit_belt.convey_to_environment() is not None
+
+    def test_operation_logs_recorded(self):
+        plant = self.make_plant()
+        plant.table.move_up()
+        plant.table.move_down()
+        assert plant.table.operations == ["move_up", "move_down"]
+
+
+# ----------------------------------------------------------------------
+# Exception graphs of the case study (Figure 7)
+# ----------------------------------------------------------------------
+class TestCaseStudyGraphs:
+    def test_move_loaded_table_graph_has_nine_primitives(self):
+        graph = build_move_loaded_table_graph()
+        primitive_names = {e.name for e in graph.primitives()}
+        assert primitive_names == {e.name for e in MOVE_LOADED_TABLE_PRIMITIVES}
+
+    def test_dual_motor_failures_covers_motor_pairs(self):
+        graph = build_move_loaded_table_graph()
+        assert graph.resolve([VM_STOP, RM_STOP]) == DUAL_MOTOR_FAILURES
+        assert graph.resolve([VM_NMOVE, RM_STOP]) == DUAL_MOTOR_FAILURES
+
+    def test_motor_plus_sensor_resolves_to_table_and_sensor(self):
+        graph = build_move_loaded_table_graph()
+        assert graph.resolve([VM_STOP, S_STUCK]) == TABLE_AND_SENSOR_FAILURES
+
+    def test_sensor_and_lost_plate(self):
+        graph = build_move_loaded_table_graph()
+        assert graph.resolve([S_STUCK, L_PLATE_INT]) == SENSOR_OR_LOST_PLATE
+
+    def test_unrelated_pair_resolves_to_two_unrelated(self):
+        graph = build_move_loaded_table_graph()
+        assert graph.resolve([CS_FAULT, L_MES]) == TWO_UNRELATED
+        assert graph.resolve([L_MES, RT_EXC]) == TWO_UNRELATED
+
+    def test_cross_category_pairs_fall_back_to_universal(self):
+        graph = build_move_loaded_table_graph()
+        assert graph.resolve([VM_STOP, RT_EXC]) == graph.universal
+
+    def test_other_graphs_validate(self):
+        build_unload_table_graph().validate()
+        build_table_press_robot_graph().validate()
+
+    def test_catalogue_names_are_unique_and_complete(self):
+        catalogue = exception_catalogue()
+        assert "vm_stop" in catalogue and "T_SENSOR" in catalogue
+        assert len(catalogue) == 17
+
+    def test_controller_action_definitions_nest_consistently(self):
+        controller = ProductionCellController(Plant(FailureInjector()))
+        actions = {a.name: a for a in controller.all_actions()}
+        actions["Move_Loaded_Table"].validate_nesting(actions["Unload_Table"])
+        actions["Unload_Table"].validate_nesting(actions["Table_Press_Robot"])
+        actions["Press_Plate"].validate_nesting(actions["Table_Press_Robot"])
+
+
+# ----------------------------------------------------------------------
+# End-to-end production campaigns
+# ----------------------------------------------------------------------
+class TestProductionCampaigns:
+    def test_fault_free_campaign_forges_every_blank(self):
+        stats = ProductionCell().run(cycles=3)
+        assert stats.cycles_succeeded == 3
+        assert stats.blanks_forged == 3
+        assert stats.exceptions_raised == 0
+
+    def test_transient_motor_fault_is_recovered_in_place(self):
+        injector = FailureInjector().schedule(2, "vm_stop")
+        stats = ProductionCell(injector=injector).run(cycles=3)
+        assert stats.blanks_forged == 3
+        assert stats.exceptions_raised >= 1
+        assert stats.resolutions >= 1
+        assert "motor-retry-ok" in stats.handled_log
+
+    def test_stuck_sensor_recalibrated(self):
+        injector = FailureInjector().schedule(1, "s_stuck")
+        stats = ProductionCell(injector=injector).run(cycles=2)
+        assert "sensor-recalibrated" in stats.handled_log
+        assert stats.cycles_failed == 0
+
+    def test_unrecoverable_motor_fault_escalates_to_t_sensor(self):
+        injector = FailureInjector()
+        injector.schedule(1, "vm_stop")
+        injector.schedule(1, "vm_nmove", persistent=True)
+        stats = ProductionCell(injector=injector).run(cycles=2)
+        assert stats.signalled.get("NCS_FAIL", 0) >= 1
+        assert stats.signalled.get("T_SENSOR", 0) >= 1
+        assert stats.cycles_recovered >= 1
+        assert stats.cycles_failed == 0
+
+    def test_lost_plate_escalates_but_cell_keeps_running(self):
+        injector = FailureInjector().schedule(2, "l_plate", device="table")
+        stats = ProductionCell(injector=injector).run(cycles=3)
+        assert stats.cycles_failed == 0
+        assert stats.blanks_forged >= 2
+        assert stats.exceptions_raised >= 1
+
+    def test_invalid_cycle_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProductionCell().run(cycles=0)
+
+    def test_six_controller_threads_exist(self):
+        cell = ProductionCell()
+        assert set(cell.system.partitions) == set(THREADS)
+        assert len(THREADS) == 6
+
+    @pytest.mark.parametrize("algorithm",
+                             ["ours", "campbell-randell", "romanovsky96"])
+    def test_campaign_under_every_algorithm(self, algorithm):
+        injector = FailureInjector().schedule(1, "vm_stop")
+        stats = ProductionCell(injector=injector,
+                               algorithm=algorithm).run(cycles=2)
+        assert stats.cycles_failed == 0
+        assert stats.blanks_forged == 2
+
+    @given(fault=st.sampled_from(["vm_stop", "rm_stop", "s_stuck"]),
+           cycle=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_property_single_recoverable_fault_never_stops_the_cell(self, fault,
+                                                                    cycle):
+        injector = FailureInjector().schedule(cycle, fault)
+        stats = ProductionCell(injector=injector).run(cycles=3)
+        assert stats.cycles_failed == 0
+        assert stats.blanks_forged >= 2

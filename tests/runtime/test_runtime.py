@@ -1,0 +1,550 @@
+"""Integration-level tests of the distributed CA-action runtime."""
+
+import pytest
+
+from repro.core import (
+    CAActionDefinition,
+    ExceptionGraph,
+    HandlerMap,
+    HandlerResult,
+    RoleDefinition,
+    interface,
+    internal,
+)
+from repro.core.exception_graph import generate_full_graph
+from repro.net import ConstantLatency
+from repro.objects import TransactionStatus
+from repro.runtime import (
+    ActionStatus,
+    DistributedCASystem,
+    RuntimeConfig,
+    SystemConfigurationError,
+)
+
+from tests.conftest import make_simple_system, run_single_action
+
+FAULT = internal("fault")
+OTHER_FAULT = internal("other_fault")
+EPS = interface("eps")
+
+
+def success_handler(ctx):
+    return HandlerResult.success()
+
+
+def make_action(name, bodies, handlers=None, internal_exceptions=(FAULT,),
+                graph=None, external_objects=()):
+    roles = []
+    for index, body in enumerate(bodies, start=1):
+        handler_map = handlers[index - 1] if handlers else \
+            HandlerMap(default_handler=success_handler)
+        roles.append(RoleDefinition(f"r{index}", body, handler_map))
+    return CAActionDefinition(
+        name, roles, internal_exceptions=list(internal_exceptions),
+        graph=graph or generate_full_graph(list(internal_exceptions),
+                                           action_name=name),
+        external_objects=list(external_objects))
+
+
+# ----------------------------------------------------------------------
+# Configuration and system wiring
+# ----------------------------------------------------------------------
+class TestConfiguration:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(algorithm="nonexistent")
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(resolution_time=-1)
+
+    def test_charge_duration_mapping(self):
+        config = RuntimeConfig(resolution_time=0.5, abort_time=0.25)
+        assert config.charge_duration("resolution", 2) == 1.0
+        assert config.charge_duration("abort") == 0.25
+        with pytest.raises(ValueError):
+            config.charge_duration("unknown")
+
+    def test_coordinator_factory_selects_algorithm(self):
+        from repro.core.baselines import CampbellRandellCoordinator
+        config = RuntimeConfig(algorithm="campbell-randell")
+        assert isinstance(config.make_coordinator("T1"),
+                          CampbellRandellCoordinator)
+
+    def test_duplicate_thread_rejected(self):
+        system = make_simple_system()
+        with pytest.raises(SystemConfigurationError):
+            system.add_thread("T1")
+
+    def test_binding_validation(self):
+        system = make_simple_system()
+        action = make_action("A", [None, None])
+        system.define_action(action)
+        with pytest.raises(SystemConfigurationError):
+            system.bind("A", {"r1": "T1"})                      # missing role
+        with pytest.raises(SystemConfigurationError):
+            system.bind("A", {"r1": "T1", "r2": "T2", "zz": "T1"})
+        with pytest.raises(SystemConfigurationError):
+            system.bind("A", {"r1": "T1", "r2": "Nobody"})
+        with pytest.raises(SystemConfigurationError):
+            system.binding("Unbound")
+
+    def test_spawn_on_unknown_thread_rejected(self):
+        system = make_simple_system()
+        with pytest.raises(SystemConfigurationError):
+            system.spawn("Nope", lambda ctx: iter(()))
+
+    def test_run_to_completion_without_programs_rejected(self):
+        with pytest.raises(SystemConfigurationError):
+            make_simple_system().run_to_completion()
+
+
+# ----------------------------------------------------------------------
+# Normal (exception-free) execution
+# ----------------------------------------------------------------------
+class TestNormalExecution:
+    def test_roles_cooperate_and_exit_synchronously(self):
+        system = make_simple_system(latency=0.1)
+
+        def r1(ctx):
+            ctx.send("r2", "data", 21)
+            reply = yield ctx.receive("reply")
+            return reply
+
+        def r2(ctx):
+            value = yield ctx.receive("data")
+            ctx.send("r1", "reply", value * 2)
+            return "served"
+
+        reports = run_single_action(system, make_action("A", [r1, r2]),
+                                    {"r1": "T1", "r2": "T2"})
+        assert [r.status for r in reports] == [ActionStatus.SUCCESS] * 2
+        assert reports[0].result == 42
+        # Exit is synchronous: nobody leaves before the slower role is ready,
+        # so the two exits differ by at most one message delay.
+        assert abs(reports[0].finished_at - reports[1].finished_at) <= 0.1 + 1e-9
+        assert min(r.finished_at for r in reports) >= \
+            max(r.started_at for r in reports)
+
+    def test_external_object_committed_once_on_success(self):
+        system = make_simple_system()
+        system.create_object("counter", {"value": 0})
+
+        def writer(ctx):
+            ctx.write("counter", "value", ctx.read("counter", "value") + 1)
+            yield ctx.delay(0.1)
+
+        def reader(ctx):
+            yield ctx.delay(0.1)
+
+        run_single_action(system, make_action("A", [writer, reader],
+                                              external_objects=["counter"]),
+                          {"r1": "T1", "r2": "T2"})
+        counter = system.transactions.object("counter")
+        assert counter.committed_value("value") == 1
+        assert counter.version == 1
+
+    def test_roles_without_bodies_complete_immediately(self):
+        system = make_simple_system()
+        reports = run_single_action(system, make_action("A", [None, None]),
+                                    {"r1": "T1", "r2": "T2"})
+        assert all(report.status is ActionStatus.SUCCESS for report in reports)
+
+    def test_sequential_actions_on_same_threads(self):
+        system = make_simple_system()
+        action = make_action("A", [lambda ctx: (yield ctx.delay(0.1)),
+                                   lambda ctx: (yield ctx.delay(0.1))])
+        system.define_action(action)
+        system.bind("A", {"r1": "T1", "r2": "T2"})
+
+        def program(role):
+            def body(ctx):
+                results = []
+                for _ in range(3):
+                    report = yield from ctx.perform_action("A", role)
+                    results.append(report.status)
+                return results
+            return body
+
+        system.spawn("T1", program("r1"))
+        system.spawn("T2", program("r2"))
+        results = system.run_to_completion()
+        assert all(status is ActionStatus.SUCCESS
+                   for statuses in results for status in statuses)
+
+    def test_no_protocol_messages_without_exceptions(self):
+        system = make_simple_system()
+        run_single_action(system, make_action("A", [None, None]),
+                          {"r1": "T1", "r2": "T2"})
+        assert system.network.stats.protocol_messages() == 0
+
+
+# ----------------------------------------------------------------------
+# Exception handling through the full runtime
+# ----------------------------------------------------------------------
+class TestExceptionHandling:
+    def test_single_raise_reaches_all_handlers(self):
+        system = make_simple_system(n_threads=3, resolution_time=0.1)
+        handled = []
+
+        def handler(ctx):
+            handled.append(ctx.thread_id)
+            return HandlerResult.success()
+
+        def raiser(ctx):
+            yield ctx.delay(0.2)
+            ctx.raise_exception(FAULT)
+
+        def worker(ctx):
+            yield ctx.delay(5.0)
+
+        handlers = [HandlerMap({FAULT: handler})] * 3
+        reports = run_single_action(
+            system, make_action("A", [raiser, worker, worker],
+                                handlers=handlers),
+            {"r1": "T1", "r2": "T2", "r3": "T3"})
+        assert sorted(handled) == ["T1", "T2", "T3"]
+        assert all(report.status is ActionStatus.RECOVERED for report in reports)
+        assert all(report.resolved == FAULT for report in reports)
+
+    def test_concurrent_raises_resolved_through_graph(self):
+        system = make_simple_system(n_threads=2)
+        graph = generate_full_graph([FAULT, OTHER_FAULT], action_name="A")
+        resolved_names = []
+
+        def handler(ctx):
+            resolved_names.append(ctx.resolved_exception.name)
+            return HandlerResult.success()
+
+        def raiser(exception):
+            def body(ctx):
+                yield ctx.delay(0.2)
+                ctx.raise_exception(exception)
+            return body
+
+        handlers = [HandlerMap(default_handler=handler)] * 2
+        reports = run_single_action(
+            system,
+            make_action("A", [raiser(FAULT), raiser(OTHER_FAULT)],
+                        handlers=handlers,
+                        internal_exceptions=(FAULT, OTHER_FAULT), graph=graph),
+            {"r1": "T1", "r2": "T2"})
+        assert all(name == "fault&other_fault" for name in resolved_names)
+        assert all(report.status is ActionStatus.RECOVERED for report in reports)
+
+    def test_handler_signalling_interface_exception(self):
+        system = make_simple_system(n_threads=2)
+
+        def signalling_handler(ctx):
+            return HandlerResult.signal(EPS)
+
+        def quiet_handler(ctx):
+            return HandlerResult.success()
+
+        def raiser(ctx):
+            yield ctx.delay(0.1)
+            ctx.raise_exception(FAULT)
+
+        def worker(ctx):
+            yield ctx.delay(1.0)
+
+        handlers = [HandlerMap({FAULT: signalling_handler}),
+                    HandlerMap({FAULT: quiet_handler})]
+        action = CAActionDefinition(
+            "A", [RoleDefinition("r1", raiser, handlers[0]),
+                  RoleDefinition("r2", worker, handlers[1])],
+            internal_exceptions=[FAULT], interface_exceptions=[EPS],
+            graph=generate_full_graph([FAULT], action_name="A"))
+        reports = run_single_action(system, action, {"r1": "T1", "r2": "T2"})
+        by_thread = {report.thread: report for report in reports}
+        assert by_thread["T1"].status is ActionStatus.SIGNALLED
+        assert by_thread["T1"].signalled == EPS
+        assert by_thread["T2"].status is ActionStatus.RECOVERED
+
+    def test_abort_handler_result_undoes_external_objects(self):
+        system = make_simple_system(n_threads=2)
+        system.create_object("store", {"value": 0})
+
+        def aborting_handler(ctx):
+            return HandlerResult.abort()
+
+        def writer(ctx):
+            ctx.write("store", "value", 99)
+            yield ctx.delay(0.1)
+            ctx.raise_exception(FAULT)
+
+        def worker(ctx):
+            yield ctx.delay(1.0)
+
+        handlers = [HandlerMap({FAULT: aborting_handler})] * 2
+        reports = run_single_action(
+            system, make_action("A", [writer, worker], handlers=handlers,
+                                external_objects=["store"]),
+            {"r1": "T1", "r2": "T2"})
+        assert all(report.status is ActionStatus.UNDONE for report in reports)
+        assert all(report.signalled.name == "mu" for report in reports)
+        assert system.transactions.object("store").committed_value("value") == 0
+
+    def test_failed_undo_signals_failure(self):
+        system = make_simple_system(n_threads=2)
+        store = system.create_object("store", {"value": 0})
+        store.inject_undo_fault()
+
+        def aborting_handler(ctx):
+            return HandlerResult.abort()
+
+        def writer(ctx):
+            ctx.write("store", "value", 99)
+            yield ctx.delay(0.1)
+            ctx.raise_exception(FAULT)
+
+        def worker(ctx):
+            yield ctx.delay(1.0)
+
+        handlers = [HandlerMap({FAULT: aborting_handler})] * 2
+        reports = run_single_action(
+            system, make_action("A", [writer, worker], handlers=handlers,
+                                external_objects=["store"]),
+            {"r1": "T1", "r2": "T2"})
+        assert all(report.status is ActionStatus.FAILED for report in reports)
+        assert all(report.signalled.name == "failure" for report in reports)
+
+    def test_exception_while_waiting_at_exit_barrier(self):
+        """A fast role already at the exit barrier still joins the recovery."""
+        system = make_simple_system(n_threads=2, latency=0.2)
+        handled = []
+
+        def handler(ctx):
+            handled.append(ctx.thread_id)
+            return HandlerResult.success()
+
+        def fast(ctx):
+            yield ctx.delay(0.05)       # finishes long before the raiser
+
+        def slow_raiser(ctx):
+            yield ctx.delay(2.0)
+            ctx.raise_exception(FAULT)
+
+        handlers = [HandlerMap({FAULT: handler})] * 2
+        reports = run_single_action(
+            system, make_action("A", [fast, slow_raiser], handlers=handlers),
+            {"r1": "T1", "r2": "T2"})
+        assert sorted(handled) == ["T1", "T2"]
+        assert all(report.status is ActionStatus.RECOVERED for report in reports)
+
+    def test_metrics_reflect_the_run(self):
+        system = make_simple_system(n_threads=3)
+
+        def raiser(ctx):
+            yield ctx.delay(0.1)
+            ctx.raise_exception(FAULT)
+
+        def worker(ctx):
+            yield ctx.delay(1.0)
+
+        handlers = [HandlerMap(default_handler=success_handler)] * 3
+        run_single_action(system,
+                          make_action("A", [raiser, worker, worker],
+                                      handlers=handlers),
+                          {"r1": "T1", "r2": "T2", "r3": "T3"})
+        metrics = system.metrics
+        assert metrics.exceptions_raised == 1
+        assert metrics.resolutions == 1
+        assert metrics.handlers_invoked == 3
+        assert len(metrics.action_outcomes) == 3
+
+
+# ----------------------------------------------------------------------
+# Nested actions
+# ----------------------------------------------------------------------
+class TestNestedActions:
+    def build_nested_system(self, nested_raises=False,
+                            abortion_signals=True):
+        system = make_simple_system(n_threads=3, resolution_time=0.05,
+                                    abort_time=0.05)
+        abort_residue = internal("abort_residue")
+        events = []
+
+        def outer_handler(ctx):
+            events.append(("outer-handled", ctx.thread_id))
+            return HandlerResult.success()
+
+        def abortion_handler(ctx):
+            events.append(("aborted", ctx.thread_id))
+            if abortion_signals:
+                return HandlerResult.signal(abort_residue)
+            return HandlerResult.success()
+
+        def nested_body(ctx):
+            if nested_raises:
+                yield ctx.delay(0.1)
+                ctx.raise_exception(FAULT)
+            yield ctx.delay(20.0)
+
+        inner = CAActionDefinition(
+            "Inner",
+            [RoleDefinition("n1", nested_body,
+                            HandlerMap(abortion_handler=abortion_handler,
+                                       default_handler=outer_handler)),
+             RoleDefinition("n2", nested_body,
+                            HandlerMap(abortion_handler=abortion_handler,
+                                       default_handler=outer_handler))],
+            internal_exceptions=[FAULT],
+            graph=generate_full_graph([FAULT], action_name="Inner"),
+            parent="Outer")
+
+        def raising_role(ctx):
+            yield ctx.delay(1.0)
+            ctx.raise_exception(OTHER_FAULT)
+
+        def nesting_role(nested_role):
+            def body(ctx):
+                yield from ctx.perform_nested("Inner", nested_role)
+            return body
+
+        outer = CAActionDefinition(
+            "Outer",
+            [RoleDefinition("o1", raising_role,
+                            HandlerMap(default_handler=outer_handler)),
+             RoleDefinition("o2", nesting_role("n1"),
+                            HandlerMap(default_handler=outer_handler)),
+             RoleDefinition("o3", nesting_role("n2"),
+                            HandlerMap(default_handler=outer_handler))],
+            internal_exceptions=[OTHER_FAULT, abort_residue, FAULT],
+            graph=generate_full_graph([OTHER_FAULT, abort_residue, FAULT],
+                                      max_level=1, action_name="Outer"))
+
+        system.define_action(outer)
+        system.define_action(inner)
+        system.bind("Outer", {"o1": "T1", "o2": "T2", "o3": "T3"})
+        system.bind("Inner", {"n1": "T2", "n2": "T3"})
+        return system, events
+
+    def run_outer(self, system):
+        def program(role):
+            def body(ctx):
+                report = yield from ctx.perform_action("Outer", role)
+                return report
+            return body
+        system.spawn("T1", program("o1"))
+        system.spawn("T2", program("o2"))
+        system.spawn("T3", program("o3"))
+        return system.run_to_completion()
+
+    def test_enclosing_exception_aborts_nested_action(self):
+        system, events = self.build_nested_system()
+        reports = self.run_outer(system)
+        assert {thread for tag, thread in events if tag == "aborted"} == \
+            {"T2", "T3"}
+        assert all(report.status is ActionStatus.RECOVERED for report in reports)
+        assert system.metrics.abortions == 2
+
+    def test_abortion_exception_joins_resolution(self):
+        system, events = self.build_nested_system(abortion_signals=True)
+        reports = self.run_outer(system)
+        resolved = {report.resolved.name for report in reports}
+        assert resolved == {"abort_residue&other_fault"}
+
+    def test_silent_abortion_resolves_to_enclosing_exception_only(self):
+        system, events = self.build_nested_system(abortion_signals=False)
+        reports = self.run_outer(system)
+        assert {report.resolved.name for report in reports} == {"other_fault"}
+
+    def test_exception_inside_nested_action_is_invisible_outside(self):
+        system, events = self.build_nested_system(nested_raises=True)
+        # Disarm the outer raiser so only the nested exception occurs.
+        def quiet(ctx):
+            yield ctx.delay(0.2)
+        system.registry.get("Outer").roles["o1"].body = quiet
+        reports = self.run_outer(system)
+        # The nested action recovered internally; the outer action succeeds.
+        assert all(report.status is ActionStatus.SUCCESS for report in reports)
+        assert system.metrics.resolutions == 1
+
+    def test_nested_signal_becomes_enclosing_exception(self):
+        system = make_simple_system(n_threads=2)
+        eps = interface("partial_result")
+        outer_handled = []
+
+        def nested_role(ctx):
+            yield ctx.delay(0.1)
+            ctx.raise_exception(FAULT)
+
+        def nested_handler(ctx):
+            return HandlerResult.signal(eps)
+
+        inner = CAActionDefinition(
+            "Inner",
+            [RoleDefinition("n1", nested_role,
+                            HandlerMap({FAULT: nested_handler})),
+             RoleDefinition("n2", lambda ctx: (yield ctx.delay(1.0)),
+                            HandlerMap({FAULT: nested_handler}))],
+            internal_exceptions=[FAULT], interface_exceptions=[eps],
+            graph=generate_full_graph([FAULT], action_name="Inner"),
+            parent="Outer")
+
+        def outer_handler(ctx):
+            outer_handled.append((ctx.thread_id, ctx.resolved_exception.name))
+            return HandlerResult.success()
+
+        def outer_role(nested_role_name):
+            def body(ctx):
+                yield from ctx.perform_nested("Inner", nested_role_name)
+            return body
+
+        outer = CAActionDefinition(
+            "Outer",
+            [RoleDefinition("o1", outer_role("n1"),
+                            HandlerMap(default_handler=outer_handler)),
+             RoleDefinition("o2", outer_role("n2"),
+                            HandlerMap(default_handler=outer_handler))],
+            internal_exceptions=[eps],
+            graph=generate_full_graph([eps], action_name="Outer"))
+
+        system.define_action(outer)
+        system.define_action(inner)
+        system.bind("Outer", {"o1": "T1", "o2": "T2"})
+        system.bind("Inner", {"n1": "T1", "n2": "T2"})
+
+        def program(role):
+            def body(ctx):
+                report = yield from ctx.perform_action("Outer", role)
+                return report
+            return body
+
+        system.spawn("T1", program("o1"))
+        system.spawn("T2", program("o2"))
+        reports = system.run_to_completion()
+        # T1's handler signals eps, which both outer roles then handle.
+        assert any(name == "partial_result" for _t, name in outer_handled)
+        assert all(report.ok for report in reports)
+
+
+# ----------------------------------------------------------------------
+# Algorithm plug-ability through the runtime
+# ----------------------------------------------------------------------
+class TestAlgorithmSelection:
+    @pytest.mark.parametrize("algorithm",
+                             ["ours", "campbell-randell", "romanovsky96"])
+    def test_same_scenario_all_algorithms(self, algorithm):
+        system = make_simple_system(n_threads=3, algorithm=algorithm)
+        handled = []
+
+        def handler(ctx):
+            handled.append(ctx.thread_id)
+            return HandlerResult.success()
+
+        def raiser(ctx):
+            yield ctx.delay(0.1)
+            ctx.raise_exception(FAULT)
+
+        def worker(ctx):
+            yield ctx.delay(2.0)
+
+        handlers = [HandlerMap({FAULT: handler})] * 3
+        reports = run_single_action(
+            system, make_action("A", [raiser, worker, worker],
+                                handlers=handlers),
+            {"r1": "T1", "r2": "T2", "r3": "T3"})
+        assert sorted(handled) == ["T1", "T2", "T3"]
+        assert all(report.status is ActionStatus.RECOVERED for report in reports)

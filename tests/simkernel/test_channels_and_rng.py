@@ -1,0 +1,183 @@
+"""Unit and property tests for Store/Mailbox/CyclicBuffer and seeded RNG."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import CyclicBuffer, Kernel, Mailbox, SeededStreams, Store
+
+
+class TestStore:
+    def test_put_then_get_returns_item(self, kernel):
+        store = Store(kernel)
+        received = []
+
+        def consumer(kernel, store):
+            received.append((yield store.get()))
+
+        kernel.process(consumer(kernel, store))
+        store.put("item")
+        kernel.run()
+        assert received == ["item"]
+
+    def test_get_blocks_until_put(self, kernel):
+        store = Store(kernel)
+        received = []
+
+        def consumer(kernel, store):
+            item = yield store.get()
+            received.append((kernel.now, item))
+
+        def producer(kernel, store):
+            yield kernel.timeout(4)
+            store.put("late")
+
+        kernel.process(consumer(kernel, store))
+        kernel.process(producer(kernel, store))
+        kernel.run()
+        assert received == [(4.0, "late")]
+
+    def test_fifo_ordering(self, kernel):
+        store = Store(kernel)
+        received = []
+
+        def consumer(kernel, store):
+            for _ in range(3):
+                received.append((yield store.get()))
+
+        kernel.process(consumer(kernel, store))
+        for item in ("first", "second", "third"):
+            store.put(item)
+        kernel.run()
+        assert received == ["first", "second", "third"]
+
+    def test_capacity_blocks_puts(self, kernel):
+        store = Store(kernel, capacity=1)
+        completions = []
+
+        def producer(kernel, store):
+            yield store.put("a")
+            completions.append(("a", kernel.now))
+            yield store.put("b")
+            completions.append(("b", kernel.now))
+
+        def consumer(kernel, store):
+            yield kernel.timeout(5)
+            yield store.get()
+
+        kernel.process(producer(kernel, store))
+        kernel.process(consumer(kernel, store))
+        kernel.run()
+        assert completions[0][0] == "a"
+        assert completions[1] == ("b", 5.0)
+
+    def test_invalid_capacity_rejected(self, kernel):
+        import pytest
+        with pytest.raises(ValueError):
+            Store(kernel, capacity=0)
+
+    def test_len_and_peek_all(self, kernel):
+        store = Store(kernel)
+        store.put("x")
+        store.put("y")
+        kernel.run()
+        assert len(store) == 2
+        assert store.peek_all() == ["x", "y"]
+
+
+class TestMailbox:
+    def test_deliver_is_nonblocking_and_wakes_getter(self, kernel):
+        mailbox = Mailbox(kernel)
+        received = []
+
+        def consumer(kernel, mailbox):
+            received.append((yield mailbox.get()))
+
+        kernel.process(consumer(kernel, mailbox))
+        mailbox.deliver("ping")
+        kernel.run()
+        assert received == ["ping"]
+
+    def test_drain_empties_buffer(self, kernel):
+        mailbox = Mailbox(kernel)
+        for i in range(5):
+            mailbox.deliver(i)
+        assert mailbox.drain() == [0, 1, 2, 3, 4]
+        assert mailbox.drain() == []
+        assert len(mailbox) == 0
+
+
+class TestCyclicBuffer:
+    def test_overwrites_oldest_when_full(self, kernel):
+        buffer = CyclicBuffer(kernel, capacity=3)
+        for i in range(5):
+            buffer.deliver(i)
+        assert buffer.peek_all() == [2, 3, 4]
+        assert buffer.overwritten == [0, 1]
+
+    def test_no_overwrite_below_capacity(self, kernel):
+        buffer = CyclicBuffer(kernel, capacity=10)
+        for i in range(5):
+            buffer.deliver(i)
+        assert buffer.overwritten == []
+
+
+class TestSeededStreams:
+    def test_same_seed_same_sequence(self):
+        a = SeededStreams(7)
+        b = SeededStreams(7)
+        assert [a.random("x") for _ in range(10)] == \
+               [b.random("x") for _ in range(10)]
+
+    def test_different_streams_are_independent(self):
+        streams = SeededStreams(7)
+        first = [streams.random("latency") for _ in range(5)]
+        # Interleaving another stream must not change the first one.
+        streams2 = SeededStreams(7)
+        mixed = []
+        for _ in range(5):
+            mixed.append(streams2.random("latency"))
+            streams2.random("faults")
+        assert first == mixed
+
+    def test_different_seeds_differ(self):
+        assert [SeededStreams(1).random("x") for _ in range(3)] != \
+               [SeededStreams(2).random("x") for _ in range(3)]
+
+    def test_uniform_respects_bounds(self):
+        streams = SeededStreams(3)
+        for _ in range(100):
+            value = streams.uniform("u", 2.0, 5.0)
+            assert 2.0 <= value <= 5.0
+
+    def test_choice_picks_from_sequence(self):
+        streams = SeededStreams(3)
+        options = ["a", "b", "c"]
+        for _ in range(20):
+            assert streams.choice("c", options) in options
+
+    @given(seed=st.integers(min_value=0, max_value=2**32),
+           name=st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_streams_are_reproducible(self, seed, name):
+        first = SeededStreams(seed).random(name)
+        second = SeededStreams(seed).random(name)
+        assert first == second
+
+
+class TestStoreProperties:
+    @given(items=st.lists(st.integers(), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_fifo_preserved_for_any_sequence(self, items):
+        kernel = Kernel()
+        store = Store(kernel)
+        received = []
+
+        def consumer(kernel, store, count):
+            for _ in range(count):
+                received.append((yield store.get()))
+
+        kernel.process(consumer(kernel, store, len(items)))
+        for item in items:
+            store.put(item)
+        kernel.run()
+        assert received == items

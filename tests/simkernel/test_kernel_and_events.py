@@ -1,0 +1,376 @@
+"""Unit tests for the discrete-event simulation kernel and its events."""
+
+import pytest
+
+from repro.simkernel import (
+    AllOf,
+    AnyOf,
+    EmptySchedule,
+    Event,
+    Interrupt,
+    Kernel,
+    StopProcess,
+    Timeout,
+)
+
+
+# ----------------------------------------------------------------------
+# Clock and scheduling
+# ----------------------------------------------------------------------
+class TestClock:
+    def test_initial_time_defaults_to_zero(self):
+        assert Kernel().now == 0.0
+
+    def test_initial_time_can_be_set(self):
+        assert Kernel(initial_time=42.5).now == 42.5
+
+    def test_timeout_advances_clock(self, kernel):
+        def waiter(kernel):
+            yield kernel.timeout(3.5)
+
+        kernel.process(waiter(kernel))
+        kernel.run()
+        assert kernel.now == 3.5
+
+    def test_peek_returns_next_event_time(self, kernel):
+        kernel.timeout(7.0)
+        assert kernel.peek() == 7.0
+
+    def test_peek_on_empty_queue_is_infinite(self, kernel):
+        assert kernel.peek() == float("inf")
+
+    def test_step_on_empty_queue_raises(self, kernel):
+        with pytest.raises(EmptySchedule):
+            kernel.step()
+
+    def test_events_fire_in_timestamp_order(self, kernel):
+        order = []
+
+        def proc(kernel, name, delay):
+            yield kernel.timeout(delay)
+            order.append(name)
+
+        kernel.process(proc(kernel, "late", 5))
+        kernel.process(proc(kernel, "early", 1))
+        kernel.process(proc(kernel, "middle", 3))
+        kernel.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_events_fire_in_creation_order(self, kernel):
+        order = []
+
+        def proc(kernel, name):
+            yield kernel.timeout(1)
+            order.append(name)
+
+        for name in ("a", "b", "c"):
+            kernel.process(proc(kernel, name))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_time_stops_clock_there(self, kernel):
+        def ticker(kernel):
+            while True:
+                yield kernel.timeout(1)
+
+        kernel.process(ticker(kernel))
+        kernel.run(until=10)
+        assert kernel.now == 10
+
+    def test_run_until_past_time_raises(self, kernel):
+        def waiter(kernel):
+            yield kernel.timeout(5)
+
+        kernel.process(waiter(kernel))
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.run(until=1)
+
+    def test_run_until_event_returns_its_value(self, kernel):
+        def producer(kernel):
+            yield kernel.timeout(2)
+            return "result"
+
+        process = kernel.process(producer(kernel))
+        assert kernel.run(until=process) == "result"
+
+    def test_run_until_never_fired_event_raises(self, kernel):
+        event = kernel.event()
+        with pytest.raises(RuntimeError):
+            kernel.run(until=event)
+
+    def test_negative_timeout_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.timeout(-1)
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+class TestEvent:
+    def test_event_starts_untriggered(self, kernel):
+        event = kernel.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self, kernel):
+        with pytest.raises(RuntimeError):
+            kernel.event().value
+
+    def test_ok_before_trigger_raises(self, kernel):
+        with pytest.raises(RuntimeError):
+            kernel.event().ok
+
+    def test_succeed_sets_value(self, kernel):
+        event = kernel.event().succeed("payload")
+        assert event.triggered and event.ok
+        assert event.value == "payload"
+
+    def test_double_succeed_raises(self, kernel):
+        event = kernel.event().succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, kernel):
+        with pytest.raises(TypeError):
+            kernel.event().fail("not an exception")
+
+    def test_failed_event_propagates_to_waiter(self, kernel):
+        caught = []
+
+        def waiter(kernel, event):
+            try:
+                yield event
+            except ValueError as error:
+                caught.append(error)
+
+        event = kernel.event()
+        kernel.process(waiter(kernel, event))
+        event.fail(ValueError("boom"))
+        kernel.run()
+        assert len(caught) == 1
+
+    def test_unhandled_failure_surfaces_from_run(self, kernel):
+        event = kernel.event()
+        event.fail(RuntimeError("nobody caught me"))
+        with pytest.raises(RuntimeError, match="nobody caught me"):
+            kernel.run()
+
+    def test_timeout_carries_value(self, kernel):
+        values = []
+
+        def waiter(kernel):
+            values.append((yield kernel.timeout(1, value="hello")))
+
+        kernel.process(waiter(kernel))
+        kernel.run()
+        assert values == ["hello"]
+
+
+# ----------------------------------------------------------------------
+# Conditions
+# ----------------------------------------------------------------------
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, kernel):
+        finished = []
+
+        def worker(kernel, delay, name):
+            yield kernel.timeout(delay)
+            return name
+
+        def waiter(kernel):
+            p1 = kernel.process(worker(kernel, 2, "a"))
+            p2 = kernel.process(worker(kernel, 5, "b"))
+            yield kernel.all_of([p1, p2])
+            finished.append(kernel.now)
+
+        kernel.process(waiter(kernel))
+        kernel.run()
+        assert finished == [5]
+
+    def test_any_of_fires_at_first_event(self, kernel):
+        finished = []
+
+        def worker(kernel, delay):
+            yield kernel.timeout(delay)
+
+        def waiter(kernel):
+            p1 = kernel.process(worker(kernel, 2))
+            p2 = kernel.process(worker(kernel, 5))
+            yield kernel.any_of([p1, p2])
+            finished.append(kernel.now)
+
+        kernel.process(waiter(kernel))
+        kernel.run()
+        assert finished == [2]
+
+    def test_all_of_result_maps_events_to_values(self, kernel):
+        results = {}
+
+        def worker(kernel, delay, name):
+            yield kernel.timeout(delay)
+            return name
+
+        def waiter(kernel):
+            p1 = kernel.process(worker(kernel, 1, "a"))
+            p2 = kernel.process(worker(kernel, 2, "b"))
+            value = yield kernel.all_of([p1, p2])
+            results["a"] = value[p1]
+            results["b"] = value[p2]
+
+        kernel.process(waiter(kernel))
+        kernel.run()
+        assert results == {"a": "a", "b": "b"}
+
+    def test_empty_all_of_fires_immediately(self, kernel):
+        condition = kernel.all_of([])
+        assert condition.triggered
+
+    def test_condition_fails_if_member_fails(self, kernel):
+        caught = []
+
+        def waiter(kernel, event):
+            try:
+                yield kernel.all_of([event, kernel.timeout(10)])
+            except KeyError as error:
+                caught.append(error)
+
+        event = kernel.event()
+        kernel.process(waiter(kernel, event))
+        event.fail(KeyError("member failed"))
+        kernel.run()
+        assert len(caught) == 1
+
+    def test_condition_rejects_foreign_kernel_events(self, kernel):
+        other = Kernel()
+        with pytest.raises(ValueError):
+            kernel.all_of([other.event()])
+
+
+# ----------------------------------------------------------------------
+# Processes
+# ----------------------------------------------------------------------
+class TestProcess:
+    def test_process_return_value_is_event_value(self, kernel):
+        def worker(kernel):
+            yield kernel.timeout(1)
+            return 99
+
+        process = kernel.process(worker(kernel))
+        kernel.run()
+        assert process.value == 99
+
+    def test_process_waiting_on_process(self, kernel):
+        def inner(kernel):
+            yield kernel.timeout(3)
+            return "inner-result"
+
+        def outer(kernel):
+            result = yield kernel.process(inner(kernel))
+            return f"outer saw {result}"
+
+        process = kernel.process(outer(kernel))
+        kernel.run()
+        assert process.value == "outer saw inner-result"
+
+    def test_non_generator_rejected(self, kernel):
+        with pytest.raises(TypeError):
+            kernel.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self, kernel):
+        def bad(kernel):
+            yield 42
+
+        kernel.process(bad(kernel))
+        with pytest.raises(RuntimeError, match="non-event"):
+            kernel.run()
+
+    def test_interrupt_delivers_cause(self, kernel):
+        causes = []
+
+        def victim(kernel):
+            try:
+                yield kernel.timeout(100)
+            except Interrupt as interrupt:
+                causes.append(interrupt.cause)
+
+        def attacker(kernel, target):
+            yield kernel.timeout(1)
+            target.interrupt("reason")
+
+        target = kernel.process(victim(kernel))
+        kernel.process(attacker(kernel, target))
+        kernel.run()
+        assert causes == ["reason"]
+        assert kernel.now >= 1
+
+    def test_interrupt_detaches_from_original_target(self, kernel):
+        log = []
+
+        def victim(kernel):
+            try:
+                yield kernel.timeout(10)
+            except Interrupt:
+                log.append("interrupted")
+            yield kernel.timeout(1)
+            log.append("resumed")
+
+        def attacker(kernel, target):
+            yield kernel.timeout(1)
+            target.interrupt()
+
+        target = kernel.process(victim(kernel))
+        kernel.process(attacker(kernel, target))
+        kernel.run()
+        assert log == ["interrupted", "resumed"]
+        assert kernel.now == 10  # the stale timeout still fires harmlessly
+
+    def test_interrupting_finished_process_raises(self, kernel):
+        def quick(kernel):
+            yield kernel.timeout(0)
+
+        process = kernel.process(quick(kernel))
+        kernel.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_process_cannot_interrupt_itself(self, kernel):
+        errors = []
+
+        def selfish(kernel):
+            process = kernel.active_process
+            try:
+                process.interrupt()
+            except RuntimeError as error:
+                errors.append(error)
+            yield kernel.timeout(0)
+
+        kernel.process(selfish(kernel))
+        kernel.run()
+        assert len(errors) == 1
+
+    def test_process_failure_propagates_to_waiter(self, kernel):
+        observed = []
+
+        def failing(kernel):
+            yield kernel.timeout(1)
+            raise ValueError("process blew up")
+
+        def waiter(kernel):
+            try:
+                yield kernel.process(failing(kernel))
+            except ValueError as error:
+                observed.append(str(error))
+
+        kernel.process(waiter(kernel))
+        kernel.run()
+        assert observed == ["process blew up"]
+
+    def test_stop_process_exception_ends_process_cleanly(self, kernel):
+        def worker(kernel):
+            yield kernel.timeout(1)
+            raise StopProcess("early-result")
+
+        process = kernel.process(worker(kernel))
+        kernel.run()
+        assert process.value == "early-result"
