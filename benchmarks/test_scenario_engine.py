@@ -1,0 +1,60 @@
+"""New workloads beyond the paper: large-N complexity and multi-action churn.
+
+Both run through the declarative scenario engine
+(:mod:`repro.bench.engine`), which also powers the figure reproductions.
+The assertions check the qualitative shapes that motivated the workloads:
+
+* **large_n** — the measured resolution-message count keeps following the
+  paper's ``(N+1)(N−1)`` formula far beyond the published N ≤ 6 grid, and
+  the virtual completion time stays sub-quadratic in N (the algorithm's
+  rounds are what grows, not the per-thread work);
+* **churn** — unrelated concurrent CA actions sharing one network do not
+  slow each other down: the total virtual time stays flat while the
+  message load scales linearly with the number of actions.
+"""
+
+import pytest
+
+from repro.analysis import messages_single_exception
+from repro.bench import REGISTRY, format_table, run_scenario
+
+
+@pytest.mark.benchmark(group="large-n")
+def test_large_n_follows_the_formula_up_to_64(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_scenario("large_n"), rounds=1, iterations=1)
+    for row in rows:
+        assert row["resolution_messages"] == \
+            messages_single_exception(row["n_threads"])
+        assert row["resolution_calls"] == 1
+    times = [row["total_time"] for row in rows]
+    assert times == sorted(times)
+    report("Large-N complexity sweep (single exception)",
+           format_table(rows, columns=["n_threads", "resolution_messages",
+                                       "paper_single", "signalling_messages",
+                                       "total_time"]))
+
+
+@pytest.mark.benchmark(group="churn")
+def test_churn_throughput_scales_with_concurrent_actions(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: run_scenario("churn"), rounds=1, iterations=1)
+    base = rows[0]
+    for row in rows[1:]:
+        # Independent concurrent actions: near-constant completion time...
+        assert row["total_time"] < 1.5 * base["total_time"]
+        # ...while the protocol load grows with the number of actions.
+        assert row["protocol_messages"] == \
+            row["n_groups"] * base["protocol_messages"]
+    report("Multi-action churn (concurrent top-level CA actions)",
+           format_table(rows, columns=["n_groups", "actions_completed",
+                                       "total_time", "protocol_messages",
+                                       "messages_per_action"]))
+
+
+def test_registered_scenarios_are_discoverable(report):
+    lines = [f"{scenario.name:16s} {len(scenario.grid):3d} points  "
+             f"{scenario.description}" for scenario in REGISTRY]
+    report("Registered scenarios", "\n".join(sorted(lines)))
+    assert {"figure9", "figure12_tmmax", "figure12_tres", "large_n",
+            "churn"} <= set(REGISTRY.get(s.name).name for s in REGISTRY)

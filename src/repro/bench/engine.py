@@ -1,0 +1,323 @@
+"""Declarative scenario engine for parameter-sweep experiments.
+
+The paper's experiments (Figures 9–13) are sweeps over many *independent*
+simulated runs.  Instead of hand-rolled loops per figure, this module keeps
+a registry mapping a scenario name to
+
+* a **runner** — a function taking one grid point's parameters (as keyword
+  arguments) and returning one row dictionary, and
+* a default **parameter grid** — the list of points the paper (or the new
+  workload) sweeps.
+
+:func:`run_scenario` executes a grid either sequentially or in parallel on
+a :class:`concurrent.futures.ProcessPoolExecutor`.  Every run builds a
+fresh :class:`~repro.runtime.system.DistributedCASystem` with its own
+network and :class:`~repro.net.network.MessageStatistics`, and the
+simulation itself is deterministic virtual time, so the two execution modes
+produce byte-identical rows; results are always returned in grid order.
+
+Registering a new workload::
+
+    @REGISTRY.register("my-workload", grid=[{"n": 2}, {"n": 4}])
+    def my_workload(n):
+        system = build_something(n)
+        system.run_to_completion()
+        return {"n": n, "total_time": system.now}
+
+Runners must be module-level functions (picklable) for the process-pool
+path; anything else silently degrades to the sequential fallback.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.bounds import (
+    messages_all_exceptions,
+    messages_single_exception,
+    theorem2_worst_case_messages,
+)
+from .scenarios import (
+    EXPERIMENT1_ITERATIONS,
+    run_churn,
+    run_complexity_scenario,
+    run_experiment1,
+    run_experiment2,
+)
+
+#: One grid point: keyword arguments for a scenario runner.
+GridPoint = Mapping[str, object]
+#: One result row, as the harness tables expect them.
+Row = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, sweepable workload."""
+
+    name: str
+    runner: Callable[..., Row]
+    grid: Tuple[GridPoint, ...]
+    description: str = ""
+
+    def run_point(self, point: GridPoint) -> Row:
+        """Execute one grid point in-process."""
+        return self.runner(**point)
+
+
+class ScenarioRegistry:
+    """Name → :class:`Scenario` mapping with a decorator-based API."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(self, name: str, grid: Sequence[GridPoint] = (),
+                 description: str = ""):
+        """Decorator: register the decorated runner under ``name``."""
+        def decorate(runner: Callable[..., Row]) -> Callable[..., Row]:
+            self.add(Scenario(
+                name=name, runner=runner,
+                grid=tuple(dict(point) for point in grid),
+                description=description or (runner.__doc__ or "").strip()
+                .split("\n")[0]))
+            return runner
+        return decorate
+
+    def add(self, scenario: Scenario) -> Scenario:
+        if scenario.name in self._scenarios:
+            raise ValueError(f"scenario {scenario.name!r} already registered")
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(f"unknown scenario {name!r}; "
+                           f"registered: {sorted(self._scenarios)}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._scenarios)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios.values())
+
+
+#: The process-wide default registry (the paper's figures plus the new
+#: workloads register themselves below).
+REGISTRY = ScenarioRegistry()
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
+                 parallel: bool = False, max_workers: Optional[int] = None,
+                 registry: Optional[ScenarioRegistry] = None) -> List[Row]:
+    """Run ``name`` over ``points`` (its default grid when omitted).
+
+    With ``parallel=True`` the grid points are distributed over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; each point still runs
+    a fresh, fully isolated system, so the rows are identical to the
+    sequential path (which is also the automatic fallback when the runner
+    cannot be shipped to worker processes or no pool can be created).
+    Rows are always returned in grid order.
+    """
+    scenario = (registry or REGISTRY).get(name)
+    grid: List[GridPoint] = [dict(point) for point in
+                             (points if points is not None else scenario.grid)]
+    if not grid:
+        return []
+    if parallel and len(grid) > 1 and _shippable(scenario.runner):
+        rows = _run_pool(scenario, grid, max_workers)
+        if rows is not None:
+            return rows
+    return [scenario.run_point(point) for point in grid]
+
+
+def _shippable(runner: Callable[..., Row]) -> bool:
+    """True if ``runner`` can be pickled into a worker process."""
+    try:
+        pickle.dumps(runner)
+        return True
+    except Exception:
+        return False
+
+
+def _run_pool(scenario: Scenario, grid: Sequence[GridPoint],
+              max_workers: Optional[int]) -> Optional[List[Row]]:
+    """Run the grid on a process pool; ``None`` means "fall back"."""
+    workers = max_workers or min(len(grid), 8)
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except OSError:
+        # Restricted environments (no fork/semaphores): sequential fallback.
+        return None
+    try:
+        with pool:
+            futures = [pool.submit(_call_runner, scenario.runner, dict(point))
+                       for point in grid]
+            # A runner's own exception propagates to the caller here — only
+            # a broken pool (workers killed at spawn) triggers the fallback.
+            return [future.result() for future in futures]
+    except BrokenProcessPool:
+        return None
+
+
+def _call_runner(runner: Callable[..., Row], point: Dict[str, object]) -> Row:
+    """Worker-side trampoline (module-level, hence picklable)."""
+    return runner(**point)
+
+
+# ----------------------------------------------------------------------
+# The paper's figures as registered scenarios
+# ----------------------------------------------------------------------
+#: Baseline parameter values (the first row of each Figure 9 column).
+FIGURE9_BASELINE = {"t_msg": 0.2, "t_abort": 0.1, "t_resolution": 0.3}
+
+#: Parameter grids published in Figure 9 of the paper.
+FIGURE9_GRIDS = {
+    "t_msg": (0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4,
+              2.6, 2.8),
+    "t_abort": (0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9, 2.1),
+    "t_resolution": (0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9, 2.1, 2.3),
+}
+
+
+def figure9_grid(varying: str,
+                 values: Optional[Sequence[float]] = None,
+                 iterations: int = EXPERIMENT1_ITERATIONS,
+                 algorithm: str = "ours") -> List[GridPoint]:
+    """The Figure 9 grid varying one parameter at baseline for the others."""
+    if varying not in FIGURE9_GRIDS:
+        raise ValueError(f"unknown parameter {varying!r}")
+    grid = list(values) if values is not None else list(FIGURE9_GRIDS[varying])
+    return [{"varying": varying, "value": value, "iterations": iterations,
+             "algorithm": algorithm} for value in grid]
+
+
+_DEFAULT_FIGURE9_GRID = tuple(point for parameter in FIGURE9_GRIDS
+                              for point in figure9_grid(parameter))
+
+
+@REGISTRY.register("figure9", grid=_DEFAULT_FIGURE9_GRID,
+                   description="Figure 9/10 sensitivity sweep "
+                               "(three threads, nested abort, 20 iterations)")
+def figure9_point(varying: str, value: float,
+                  iterations: int = EXPERIMENT1_ITERATIONS,
+                  algorithm: str = "ours") -> Row:
+    """One Figure 9 grid point: sweep ``varying``, others at baseline."""
+    parameters = dict(FIGURE9_BASELINE)
+    if varying not in parameters:
+        raise ValueError(f"unknown parameter {varying!r}")
+    parameters[varying] = value
+    result = run_experiment1(iterations=iterations, algorithm=algorithm,
+                             **parameters)
+    return {
+        varying: value,
+        "total_time": result.total_time,
+        "time_per_iteration": result.time_per_iteration,
+        "protocol_messages": result.protocol_messages,
+    }
+
+
+#: Parameter grids published in Figure 12.
+FIGURE12_TMMAX_GRID = (1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4)
+FIGURE12_TRES_GRID = (0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5)
+FIGURE12_FIXED_TRES = 0.3
+FIGURE12_FIXED_TMMAX = 1.0
+
+
+def _figure12_comparison(t_msg: float, t_resolution: float,
+                         iterations: int) -> Dict[str, float]:
+    """Both algorithms on one Figure 12 grid point (shared row columns)."""
+    ours = run_experiment2(t_msg, t_resolution, algorithm="ours",
+                           iterations=iterations)
+    cr = run_experiment2(t_msg, t_resolution, algorithm="campbell-randell",
+                         iterations=iterations)
+    return {
+        "time_ours": ours.total_time,
+        "time_cr": cr.total_time,
+        "messages_ours": ours.protocol_messages,
+        "messages_cr": cr.protocol_messages,
+        "resolution_calls_ours": ours.resolution_calls,
+        "resolution_calls_cr": cr.resolution_calls,
+    }
+
+
+@REGISTRY.register("figure12_tmmax",
+                   grid=tuple({"t_msg": value} for value in FIGURE12_TMMAX_GRID),
+                   description="Figure 12 left half: ours vs Campbell-Randell,"
+                               " varying Tmmax")
+def figure12_tmmax_point(t_msg: float,
+                         t_resolution: float = FIGURE12_FIXED_TRES,
+                         iterations: int = 1) -> Row:
+    """One Figure 12 point varying ``Tmmax`` at fixed ``Tres``."""
+    row: Row = {"t_msg": t_msg}
+    row.update(_figure12_comparison(t_msg, t_resolution, iterations))
+    return row
+
+
+@REGISTRY.register("figure12_tres",
+                   grid=tuple({"t_res": value} for value in FIGURE12_TRES_GRID),
+                   description="Figure 12 right half: ours vs Campbell-Randell,"
+                               " varying Tres")
+def figure12_tres_point(t_res: float, t_msg: float = FIGURE12_FIXED_TMMAX,
+                        iterations: int = 1) -> Row:
+    """One Figure 12 point varying ``Tres`` at fixed ``Tmmax``."""
+    row: Row = {"t_res": t_res}
+    row.update(_figure12_comparison(t_msg, t_res, iterations))
+    return row
+
+
+# ----------------------------------------------------------------------
+# New workloads beyond the paper
+# ----------------------------------------------------------------------
+#: The large-N grid: the paper stops at N = 6; this sweep extends the
+#: message-complexity measurement up to 64 participants.
+LARGE_N_GRID = tuple({"n_threads": n} for n in (4, 8, 16, 32, 64))
+
+
+@REGISTRY.register("large_n", grid=LARGE_N_GRID,
+                   description="Message-complexity sweep up to N=64 "
+                               "participants (single concurrent exception)")
+def large_n_point(n_threads: int, n_exceptions: int = 1,
+                  algorithm: str = "ours") -> Row:
+    """One large-N point: measured counts against the analytic formulas."""
+    outcome = run_complexity_scenario(n_threads, n_exceptions,
+                                      algorithm=algorithm)
+    return {
+        "n_threads": n_threads,
+        "n_exceptions": n_exceptions,
+        "resolution_messages": outcome["resolution_messages"],
+        "signalling_messages": outcome["signalling_messages"],
+        "resolution_calls": outcome["resolution_calls"],
+        "total_time": outcome["total_time"],
+        "paper_single": messages_single_exception(n_threads),
+        "paper_all": messages_all_exceptions(n_threads),
+        "theorem2_bound": theorem2_worst_case_messages(n_threads, 1),
+    }
+
+
+#: The churn grid: an increasing number of unrelated concurrent actions
+#: sharing one network.
+CHURN_GRID = tuple({"n_groups": n} for n in (1, 2, 4, 8, 16))
+
+
+@REGISTRY.register("churn", grid=CHURN_GRID,
+                   description="Multi-action churn: many concurrent top-level"
+                               " CA actions sharing the network")
+def churn_point(n_groups: int, iterations: int = 2, group_size: int = 3,
+                t_msg: float = 0.05, t_resolution: float = 0.1,
+                algorithm: str = "ours") -> Row:
+    """One churn point: aggregate throughput of ``n_groups`` parallel actions."""
+    return run_churn(n_groups, iterations=iterations, group_size=group_size,
+                     t_msg=t_msg, t_resolution=t_resolution,
+                     algorithm=algorithm)

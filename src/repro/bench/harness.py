@@ -4,6 +4,12 @@ Each function returns a list of row dictionaries matching the columns of the
 corresponding table in the paper, so that the benchmark suite (and the
 EXPERIMENTS.md report) can print them side by side with the published
 numbers.
+
+The sweeps themselves are thin façades over the declarative scenario engine
+(:mod:`repro.bench.engine`): each figure is a registered scenario, and the
+functions here only assemble the figure's grid and hand it to
+:func:`~repro.bench.engine.run_scenario`.  Pass ``parallel=True`` to fan a
+sweep out over a process pool; the rows are identical either way.
 """
 
 from __future__ import annotations
@@ -20,27 +26,33 @@ from ..analysis.bounds import (
     signalling_messages_worst_case,
     theorem2_worst_case_messages,
 )
+from .engine import (
+    CHURN_GRID,
+    FIGURE9_BASELINE,
+    FIGURE9_GRIDS,
+    LARGE_N_GRID,
+    FIGURE12_FIXED_TMMAX,
+    FIGURE12_FIXED_TRES,
+    FIGURE12_TMMAX_GRID,
+    FIGURE12_TRES_GRID,
+    figure9_grid,
+    run_scenario,
+)
 from .scenarios import (
     EXPERIMENT1_ITERATIONS,
     run_complexity_scenario,
     run_experiment1,
-    run_experiment2,
 )
 
-#: Parameter grids published in Figure 9 of the paper.
-FIGURE9_TMMAX_VALUES = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0,
-                        2.2, 2.4, 2.6, 2.8]
-FIGURE9_TABO_VALUES = [0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9, 2.1]
-FIGURE9_TRESO_VALUES = [0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9, 2.1, 2.3]
-
-#: Baseline parameter values (the first row of each Figure 9 column).
-FIGURE9_BASELINE = {"t_msg": 0.2, "t_abort": 0.1, "t_resolution": 0.3}
+#: Parameter grids published in Figure 9 of the paper (legacy aliases of
+#: the engine's grids, kept because the benchmark suite imports them).
+FIGURE9_TMMAX_VALUES = list(FIGURE9_GRIDS["t_msg"])
+FIGURE9_TABO_VALUES = list(FIGURE9_GRIDS["t_abort"])
+FIGURE9_TRESO_VALUES = list(FIGURE9_GRIDS["t_resolution"])
 
 #: Parameter grids published in Figure 12.
-FIGURE12_TMMAX_VALUES = [1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4]
-FIGURE12_TRES_VALUES = [0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5]
-FIGURE12_FIXED_TRES = 0.3
-FIGURE12_FIXED_TMMAX = 1.0
+FIGURE12_TMMAX_VALUES = list(FIGURE12_TMMAX_GRID)
+FIGURE12_TRES_VALUES = list(FIGURE12_TRES_GRID)
 
 
 # ----------------------------------------------------------------------
@@ -49,7 +61,8 @@ FIGURE12_FIXED_TMMAX = 1.0
 def sweep_figure9(varying: str,
                   values: Optional[Sequence[float]] = None,
                   iterations: int = EXPERIMENT1_ITERATIONS,
-                  algorithm: str = "ours") -> List[Dict[str, float]]:
+                  algorithm: str = "ours",
+                  parallel: bool = False) -> List[Dict[str, float]]:
     """Sweep one of the three parameters of the Figure 9 experiment.
 
     ``varying`` is ``"t_msg"`` (message passing), ``"t_abort"`` (abortion)
@@ -58,38 +71,21 @@ def sweep_figure9(varying: str,
     execution time, mirroring the two columns of the corresponding Figure 9
     sub-table.
     """
-    defaults = {"t_msg": FIGURE9_TMMAX_VALUES,
-                "t_abort": FIGURE9_TABO_VALUES,
-                "t_resolution": FIGURE9_TRESO_VALUES}
-    if varying not in defaults:
-        raise ValueError(f"unknown parameter {varying!r}")
-    grid = list(values) if values is not None else defaults[varying]
-
-    rows: List[Dict[str, float]] = []
-    for value in grid:
-        parameters = dict(FIGURE9_BASELINE)
-        parameters[varying] = value
-        result = run_experiment1(iterations=iterations, algorithm=algorithm,
-                                 **parameters)
-        rows.append({
-            varying: value,
-            "total_time": result.total_time,
-            "time_per_iteration": result.time_per_iteration,
-            "protocol_messages": result.protocol_messages,
-        })
-    return rows
+    points = figure9_grid(varying, values, iterations, algorithm)
+    return run_scenario("figure9", points=points, parallel=parallel)
 
 
 def figure10_series(iterations: int = EXPERIMENT1_ITERATIONS,
-                    algorithm: str = "ours") -> Dict[str, List[Dict[str, float]]]:
+                    algorithm: str = "ours",
+                    parallel: bool = False) -> Dict[str, List[Dict[str, float]]]:
     """All three Figure 10 series (total time vs each swept parameter)."""
     return {
         "varying_tmmax": sweep_figure9("t_msg", iterations=iterations,
-                                       algorithm=algorithm),
+                                       algorithm=algorithm, parallel=parallel),
         "varying_tabo": sweep_figure9("t_abort", iterations=iterations,
-                                      algorithm=algorithm),
+                                      algorithm=algorithm, parallel=parallel),
         "varying_treso": sweep_figure9("t_resolution", iterations=iterations,
-                                       algorithm=algorithm),
+                                       algorithm=algorithm, parallel=parallel),
     }
 
 
@@ -98,56 +94,59 @@ def figure10_series(iterations: int = EXPERIMENT1_ITERATIONS,
 # ----------------------------------------------------------------------
 def sweep_figure12_tmmax(values: Optional[Sequence[float]] = None,
                          t_resolution: float = FIGURE12_FIXED_TRES,
-                         iterations: int = 1) -> List[Dict[str, float]]:
+                         iterations: int = 1,
+                         parallel: bool = False) -> List[Dict[str, float]]:
     """Figure 12 left half: vary ``Tmmax`` at fixed ``Tres``."""
     grid = list(values) if values is not None else FIGURE12_TMMAX_VALUES
-    rows = []
-    for t_msg in grid:
-        ours = run_experiment2(t_msg, t_resolution, algorithm="ours",
-                               iterations=iterations)
-        cr = run_experiment2(t_msg, t_resolution, algorithm="campbell-randell",
-                             iterations=iterations)
-        rows.append({
-            "t_msg": t_msg,
-            "time_ours": ours.total_time,
-            "time_cr": cr.total_time,
-            "messages_ours": ours.protocol_messages,
-            "messages_cr": cr.protocol_messages,
-            "resolution_calls_ours": ours.resolution_calls,
-            "resolution_calls_cr": cr.resolution_calls,
-        })
-    return rows
+    points = [{"t_msg": t_msg, "t_resolution": t_resolution,
+               "iterations": iterations} for t_msg in grid]
+    return run_scenario("figure12_tmmax", points=points, parallel=parallel)
 
 
 def sweep_figure12_tres(values: Optional[Sequence[float]] = None,
                         t_msg: float = FIGURE12_FIXED_TMMAX,
-                        iterations: int = 1) -> List[Dict[str, float]]:
+                        iterations: int = 1,
+                        parallel: bool = False) -> List[Dict[str, float]]:
     """Figure 12 right half: vary ``Tres`` at fixed ``Tmmax``."""
     grid = list(values) if values is not None else FIGURE12_TRES_VALUES
-    rows = []
-    for t_resolution in grid:
-        ours = run_experiment2(t_msg, t_resolution, algorithm="ours",
-                               iterations=iterations)
-        cr = run_experiment2(t_msg, t_resolution, algorithm="campbell-randell",
-                             iterations=iterations)
-        rows.append({
-            "t_res": t_resolution,
-            "time_ours": ours.total_time,
-            "time_cr": cr.total_time,
-            "messages_ours": ours.protocol_messages,
-            "messages_cr": cr.protocol_messages,
-            "resolution_calls_ours": ours.resolution_calls,
-            "resolution_calls_cr": cr.resolution_calls,
-        })
-    return rows
+    points = [{"t_res": t_res, "t_msg": t_msg, "iterations": iterations}
+              for t_res in grid]
+    return run_scenario("figure12_tres", points=points, parallel=parallel)
 
 
-def figure13_series(iterations: int = 1) -> Dict[str, List[Dict[str, float]]]:
+def figure13_series(iterations: int = 1,
+                    parallel: bool = False) -> Dict[str, List[Dict[str, float]]]:
     """Both Figure 13 plots: (a) varying Tmmax, (b) varying Tres."""
     return {
-        "varying_tmmax": sweep_figure12_tmmax(iterations=iterations),
-        "varying_tres": sweep_figure12_tres(iterations=iterations),
+        "varying_tmmax": sweep_figure12_tmmax(iterations=iterations,
+                                              parallel=parallel),
+        "varying_tres": sweep_figure12_tres(iterations=iterations,
+                                            parallel=parallel),
     }
+
+
+# ----------------------------------------------------------------------
+# New workloads: large-N complexity sweep and multi-action churn
+# ----------------------------------------------------------------------
+def large_n_table(thread_counts: Optional[Iterable[int]] = None,
+                  algorithm: str = "ours",
+                  parallel: bool = False) -> List[Dict[str, float]]:
+    """Message-complexity sweep far beyond the paper's N ≤ 6 (up to 64)."""
+    if thread_counts is None:
+        thread_counts = [point["n_threads"] for point in LARGE_N_GRID]
+    points = [{"n_threads": n, "algorithm": algorithm} for n in thread_counts]
+    return run_scenario("large_n", points=points, parallel=parallel)
+
+
+def churn_table(group_counts: Optional[Iterable[int]] = None,
+                iterations: int = 2,
+                parallel: bool = False) -> List[Dict[str, float]]:
+    """Throughput of many unrelated concurrent actions on one network."""
+    if group_counts is None:
+        group_counts = [point["n_groups"] for point in CHURN_GRID]
+    points = [{"n_groups": n, "iterations": iterations}
+              for n in group_counts]
+    return run_scenario("churn", points=points, parallel=parallel)
 
 
 # ----------------------------------------------------------------------

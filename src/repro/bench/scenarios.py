@@ -312,4 +312,109 @@ def run_complexity_scenario(n_threads: int, n_exceptions: int,
         "signalling_messages": signalling,
         "resolution_calls": sum(p.coordinator.resolution_calls
                                 for p in system.partitions.values()),
+        "total_time": system.now,
+    }
+
+
+# ----------------------------------------------------------------------
+# Multi-action churn: many concurrent top-level actions share the network
+# ----------------------------------------------------------------------
+def build_churn(n_groups: int, iterations: int = 1, group_size: int = 3,
+                t_msg: float = 0.05, t_resolution: float = 0.1,
+                algorithm: str = "ours") -> DistributedCASystem:
+    """Build a system with ``n_groups`` independent concurrent CA actions.
+
+    Each group has ``group_size`` dedicated threads running its own
+    top-level action in a loop; in every iteration one thread of the group
+    raises an exception that all group members recover from.  All groups
+    share one simulated network, so the scenario measures how the runtime
+    behaves when many unrelated actions generate protocol traffic at the
+    same time (a workload the paper's three-thread experiments never
+    exercise).
+    """
+    if n_groups < 1:
+        raise ValueError("need at least one group")
+    if group_size < 2:
+        raise ValueError("churn groups need at least two threads")
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    config = RuntimeConfig(algorithm=algorithm, resolution_time=t_resolution)
+    system = DistributedCASystem(config, latency=ConstantLatency(t_msg))
+
+    def resolving_handler(ctx):
+        yield ctx.delay(HANDLER_TIME)
+        return HandlerResult.success()
+
+    for group in range(n_groups):
+        threads = [f"G{group:02d}T{i}" for i in range(1, group_size + 1)]
+        system.add_threads(threads)
+        action_name = f"Churn{group:02d}"
+        fault = internal(f"churn_fault_{group:02d}")
+        graph = generate_full_graph([fault], action_name=action_name)
+
+        def make_raising_role(exception, offset):
+            def body(ctx):
+                yield ctx.delay(NORMAL_COMPUTATION_TIME + offset)
+                ctx.raise_exception(exception)
+            return body
+
+        def worker_role(ctx):
+            yield ctx.delay(10.0 * NORMAL_COMPUTATION_TIME)
+
+        roles = [RoleDefinition("w1",
+                                make_raising_role(fault, 0.001 * group),
+                                HandlerMap(default_handler=resolving_handler))]
+        roles += [RoleDefinition(f"w{i}", worker_role,
+                                 HandlerMap(default_handler=resolving_handler))
+                  for i in range(2, group_size + 1)]
+        action = CAActionDefinition(action_name, roles,
+                                    internal_exceptions=[fault], graph=graph)
+        system.define_action(action)
+        system.bind(action_name,
+                    {f"w{i}": threads[i - 1] for i in range(1, group_size + 1)})
+
+        def make_program(action_name, role):
+            def program(ctx):
+                reports = []
+                for _ in range(iterations):
+                    report = yield from ctx.perform_action(action_name, role)
+                    reports.append(report)
+                return reports
+            return program
+
+        for i, thread in enumerate(threads, start=1):
+            system.spawn(thread, make_program(action_name, f"w{i}"))
+    return system
+
+
+def run_churn(n_groups: int, iterations: int = 1, group_size: int = 3,
+              t_msg: float = 0.05, t_resolution: float = 0.1,
+              algorithm: str = "ours") -> Dict[str, float]:
+    """Run the churn scenario and return aggregate throughput figures."""
+    system = build_churn(n_groups, iterations, group_size, t_msg,
+                         t_resolution, algorithm)
+    reports = system.run_to_completion()
+    recovered = sum(1 for per_thread in reports for report in per_thread
+                    if report.status is ActionStatus.RECOVERED)
+    # Measured: an action instance counts as completed only when every one
+    # of its participants recovered.  Programs are spawned group by group,
+    # so reports[g*group_size:(g+1)*group_size] are one group's threads.
+    completed = 0
+    for group in range(n_groups):
+        members = reports[group * group_size:(group + 1) * group_size]
+        for iteration in range(iterations):
+            if all(member[iteration].status is ActionStatus.RECOVERED
+                   for member in members):
+                completed += 1
+    attempted = n_groups * iterations
+    protocol_messages = system.network.stats.protocol_messages()
+    return {
+        "n_groups": n_groups,
+        "actions_attempted": attempted,
+        "actions_completed": completed,
+        "participations_recovered": recovered,
+        "total_time": system.now,
+        "protocol_messages": protocol_messages,
+        "messages_per_action": protocol_messages / attempted,
+        "resolutions": system.metrics.resolutions,
     }

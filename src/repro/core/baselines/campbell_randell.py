@@ -37,15 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-from ..effects import (
-    ChargeTime,
-    Effect,
-    HandleResolved,
-    InformObjects,
-    InterruptRole,
-    LogEvent,
-    SendTo,
-)
+from .. import effects as fx
 from ..exceptions import ExceptionDescriptor
 from ..messages import (
     CommitMessage,
@@ -115,7 +107,7 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         self._forwarded = {key for key in self._forwarded if key[0] != action}
 
     # ------------------------------------------------------------------
-    def receive(self, message: ProtocolMessage) -> List[Effect]:
+    def receive(self, message: ProtocolMessage) -> List[fx.Effect]:
         if isinstance(message, CRForwardMessage):
             return self._receive_forward(message)
         if isinstance(message, CRResolvedMessage):
@@ -124,17 +116,17 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
             return self._receive_confirm(message)
         if isinstance(message, CommitMessage):
             # The CR scheme has no Commit; tolerate and ignore.
-            return [LogEvent(f"{self.thread_id} ignored Commit (CR mode)")]
+            return [fx.LogEvent(f"{self.thread_id} ignored Commit (CR mode)")]
         return super().receive(message)
 
     # ------------------------------------------------------------------
-    def _receive_exception_or_suspended(self, message) -> List[Effect]:
+    def _receive_exception_or_suspended(self, message) -> List[fx.Effect]:
         known_before = set(self.le.exceptions_for(message.action))
         effects = super()._receive_exception_or_suspended(message)
         effects.extend(self._maybe_forward(message, known_before))
         return effects
 
-    def _maybe_forward(self, message, known_before) -> List[Effect]:
+    def _maybe_forward(self, message, known_before) -> List[fx.Effect]:
         if not isinstance(message, ExceptionMessage):
             return []
         context = self.active_context()
@@ -144,27 +136,27 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         if key in self._forwarded or message.exception in known_before:
             return []
         self._forwarded.add(key)
-        effects: List[Effect] = [
-            SendTo(context.others(self.thread_id),
+        effects: List[fx.Effect] = [
+            fx.SendTo(context.others(self.thread_id),
                    CRForwardMessage(message.action, self.thread_id,
                                     message.thread, message.exception)),
         ]
         effects.extend(self._charge_incremental_resolution(message.action))
         return effects
 
-    def _receive_forward(self, message: CRForwardMessage) -> List[Effect]:
+    def _receive_forward(self, message: CRForwardMessage) -> List[fx.Effect]:
         context = self.active_context()
         if context is None or not self.sa.contains(message.action):
             self.retained.append(message)
-            return [LogEvent(f"{self.thread_id} retained CR forward")]
+            return [fx.LogEvent(f"{self.thread_id} retained CR forward")]
         known_before = set(self.le.exceptions_for(message.action))
         self._record(message.action, message.origin, message.exception)
-        effects: List[Effect] = []
+        effects: List[fx.Effect] = []
         if self.state is ThreadState.NORMAL and context.action == message.action:
             self.state = ThreadState.SUSPENDED
             self._record(message.action, self.thread_id, None)
-            effects.append(InterruptRole(message.action, message.exception))
-            effects.append(SendTo(context.others(self.thread_id),
+            effects.append(fx.InterruptRole(message.action, message.exception))
+            effects.append(fx.SendTo(context.others(self.thread_id),
                                   SuspendedMessage(message.action,
                                                    self.thread_id)))
         if message.exception not in known_before:
@@ -172,7 +164,7 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         effects.extend(self._check_resolution())
         return effects
 
-    def _charge_incremental_resolution(self, action: str) -> List[Effect]:
+    def _charge_incremental_resolution(self, action: str) -> List[fx.Effect]:
         """Each new exception beyond the first triggers a local re-resolution."""
         known = self.le.exceptions_for(action)
         if len(known) < 2:
@@ -182,10 +174,10 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
             return []
         self.resolution_calls += 1
         context.graph.resolve(known)
-        return [ChargeTime("resolution", 1)]
+        return [fx.ChargeTime("resolution", 1)]
 
     # ------------------------------------------------------------------
-    def _check_resolution(self) -> List[Effect]:
+    def _check_resolution(self) -> List[fx.Effect]:
         """Every thread resolves once it knows everyone's status (no resolver)."""
         context = self.active_context()
         if context is None or self.pending_abort_target is not None:
@@ -205,20 +197,20 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         resolved = context.graph.resolve(raised)
         self._own_announced[action] = resolved
         self._trace(f"CR resolve -> {resolved.name} in {action}")
-        effects: List[Effect] = [
-            ChargeTime("resolution", 1),
-            SendTo(context.others(self.thread_id),
+        effects: List[fx.Effect] = [
+            fx.ChargeTime("resolution", 1),
+            fx.SendTo(context.others(self.thread_id),
                    CRResolvedMessage(action, self.thread_id, resolved)),
         ]
         effects.extend(self._maybe_handle(action))
         return effects
 
-    def _receive_resolved(self, message: CRResolvedMessage) -> List[Effect]:
+    def _receive_resolved(self, message: CRResolvedMessage) -> List[fx.Effect]:
         self._announced.setdefault(message.action, {})[message.thread] = \
             message.exception
         return self._maybe_confirm(message.action)
 
-    def _maybe_confirm(self, action: str) -> List[Effect]:
+    def _maybe_confirm(self, action: str) -> List[fx.Effect]:
         """Once every announcement is in, run the final agreement round."""
         context = self.sa.find(action)
         if context is None or action in self._own_confirmed:
@@ -235,18 +227,18 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         self._own_confirmed[action] = final
         self._confirms.setdefault(action, set()).add(self.thread_id)
         self._trace(f"CR confirm {final.name} in {action}")
-        effects: List[Effect] = [
-            SendTo(context.others(self.thread_id),
+        effects: List[fx.Effect] = [
+            fx.SendTo(context.others(self.thread_id),
                    CRConfirmMessage(action, self.thread_id, final)),
         ]
         effects.extend(self._maybe_handle(action))
         return effects
 
-    def _receive_confirm(self, message: CRConfirmMessage) -> List[Effect]:
+    def _receive_confirm(self, message: CRConfirmMessage) -> List[fx.Effect]:
         self._confirms.setdefault(message.action, set()).add(message.thread)
         return self._maybe_handle(message.action)
 
-    def _maybe_handle(self, action: str) -> List[Effect]:
+    def _maybe_handle(self, action: str) -> List[fx.Effect]:
         context = self.sa.find(action)
         if context is None or action in self.handling:
             return []
@@ -258,4 +250,4 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         self.le.clear()
         self.handling[action] = final
         self._trace(f"CR handle {final.name} in {action}")
-        return [HandleResolved(action, final, resolver=self.thread_id)]
+        return [fx.HandleResolved(action, final, resolver=self.thread_id)]

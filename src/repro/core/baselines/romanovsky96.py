@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Set
 
-from ..effects import ChargeTime, Effect, HandleResolved, LogEvent, SendTo
+from .. import effects as fx
 from ..exceptions import ExceptionDescriptor
 from ..messages import CommitMessage, ProtocolMessage
 from ..resolution import ResolutionCoordinator
@@ -67,17 +67,17 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
         self._own_confirmed.pop(action, None)
 
     # ------------------------------------------------------------------
-    def receive(self, message: ProtocolMessage) -> List[Effect]:
+    def receive(self, message: ProtocolMessage) -> List[fx.Effect]:
         if isinstance(message, AgreementMessage):
             return self._receive_agreement(message)
         if isinstance(message, ConfirmMessage):
             return self._receive_confirm(message)
         if isinstance(message, CommitMessage):
-            return [LogEvent(f"{self.thread_id} ignored Commit (R96 mode)")]
+            return [fx.LogEvent(f"{self.thread_id} ignored Commit (R96 mode)")]
         return super().receive(message)
 
     # ------------------------------------------------------------------
-    def _check_resolution(self) -> List[Effect]:
+    def _check_resolution(self) -> List[fx.Effect]:
         """Round 2 trigger: resolve locally and broadcast the agreement."""
         context = self.active_context()
         if context is None or self.pending_abort_target is not None:
@@ -97,20 +97,20 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
         resolved = context.graph.resolve(raised)
         self._own_agreement[action] = resolved
         self._trace(f"R96 agree {resolved.name} in {action}")
-        effects: List[Effect] = [
-            ChargeTime("resolution", 1),
-            SendTo(context.others(self.thread_id),
+        effects: List[fx.Effect] = [
+            fx.ChargeTime("resolution", 1),
+            fx.SendTo(context.others(self.thread_id),
                    AgreementMessage(action, self.thread_id, resolved)),
         ]
         effects.extend(self._maybe_confirm(action))
         return effects
 
-    def _receive_agreement(self, message: AgreementMessage) -> List[Effect]:
+    def _receive_agreement(self, message: AgreementMessage) -> List[fx.Effect]:
         self._agreements.setdefault(message.action, {})[message.thread] = \
             message.exception
         return self._maybe_confirm(message.action)
 
-    def _maybe_confirm(self, action: str) -> List[Effect]:
+    def _maybe_confirm(self, action: str) -> List[fx.Effect]:
         """Round 3 trigger: all agreements known -> broadcast confirmation."""
         context = self.sa.find(action)
         if context is None or action in self._own_confirmed:
@@ -125,18 +125,18 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
         self._own_confirmed[action] = final
         self._confirms.setdefault(action, set()).add(self.thread_id)
         self._trace(f"R96 confirm {final.name} in {action}")
-        effects: List[Effect] = [
-            SendTo(context.others(self.thread_id),
+        effects: List[fx.Effect] = [
+            fx.SendTo(context.others(self.thread_id),
                    ConfirmMessage(action, self.thread_id, final)),
         ]
         effects.extend(self._maybe_handle(action))
         return effects
 
-    def _receive_confirm(self, message: ConfirmMessage) -> List[Effect]:
+    def _receive_confirm(self, message: ConfirmMessage) -> List[fx.Effect]:
         self._confirms.setdefault(message.action, set()).add(message.thread)
         return self._maybe_handle(message.action)
 
-    def _maybe_handle(self, action: str) -> List[Effect]:
+    def _maybe_handle(self, action: str) -> List[fx.Effect]:
         context = self.sa.find(action)
         if context is None or action in self.handling:
             return []
@@ -148,4 +148,4 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
         self.le.clear()
         self.handling[action] = final
         self._trace(f"R96 handle {final.name} in {action}")
-        return [HandleResolved(action, final, resolver=self.thread_id)]
+        return [fx.HandleResolved(action, final, resolver=self.thread_id)]

@@ -11,8 +11,10 @@ any transport.
 
 from __future__ import annotations
 
+import inspect
+import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from .exceptions import ExceptionDescriptor
 from .messages import ProtocolMessage
@@ -101,6 +103,96 @@ class LogEvent(Effect):
     """Diagnostic trace entry (never affects behaviour)."""
 
     text: str
+
+
+_CAMEL_BOUNDARY = re.compile(r"(?<!^)(?=[A-Z])")
+
+
+def handler_name(effect_type: Type[Effect]) -> str:
+    """The interpreter method name handling ``effect_type``.
+
+    ``SendTo`` dispatches to ``on_send_to``, ``ChargeTime`` to
+    ``on_charge_time`` and so on.
+    """
+    return "on_" + _CAMEL_BOUNDARY.sub("_", effect_type.__name__).lower()
+
+
+class EffectInterpreter:
+    """Interface between the pure coordinators and a concrete runtime.
+
+    The coordination state machines only *describe* what must happen, as
+    lists of :class:`Effect` objects.  An interpreter turns those
+    descriptions into actions on a particular substrate (the simulated
+    partition runtime, a test probe, a future real transport).
+
+    Subclasses implement one ``on_<effect>`` method per effect type they
+    support (see :func:`handler_name` for the naming rule).  A handler may
+    be a plain method or a generator; generators are delegated to, so a
+    handler can wait on simulation events (this is how :class:`ChargeTime`
+    becomes a timeout).  Effects without a matching handler are routed to
+    :meth:`on_unknown`.
+
+    Some effects must not take hold until the whole batch has been
+    interpreted — interrupting the running thread mid-batch would race the
+    remaining effects.  Handlers can defer such work onto :attr:`batch`;
+    :meth:`begin_batch`/:meth:`finish_batch` bracket every :meth:`execute`
+    call, and a batch abandoned by an exception is discarded unfinished.
+
+    Each ``execute`` call owns its batch: several ``execute`` generators may
+    be suspended concurrently (e.g. a thread and its dispatcher both waiting
+    on a :class:`ChargeTime` timeout) and recursive calls nest freely.
+    :attr:`batch` is therefore only valid during the *synchronous* part of
+    a handler — a generator handler must not touch it after its first
+    ``yield``.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Type[Effect], Any] = {}
+        self._active_batch: Any = None
+
+    # -- batch hooks ----------------------------------------------------
+    def begin_batch(self) -> Any:
+        """Create the per-batch deferred-work state (``None`` by default)."""
+        return None
+
+    def finish_batch(self, batch: Any) -> None:
+        """Apply deferred work once a batch completed normally."""
+
+    @property
+    def batch(self) -> Any:
+        """The batch of the handler currently being dispatched."""
+        return self._active_batch
+
+    # -- dispatch -------------------------------------------------------
+    def execute(self, effects: Sequence[Effect]) -> Iterator[Any]:
+        """Interpret ``effects`` in order (generator; may yield events)."""
+        batch = self.begin_batch()
+        for effect in effects:
+            handler = self._handler_for(type(effect))
+            if handler is None:
+                self.on_unknown(effect)
+                continue
+            # Re-point the active batch before every dispatch: another
+            # execute() generator (or a recursive one) may have run while
+            # this generator was suspended at a handler's yield.
+            self._active_batch = batch
+            result = handler(effect)
+            if inspect.isgenerator(result):
+                yield from result
+        self.finish_batch(batch)
+
+    def on_unknown(self, effect: Effect) -> None:
+        """Called for effects without an ``on_<effect>`` handler."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not handle {type(effect).__name__}")
+
+    def _handler_for(self, effect_type: Type[Effect]):
+        try:
+            return self._handlers[effect_type]
+        except KeyError:
+            handler = getattr(self, handler_name(effect_type), None)
+            self._handlers[effect_type] = handler
+            return handler
 
 
 def sends(effects: Sequence[Effect]) -> List[SendTo]:

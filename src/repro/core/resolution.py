@@ -35,16 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .effects import (
-    AbortNested,
-    ChargeTime,
-    Effect,
-    HandleResolved,
-    InformObjects,
-    InterruptRole,
-    LogEvent,
-    SendTo,
-)
+from . import effects as fx
 from .exceptions import ExceptionDescriptor, RaisedRecord
 from .messages import (
     CommitMessage,
@@ -87,7 +78,7 @@ class CoordinatorBase:
     # ------------------------------------------------------------------
     # Context management (common to all algorithms)
     # ------------------------------------------------------------------
-    def enter_action(self, context: ActionContext) -> List[Effect]:
+    def enter_action(self, context: ActionContext) -> List[fx.Effect]:
         """The thread enters ``context.action``: push it and consume retained
         messages that were waiting for this action."""
         if self.thread_id not in context.participants:
@@ -96,13 +87,13 @@ class CoordinatorBase:
         self.sa.push(context)
         self.state = ThreadState.NORMAL
         self._trace(f"enter {context.action}")
-        effects: List[Effect] = []
+        effects: List[fx.Effect] = []
         pending, self.retained = self._split_retained(context.action)
         for message in pending:
             effects.extend(self.receive(message))
         return effects
 
-    def leave_action(self, action: str, success: bool = True) -> List[Effect]:
+    def leave_action(self, action: str, success: bool = True) -> List[fx.Effect]:
         """The thread leaves ``action`` (after the synchronous exit protocol)."""
         top = self.sa.top()
         if top is None or top.action != action:
@@ -136,14 +127,14 @@ class CoordinatorBase:
     # ------------------------------------------------------------------
     # Inputs that subclasses implement
     # ------------------------------------------------------------------
-    def raise_exception(self, exception: ExceptionDescriptor) -> List[Effect]:
+    def raise_exception(self, exception: ExceptionDescriptor) -> List[fx.Effect]:
         raise NotImplementedError
 
-    def receive(self, message: ProtocolMessage) -> List[Effect]:
+    def receive(self, message: ProtocolMessage) -> List[fx.Effect]:
         raise NotImplementedError
 
     def abortion_completed(self, action: str,
-                           raised: Optional[ExceptionDescriptor]) -> List[Effect]:
+                           raised: Optional[ExceptionDescriptor]) -> List[fx.Effect]:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -181,7 +172,7 @@ class ResolutionCoordinator(CoordinatorBase):
     # ------------------------------------------------------------------
     # Local exception
     # ------------------------------------------------------------------
-    def raise_exception(self, exception: ExceptionDescriptor) -> List[Effect]:
+    def raise_exception(self, exception: ExceptionDescriptor) -> List[fx.Effect]:
         """The role running on this thread raised ``exception`` locally."""
         context = self.active_context()
         if context is None:
@@ -192,10 +183,10 @@ class ResolutionCoordinator(CoordinatorBase):
         self._record(action, self.thread_id, exception)
         self._trace(f"raise {exception.name} in {action}")
 
-        effects: List[Effect] = [
-            SendTo(context.others(self.thread_id),
+        effects: List[fx.Effect] = [
+            fx.SendTo(context.others(self.thread_id),
                    ExceptionMessage(action, self.thread_id, exception)),
-            InformObjects(action, exception),
+            fx.InformObjects(action, exception),
         ]
         effects.extend(self._check_resolution())
         return effects
@@ -203,7 +194,7 @@ class ResolutionCoordinator(CoordinatorBase):
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
-    def receive(self, message: ProtocolMessage) -> List[Effect]:
+    def receive(self, message: ProtocolMessage) -> List[fx.Effect]:
         """Process one incoming protocol message."""
         if isinstance(message, (ExceptionMessage, SuspendedMessage)):
             return self._receive_exception_or_suspended(message)
@@ -211,7 +202,7 @@ class ResolutionCoordinator(CoordinatorBase):
             return self._receive_commit(message)
         raise ProtocolError(f"unexpected message {message!r}")
 
-    def _receive_exception_or_suspended(self, message) -> List[Effect]:
+    def _receive_exception_or_suspended(self, message) -> List[fx.Effect]:
         target_action = message.action
         context = self.active_context()
 
@@ -219,16 +210,16 @@ class ResolutionCoordinator(CoordinatorBase):
             # "retain the Exception or Suspended message till Ti enters A*"
             self.retained.append(message)
             self._trace(f"retain message for {target_action}")
-            return [LogEvent(f"{self.thread_id} retained message for "
+            return [fx.LogEvent(f"{self.thread_id} retained message for "
                              f"{target_action}")]
 
         exception = (message.exception
                      if isinstance(message, ExceptionMessage) else None)
         record = self._record(target_action, message.thread, exception)
-        effects: List[Effect] = []
+        effects: List[fx.Effect] = []
         if exception is not None:
             # "exception information ⇒ uninformed external objects"
-            effects.append(InformObjects(target_action, exception))
+            effects.append(fx.InformObjects(target_action, exception))
 
         if target_action != context.action:
             # A* strictly contains the active action: abort nested actions.
@@ -240,32 +231,32 @@ class ResolutionCoordinator(CoordinatorBase):
             self.state = ThreadState.SUSPENDED
             self._record(target_action, self.thread_id, None)
             self._trace(f"suspend in {target_action}")
-            effects.append(InterruptRole(target_action,
+            effects.append(fx.InterruptRole(target_action,
                                          exception if exception is not None
                                          else ExceptionDescriptor("suspended-peer")))
-            effects.append(SendTo(
+            effects.append(fx.SendTo(
                 self.sa.find(target_action).others(self.thread_id),
                 SuspendedMessage(target_action, self.thread_id)))
         effects.extend(self._check_resolution())
         return effects
 
-    def _receive_commit(self, message: CommitMessage) -> List[Effect]:
+    def _receive_commit(self, message: CommitMessage) -> List[fx.Effect]:
         context = self.active_context()
         if context is None or context.action != message.action:
             self._trace(f"ignore Commit for {message.action}")
-            return [LogEvent(f"{self.thread_id} ignored Commit for "
+            return [fx.LogEvent(f"{self.thread_id} ignored Commit for "
                              f"{message.action}")]
         self.le.clear()
         self.handling[message.action] = message.exception
         self._trace(f"commit {message.exception.name} in {message.action}")
-        return [HandleResolved(message.action, message.exception,
+        return [fx.HandleResolved(message.action, message.exception,
                                resolver=message.resolver)]
 
     # ------------------------------------------------------------------
     # Abortion of nested actions
     # ------------------------------------------------------------------
     def _begin_abort(self, target_action: str, record: RaisedRecord,
-                     cause: Optional[ExceptionDescriptor]) -> List[Effect]:
+                     cause: Optional[ExceptionDescriptor]) -> List[fx.Effect]:
         if self.pending_abort_target is not None:
             # Already aborting; if the new target is even higher, extend it.
             if self.sa.contains(target_action) and \
@@ -273,7 +264,7 @@ class ResolutionCoordinator(CoordinatorBase):
                                              self.pending_abort_target):
                 self.pending_abort_target = target_action
                 self._trace(f"extend abort target to {target_action}")
-            return [LogEvent(f"{self.thread_id} already aborting")]
+            return [fx.LogEvent(f"{self.thread_id} already aborting")]
 
         nested = self.sa.actions_between_top_and(target_action)
         self.pending_abort_target = target_action
@@ -281,14 +272,14 @@ class ResolutionCoordinator(CoordinatorBase):
         self.le.keep_only(record)
         self._trace(f"abort nested {nested} up to {target_action}")
         return [
-            InterruptRole(self.active_action_name() or target_action,
+            fx.InterruptRole(self.active_action_name() or target_action,
                           cause if cause is not None
                           else ExceptionDescriptor("enclosing-exception")),
-            AbortNested(tuple(nested), resume_action=target_action, cause=cause),
+            fx.AbortNested(tuple(nested), resume_action=target_action, cause=cause),
         ]
 
     def abortion_completed(self, action: str,
-                           raised: Optional[ExceptionDescriptor]) -> List[Effect]:
+                           raised: Optional[ExceptionDescriptor]) -> List[fx.Effect]:
         """The runtime finished aborting nested actions down to ``action``.
 
         ``raised`` is ``Eab``, the exception signalled by the abortion
@@ -305,14 +296,14 @@ class ResolutionCoordinator(CoordinatorBase):
             self.handling.pop(popped.action, None)
             self._clear_action_state(popped.action)
         context = self.sa.top()
-        effects: List[Effect] = []
+        effects: List[fx.Effect] = []
 
         if target != action and self.sa.contains(target):
             # The abort target was extended while the runtime was aborting;
             # keep aborting the remaining chain.
             remaining = self.sa.actions_between_top_and(target)
             self._trace(f"continue aborting {remaining} up to {target}")
-            effects.append(AbortNested(tuple(remaining), resume_action=target,
+            effects.append(fx.AbortNested(tuple(remaining), resume_action=target,
                                        cause=raised))
             return effects
 
@@ -321,15 +312,15 @@ class ResolutionCoordinator(CoordinatorBase):
             self.state = ThreadState.EXCEPTIONAL
             self._record(target, self.thread_id, raised)
             self._trace(f"abortion handler raised {raised.name} in {target}")
-            effects.append(SendTo(context.others(self.thread_id),
+            effects.append(fx.SendTo(context.others(self.thread_id),
                                   ExceptionMessage(target, self.thread_id,
                                                    raised)))
-            effects.append(InformObjects(target, raised))
+            effects.append(fx.InformObjects(target, raised))
         else:
             self.state = ThreadState.SUSPENDED
             self._record(target, self.thread_id, None)
             self._trace(f"suspended after abortion in {target}")
-            effects.append(SendTo(context.others(self.thread_id),
+            effects.append(fx.SendTo(context.others(self.thread_id),
                                   SuspendedMessage(target, self.thread_id)))
         effects.extend(self._check_resolution())
         return effects
@@ -344,7 +335,7 @@ class ResolutionCoordinator(CoordinatorBase):
     # ------------------------------------------------------------------
     # Resolution
     # ------------------------------------------------------------------
-    def _check_resolution(self) -> List[Effect]:
+    def _check_resolution(self) -> List[fx.Effect]:
         """The algorithm's resolution guard, evaluated after each transition."""
         context = self.active_context()
         if context is None or self.pending_abort_target is not None:
@@ -371,8 +362,8 @@ class ResolutionCoordinator(CoordinatorBase):
         self._trace(f"resolve {sorted(e.name for e in raised)} -> "
                     f"{resolved.name} in {action}")
         return [
-            ChargeTime("resolution", 1),
-            SendTo(context.others(self.thread_id),
+            fx.ChargeTime("resolution", 1),
+            fx.SendTo(context.others(self.thread_id),
                    CommitMessage(action, self.thread_id, resolved)),
-            HandleResolved(action, resolved, resolver=self.thread_id),
+            fx.HandleResolved(action, resolved, resolver=self.thread_id),
         ]

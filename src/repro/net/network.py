@@ -81,16 +81,48 @@ class MessageStatistics:
                           "AgreementMessage", "ConfirmMessage")
 
     def reset(self) -> None:
-        self.__init__()
+        """Zero every counter (used between benchmark phases)."""
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.by_type.clear()
+        self.by_link.clear()
 
     def snapshot(self) -> Dict[str, Any]:
-        """Return a plain-dict summary (for reports)."""
+        """Return a plain-dict copy of every counter.
+
+        The snapshot is a self-contained, picklable value; :meth:`restore`
+        rebuilds a statistics object from one and :meth:`merge` adds one
+        onto another.  (The scenario engine itself isolates parallel runs
+        by giving each grid point a fresh system — these methods exist for
+        tooling that wants to aggregate such per-run counters.)
+        """
         return {
             "sent": self.sent,
             "delivered": self.delivered,
             "dropped": self.dropped,
             "by_type": dict(self.by_type),
+            "by_link": dict(self.by_link),
         }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Reset the counters to the values captured in ``snapshot``."""
+        self.reset()
+        self.merge(snapshot)
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Add the counters captured in ``snapshot`` onto this instance.
+
+        Used to aggregate the per-run statistics returned by parallel
+        scenario workers into one summary.
+        """
+        self.sent += snapshot.get("sent", 0)
+        self.delivered += snapshot.get("delivered", 0)
+        self.dropped += snapshot.get("dropped", 0)
+        for name, count in snapshot.get("by_type", {}).items():
+            self.by_type[name] += count
+        for link, count in snapshot.get("by_link", {}).items():
+            self.by_link[link] += count
 
 
 class Network:

@@ -9,17 +9,25 @@ network of :mod:`repro.net`.
 
 from .config import ALGORITHMS, RuntimeConfig
 from .context import ProgramContext, RoleContext
-from .partition import ActionFrame, Partition, PendingAbort
+from .dispatcher import Dispatcher
+from .effects import PartitionEffectInterpreter
+from .frames import ActionFrame, FrameStack, PendingAbort
+from .lifecycle import ActionLifecycle
+from .partition import Partition
 from .report import ActionReport, ActionStatus
 from .system import DistributedCASystem, SystemConfigurationError
 
 __all__ = [
     "ActionFrame",
+    "ActionLifecycle",
     "ActionReport",
     "ActionStatus",
     "ALGORITHMS",
+    "Dispatcher",
     "DistributedCASystem",
+    "FrameStack",
     "Partition",
+    "PartitionEffectInterpreter",
     "PendingAbort",
     "ProgramContext",
     "RoleContext",

@@ -1,0 +1,151 @@
+"""Message dispatch for the partition executive.
+
+The dispatcher is the per-node process that drains the node's cyclic
+receive buffer and routes each payload to the right consumer:
+
+* entry/exit announcements update the barrier bookkeeping that the
+  life-cycle waits on;
+* application messages go to per-``(instance, tag)`` cooperation mailboxes;
+* signalling messages go to the frame's signal coordinator (or are parked
+  until the local signalling phase starts);
+* every other protocol message feeds the resolution coordinator, whose
+  resulting effects are executed in-line.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple, TYPE_CHECKING
+
+from ..core.messages import (
+    ApplicationMessage,
+    EnterActionMessage,
+    ExitReadyMessage,
+    ProtocolMessage,
+    ToBeSignalledMessage,
+)
+from ..simkernel.channels import Mailbox
+from ..simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .partition import Partition
+
+
+class Dispatcher:
+    """Drains one node's inbox and routes payloads to their consumers."""
+
+    def __init__(self, partition: "Partition") -> None:
+        self.partition = partition
+        #: Barrier bookkeeping: action instance key -> set of announced threads.
+        self._entry_seen: Dict[str, Set[str]] = defaultdict(set)
+        self._entry_events: Dict[str, Tuple[Set[str], Event]] = {}
+        self._exit_seen: Dict[str, Set[str]] = defaultdict(set)
+        self._exit_events: Dict[str, Tuple[Set[str], Event]] = {}
+        #: Application cooperation mailboxes: (instance_key, tag) -> Mailbox.
+        self._app_mailboxes: Dict[Tuple[str, str], Mailbox] = {}
+        #: Signalling messages that arrived before the local phase started.
+        self._pending_signals: Dict[str, List[ToBeSignalledMessage]] = \
+            defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # The dispatch process
+    # ------------------------------------------------------------------
+    def loop(self):
+        """The dispatcher process body: drain the inbox forever."""
+        partition = self.partition
+        while True:
+            envelope = yield partition.node.inbox.get()
+            yield from self.dispatch(envelope.payload)
+
+    def dispatch(self, payload):
+        """Route one received payload (generator, used via ``yield from``)."""
+        partition = self.partition
+        if isinstance(payload, EnterActionMessage):
+            self._note_entry(payload)
+        elif isinstance(payload, ExitReadyMessage):
+            self._note_exit(payload)
+        elif isinstance(payload, ApplicationMessage):
+            self._route_application(payload)
+        elif isinstance(payload, ToBeSignalledMessage):
+            yield from self._route_signalling(payload)
+        elif isinstance(payload, ProtocolMessage):
+            effects = partition.coordinator.receive(payload)
+            yield from partition.execute_effects(effects)
+        else:
+            partition.log.append(f"unhandled payload {payload!r}")
+
+    # ------------------------------------------------------------------
+    # Barrier bookkeeping (consumed by the life-cycle's entry/exit waits)
+    # ------------------------------------------------------------------
+    def entry_complete(self, key: str, needed: Set[str]) -> bool:
+        """True if every thread in ``needed`` announced entry of ``key``."""
+        return needed <= self._entry_seen[key]
+
+    def exit_complete(self, key: str, needed: Set[str]) -> bool:
+        """True if every thread in ``needed`` announced exit of ``key``."""
+        return needed <= self._exit_seen[key]
+
+    def register_entry_wait(self, key: str, needed: Set[str]) -> Event:
+        """Create the event triggered when the entry barrier completes."""
+        event = self.partition.kernel.event()
+        self._entry_events[key] = (needed, event)
+        return event
+
+    def register_exit_wait(self, key: str, needed: Set[str]) -> Event:
+        """Create the event triggered when the exit barrier completes."""
+        event = self.partition.kernel.event()
+        self._exit_events[key] = (needed, event)
+        return event
+
+    def clear_entry_wait(self, key: str) -> None:
+        self._entry_events.pop(key, None)
+
+    def clear_exit_wait(self, key: str) -> None:
+        self._exit_events.pop(key, None)
+
+    def _note_entry(self, message: EnterActionMessage) -> None:
+        key = message.instance
+        self._entry_seen[key].add(message.thread)
+        waiting = self._entry_events.get(key)
+        if waiting is not None:
+            needed, event = waiting
+            if needed <= self._entry_seen[key] and not event.triggered:
+                event.succeed()
+
+    def _note_exit(self, message: ExitReadyMessage) -> None:
+        key = message.instance
+        self._exit_seen[key].add(message.thread)
+        waiting = self._exit_events.get(key)
+        if waiting is not None:
+            needed, event = waiting
+            if needed <= self._exit_seen[key] and not event.triggered:
+                event.succeed()
+
+    # ------------------------------------------------------------------
+    # Application cooperation mailboxes
+    # ------------------------------------------------------------------
+    def mailbox(self, instance_key: str, tag: str) -> Mailbox:
+        """The cooperation mailbox for ``(instance_key, tag)`` (create lazily)."""
+        key = (instance_key, tag)
+        if key not in self._app_mailboxes:
+            self._app_mailboxes[key] = Mailbox(self.partition.kernel)
+        return self._app_mailboxes[key]
+
+    def _route_application(self, message: ApplicationMessage) -> None:
+        self.mailbox(message.action, message.tag).deliver(message.body)
+
+    # ------------------------------------------------------------------
+    # Signalling messages
+    # ------------------------------------------------------------------
+    def take_pending_signals(self, action: str) -> List[ToBeSignalledMessage]:
+        """Remove and return signalling messages parked for ``action``."""
+        return self._pending_signals.pop(action, [])
+
+    def _route_signalling(self, message: ToBeSignalledMessage):
+        partition = self.partition
+        frame = partition.find_frame(message.action)
+        if frame is None or frame.signal_coordinator is None:
+            self._pending_signals[message.action].append(message)
+            return
+        effects = frame.signal_coordinator.receive(message)
+        yield from partition.execute_effects(effects)

@@ -1,124 +1,43 @@
 """The partition executive: per-thread runtime for distributed CA actions.
 
 Each participating thread runs on its own node (its own Ada 95 *partition*
-in the paper's prototype, Figure 8).  The partition executive implemented
-here provides, per node:
+in the paper's prototype, Figure 8).  :class:`Partition` is the composition
+root of the per-node runtime; the actual behaviour lives in three layered
+subsystems:
 
-* a dispatcher process draining the node's cyclic receive buffer and feeding
-  protocol messages to the resolution and signalling coordinators;
-* execution of the effects those coordinators emit (sending messages,
-  informing external objects, charging resolution time, interrupting the
-  role's normal computation — the ATC analogue — and aborting nested
-  actions);
-* the action life-cycle run by the thread itself: entry synchronisation,
-  the primary attempt, waiting for resolution, handler invocation, the
-  signalling phase, transaction commit/abort and the synchronous exit
-  protocol.
+* :class:`~repro.runtime.dispatcher.Dispatcher` — drains the node's cyclic
+  receive buffer and routes protocol messages to the resolution and
+  signalling coordinators;
+* :class:`~repro.runtime.effects.PartitionEffectInterpreter` — executes the
+  effects those coordinators emit (sending messages, informing external
+  objects, charging resolution time, interrupting the role's normal
+  computation — the ATC analogue — and aborting nested actions);
+* :class:`~repro.runtime.lifecycle.ActionLifecycle` — the action life-cycle
+  run by the thread itself: entry synchronisation, the primary attempt,
+  waiting for resolution, handler invocation, the signalling phase,
+  transaction commit/abort and the synchronous exit protocol.
+
+The partition itself only owns the shared per-thread state (status, frame
+stack, pending abort) and wires the subsystems together.
 """
 
 from __future__ import annotations
 
-import itertools
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Any, List, Optional, TYPE_CHECKING
 
-from ..core.action import CAActionDefinition
-from ..core.effects import (
-    AbortNested,
-    ChargeTime,
-    Effect,
-    HandleResolved,
-    InformObjects,
-    InterruptRole,
-    LogEvent,
-    SendTo,
-)
-from ..core.exceptions import (
-    ActionAborted,
-    ExceptionDescriptor,
-    FAILURE,
-    NO_EXCEPTION,
-    RaisedException,
-    UNDO,
-)
-from ..core.handlers import HandlerResult, HandlerStatus, is_generator_handler, \
-    normalise_result
-from ..core.messages import (
-    ApplicationMessage,
-    CommitMessage,
-    EnterActionMessage,
-    ExceptionMessage,
-    ExitReadyMessage,
-    ProtocolMessage,
-    SuspendedMessage,
-    ToBeSignalledMessage,
-)
+from ..core.messages import ApplicationMessage
 from ..core.resolution import CoordinatorBase
-from ..core.signalling import PerformUndo, SignalCoordinator, SignalOutcome
-from ..core.state import ActionContext
-from ..objects.transaction import Transaction, TransactionStatus
-from ..simkernel.channels import Mailbox
-from ..simkernel.events import Event, Interrupt
 from ..simkernel.process import Process
-from .context import ProgramContext, RoleContext
-from .report import ActionReport, ActionStatus
+from .context import ProgramContext
+from .dispatcher import Dispatcher
+from .effects import PartitionEffectInterpreter
+from .frames import ActionFrame, FrameStack, PendingAbort
+from .lifecycle import ActionLifecycle, call_user
 
 if TYPE_CHECKING:  # pragma: no cover
     from .system import DistributedCASystem
 
-
-class _AbortedByEnclosing(Exception):
-    """Internal unwinding signal: a nested action was aborted from above."""
-
-    def __init__(self, report: ActionReport) -> None:
-        super().__init__(report.action)
-        self.report = report
-
-
-@dataclass
-class PendingAbort:
-    """Recorded abort request: which nested actions, down to which action."""
-
-    actions: Tuple[str, ...]
-    resume_action: str
-    cause: Optional[ExceptionDescriptor] = None
-
-    def covers(self, action: str) -> bool:
-        return action in self.actions
-
-    @property
-    def outermost(self) -> str:
-        return self.actions[-1] if self.actions else self.resume_action
-
-
-@dataclass
-class ActionFrame:
-    """Per-thread runtime state of one action instance being executed."""
-
-    action: str
-    role: str
-    occurrence: int
-    instance_key: str
-    definition: CAActionDefinition
-    context: ActionContext
-    transaction: Transaction
-    parent: Optional["ActionFrame"] = None
-    started_at: float = 0.0
-    #: Becomes True as soon as any exception activity touches this action.
-    exception_mode: bool = False
-    #: The resolving exception, once known.
-    resolved: Optional[ExceptionDescriptor] = None
-    resolution_event: Optional[Event] = None
-    #: Signalling phase state.
-    signal_coordinator: Optional[SignalCoordinator] = None
-    signal_event: Optional[Event] = None
-    #: External-object exceptions already notified (deduplication).
-    informed: Set[str] = field(default_factory=set)
-
-    @property
-    def parent_action(self) -> Optional[str]:
-        return self.parent.action if self.parent is not None else None
+__all__ = ["ActionFrame", "Partition", "PendingAbort"]
 
 
 class Partition:
@@ -126,10 +45,10 @@ class Partition:
 
     #: Thread statuses during which an exception notification may interrupt
     #: the thread's current activity (the ATC analogue).
-    _INTERRUPTIBLE = ("primary", "waiting_entry", "waiting_exit")
+    INTERRUPTIBLE = ("primary", "waiting_entry", "waiting_exit")
     #: Statuses additionally interruptible when a nested-action abort is
     #: required (an enclosing exception stops resolution and handlers too).
-    _ABORT_INTERRUPTIBLE = _INTERRUPTIBLE + ("awaiting_resolution", "handling")
+    ABORT_INTERRUPTIBLE = INTERRUPTIBLE + ("awaiting_resolution", "handling")
 
     def __init__(self, system: "DistributedCASystem", name: str) -> None:
         self.system = system
@@ -141,29 +60,21 @@ class Partition:
         self.node.services["partition"] = self
         self.coordinator: CoordinatorBase = system.config.make_coordinator(name)
 
+        #: Shared per-thread state, mutated by all three subsystems.
         self.status = "idle"
         self.thread_process: Optional[Process] = None
         self.pending_abort: Optional[PendingAbort] = None
-        self._interrupt_requested = False
-
-        self.frames: List[ActionFrame] = []
-        self.occurrences: Dict[str, int] = defaultdict(int)
+        self.interrupt_requested = False
+        self.frames = FrameStack()
         self.log: List[str] = []
 
-        #: Barrier bookkeeping: action instance key -> set of announced threads.
-        self._entry_seen: Dict[str, Set[str]] = defaultdict(set)
-        self._entry_events: Dict[str, Tuple[Set[str], Event]] = {}
-        self._exit_seen: Dict[str, Set[str]] = defaultdict(set)
-        self._exit_events: Dict[str, Tuple[Set[str], Event]] = {}
+        #: The layered subsystems (see the module docstring).
+        self.interpreter = PartitionEffectInterpreter(self)
+        self.dispatcher = Dispatcher(self)
+        self.lifecycle = ActionLifecycle(self)
 
-        #: Application cooperation mailboxes: (instance_key, tag) -> Mailbox.
-        self._app_mailboxes: Dict[Tuple[str, str], Mailbox] = {}
-        #: Signalling messages that arrived before the local phase started.
-        self._pending_signals: Dict[str, List[ToBeSignalledMessage]] = \
-            defaultdict(list)
-
-        self._dispatcher = self.kernel.process(
-            self._dispatch_loop(), name=f"dispatch:{name}")
+        self._dispatcher_process = self.kernel.process(
+            self.dispatcher.loop(), name=f"dispatch:{name}")
 
     # ------------------------------------------------------------------
     # Program execution entry point
@@ -178,182 +89,28 @@ class Partition:
 
     def _program_wrapper(self, program):
         context = ProgramContext(self)
-        result = yield from self._call_user(program, context)
+        result = yield from call_user(program, context)
         self.status = "idle"
         return result
 
     # ------------------------------------------------------------------
-    # Dispatcher: inbox draining and protocol handling
+    # Delegation to the subsystems
     # ------------------------------------------------------------------
-    def _dispatch_loop(self):
-        while True:
-            envelope = yield self.node.inbox.get()
-            yield from self._dispatch(envelope.payload)
+    def execute_effects(self, effects):
+        """Interpret coordinator effects (generator, used via ``yield from``)."""
+        return self.interpreter.execute(effects)
 
-    def _dispatch(self, payload):
-        if isinstance(payload, EnterActionMessage):
-            self._note_entry(payload)
-        elif isinstance(payload, ExitReadyMessage):
-            self._note_exit(payload)
-        elif isinstance(payload, ApplicationMessage):
-            self._route_application(payload)
-        elif isinstance(payload, ToBeSignalledMessage):
-            yield from self._route_signalling(payload)
-        elif isinstance(payload, ProtocolMessage):
-            effects = self.coordinator.receive(payload)
-            yield from self._execute_effects(effects)
-        else:
-            self.log.append(f"unhandled payload {payload!r}")
+    def execute_action(self, action: str, role: str):
+        """Perform a top-level action (generator, used via ``yield from``)."""
+        return self.lifecycle.execute_action(action, role)
 
-    # ------------------------------------------------------------------
-    # Effect execution (shared by dispatcher and thread contexts)
-    # ------------------------------------------------------------------
-    def _execute_effects(self, effects: List[Effect]):
-        interrupts: List[Tuple[str, ExceptionDescriptor, bool]] = []
-        for effect in effects:
-            if isinstance(effect, SendTo):
-                for recipient in effect.recipients:
-                    self.system.network.send(self.name, recipient, effect.message)
-            elif isinstance(effect, ChargeTime):
-                duration = self.config.charge_duration(effect.kind, effect.count)
-                if duration > 0:
-                    yield self.kernel.timeout(duration)
-            elif isinstance(effect, InformObjects):
-                self._inform_objects(effect)
-            elif isinstance(effect, InterruptRole):
-                interrupts.append((effect.action, effect.reason, False))
-            elif isinstance(effect, AbortNested):
-                self.pending_abort = PendingAbort(effect.actions,
-                                                  effect.resume_action,
-                                                  effect.cause)
-                interrupts.append((effect.resume_action, effect.cause, True))
-            elif isinstance(effect, HandleResolved):
-                self._deliver_resolution(effect)
-            elif isinstance(effect, SignalOutcome):
-                self._deliver_signal_outcome(effect)
-            elif isinstance(effect, PerformUndo):
-                yield from self._perform_undo(effect.action)
-            elif isinstance(effect, LogEvent):
-                self.log.append(effect.text)
-            else:  # pragma: no cover - future-proofing
-                self.log.append(f"unknown effect {effect!r}")
-        for action, reason, for_abort in interrupts:
-            self._request_interrupt(action, reason, for_abort)
+    def execute_nested(self, parent_frame: ActionFrame, action: str, role: str):
+        """Perform a nested action from within ``parent_frame``."""
+        return self.lifecycle.execute_nested(parent_frame, action, role)
 
-    def _inform_objects(self, effect: InformObjects) -> None:
-        frame = self._find_frame(effect.action)
-        if frame is None:
-            return
-        key = effect.exception.name
-        if key in frame.informed:
-            return
-        frame.informed.add(key)
-        frame.transaction.notify_exception(key)
-        if not frame.exception_mode:
-            frame.exception_mode = True
-
-    def _deliver_resolution(self, effect: HandleResolved) -> None:
-        frame = self._find_frame(effect.action)
-        if frame is None:
-            self.log.append(f"resolution for unknown frame {effect.action}")
-            return
-        frame.exception_mode = True
-        frame.resolved = effect.exception
-        if effect.resolver == self.name:
-            self.system.metrics.record_resolution(self.name, effect.action,
-                                                  effect.exception.name,
-                                                  self.kernel.now)
-        if frame.resolution_event is not None and \
-                not frame.resolution_event.triggered:
-            frame.resolution_event.succeed(effect.exception)
-
-    def _deliver_signal_outcome(self, effect: SignalOutcome) -> None:
-        frame = self._find_frame(effect.action)
-        if frame is None:
-            return
-        if frame.signal_event is not None and not frame.signal_event.triggered:
-            frame.signal_event.succeed(effect.exception)
-        else:
-            frame.signal_event = None
-
-    def _perform_undo(self, action: str):
-        frame = self._find_frame(action)
-        if frame is None:
-            return
-        status = frame.transaction.abort()
-        successful = status is TransactionStatus.ABORTED
-        if frame.signal_coordinator is not None:
-            effects = frame.signal_coordinator.undo_completed(successful)
-            yield from self._execute_effects(effects)
-
-    def _request_interrupt(self, action: str,
-                           reason: Optional[ExceptionDescriptor],
-                           for_abort: bool) -> None:
-        frame = self._find_frame(action)
-        if frame is not None:
-            frame.exception_mode = True
-        self.system.metrics.record_suspension(self.name, action, self.kernel.now)
-        process = self.thread_process
-        if process is None or not process.is_alive:
-            return
-        if self.kernel.active_process is process:
-            # The thread itself is executing these effects; it will notice
-            # exception_mode / pending_abort without needing an interrupt.
-            return
-        allowed = (self._ABORT_INTERRUPTIBLE if for_abort or
-                   self.pending_abort is not None else self._INTERRUPTIBLE)
-        if self.status not in allowed:
-            return
-        if self._interrupt_requested:
-            return
-        self._interrupt_requested = True
-        process.interrupt(ActionAborted(action, reason) if for_abort
-                          else reason)
-
-    # ------------------------------------------------------------------
-    # Barrier and routing bookkeeping
-    # ------------------------------------------------------------------
-    def _note_entry(self, message: EnterActionMessage) -> None:
-        key = message.instance
-        self._entry_seen[key].add(message.thread)
-        waiting = self._entry_events.get(key)
-        if waiting is not None:
-            needed, event = waiting
-            if needed <= self._entry_seen[key] and not event.triggered:
-                event.succeed()
-
-    def _note_exit(self, message: ExitReadyMessage) -> None:
-        key = message.instance
-        self._exit_seen[key].add(message.thread)
-        waiting = self._exit_events.get(key)
-        if waiting is not None:
-            needed, event = waiting
-            if needed <= self._exit_seen[key] and not event.triggered:
-                event.succeed()
-
-    def _route_application(self, message: ApplicationMessage) -> None:
-        mailbox = self._app_mailbox(message.action, message.tag)
-        mailbox.deliver(message.body)
-
-    def _route_signalling(self, message: ToBeSignalledMessage):
-        frame = self._find_frame(message.action)
-        if frame is None or frame.signal_coordinator is None:
-            self._pending_signals[message.action].append(message)
-            return
-        effects = frame.signal_coordinator.receive(message)
-        yield from self._execute_effects(effects)
-
-    def _app_mailbox(self, instance_key: str, tag: str) -> Mailbox:
-        key = (instance_key, tag)
-        if key not in self._app_mailboxes:
-            self._app_mailboxes[key] = Mailbox(self.kernel)
-        return self._app_mailboxes[key]
-
-    def _find_frame(self, action: str) -> Optional[ActionFrame]:
-        for frame in reversed(self.frames):
-            if frame.action == action or frame.instance_key == action:
-                return frame
-        return None
+    def find_frame(self, action: str) -> Optional[ActionFrame]:
+        """The innermost frame executing ``action`` (by name or instance key)."""
+        return self.frames.find(action)
 
     # ------------------------------------------------------------------
     # Application messaging used by RoleContext
@@ -369,373 +126,7 @@ class Partition:
             tag=tag, body=body))
 
     def receive_application_message(self, frame: ActionFrame, tag: str):
-        return self._app_mailbox(frame.instance_key, tag).get()
-
-    # ------------------------------------------------------------------
-    # Action execution (runs inside the thread process)
-    # ------------------------------------------------------------------
-    def execute_action(self, action: str, role: str):
-        """Perform a top-level action (generator, used via ``yield from``)."""
-        report = yield from self._run_action(action, role, parent_frame=None)
-        return report
-
-    def execute_nested(self, parent_frame: ActionFrame, action: str, role: str):
-        """Perform a nested action from within ``parent_frame``."""
-        report = yield from self._run_action(action, role,
-                                             parent_frame=parent_frame)
-        if report.status is ActionStatus.ABORTED_BY_ENCLOSING:
-            raise _AbortedByEnclosing(report)
-        if report.signalled != NO_EXCEPTION:
-            # Signalled exceptions become internal exceptions of the
-            # enclosing action, "as if concurrently raised" there.
-            raise RaisedException(report.signalled,
-                                  {"from_nested": report.action})
-        return report
-
-    def _run_action(self, action: str, role: str,
-                    parent_frame: Optional[ActionFrame]):
-        definition = self.system.registry.get(action)
-        binding = self.system.binding(action)
-        if role not in binding:
-            raise ValueError(f"role {role!r} of {action!r} is not bound")
-        if binding[role] != self.name:
-            raise ValueError(
-                f"role {role!r} of {action!r} is bound to {binding[role]!r}, "
-                f"not to {self.name!r}")
-        participants = tuple(sorted(set(binding.values())))
-
-        # Instance keys are derived from the enclosing instance chain plus a
-        # per-parent occurrence counter, so that every cooperating thread
-        # computes the same key for the same joint attempt even if some
-        # earlier nested attempt was abandoned during recovery.
-        parent_key = parent_frame.instance_key if parent_frame else ""
-        counter_key = f"{parent_key}|{action}"
-        self.occurrences[counter_key] += 1
-        occurrence = self.occurrences[counter_key]
-        instance_key = (f"{parent_key}/{action}#{occurrence}" if parent_key
-                        else f"{action}#{occurrence}")
-
-        # --- entry synchronisation -----------------------------------
-        yield from self._entry_barrier(action, instance_key, role, participants)
-
-        context = ActionContext(action, participants, definition.graph,
-                                parent=parent_frame.action if parent_frame else None)
-        transaction = self.system.transaction_for(instance_key, definition)
-        frame = ActionFrame(
-            action=action, role=role, occurrence=occurrence,
-            instance_key=instance_key, definition=definition, context=context,
-            transaction=transaction, parent=parent_frame,
-            started_at=self.kernel.now,
-            resolution_event=self.kernel.event(),
-        )
-        self.frames.append(frame)
-        try:
-            effects = self.coordinator.enter_action(context)
-            yield from self._execute_effects(effects)
-            report = yield from self._run_action_body(frame, definition)
-        finally:
-            self.frames.remove(frame)
-        report.finished_at = self.kernel.now
-        self.system.metrics.record_outcome(self._to_outcome(report))
-        return report
-
-    def _run_action_body(self, frame: ActionFrame,
-                         definition: CAActionDefinition) -> Any:
-        role_definition = definition.role(frame.role)
-        role_context = RoleContext(self, frame)
-        result: Any = None
-
-        # --- primary attempt ------------------------------------------
-        if not frame.exception_mode:
-            self.status = "primary"
-            try:
-                if role_definition.body is not None:
-                    result = yield from self._call_user(role_definition.body,
-                                                        role_context)
-            except RaisedException as raised:
-                yield from self._local_raise(frame, raised.descriptor)
-            except _AbortedByEnclosing:
-                frame.exception_mode = True
-            except Interrupt:
-                self._interrupt_requested = False
-                frame.exception_mode = True
-            finally:
-                if self.status == "primary":
-                    self.status = "idle"
-
-        # --- abortion demanded by the enclosing action ----------------
-        if self.pending_abort is not None and self.pending_abort.covers(frame.action):
-            report = yield from self._run_abortion(frame, role_definition,
-                                                   role_context)
-            return report
-
-        # --- no exception anywhere: synchronous exit ------------------
-        if not frame.exception_mode:
-            exited = yield from self._exit_barrier(frame)
-            if exited and not frame.exception_mode:
-                self._commit_if_designated(frame)
-                self.coordinator.leave_action(frame.action, success=True)
-                return ActionReport(frame.action, frame.role, self.name,
-                                    ActionStatus.SUCCESS, result=result,
-                                    started_at=frame.started_at)
-
-        # --- exception path: resolution, handler, signalling ----------
-        resolved = yield from self._await_resolution(frame)
-        if self.pending_abort is not None and self.pending_abort.covers(frame.action):
-            report = yield from self._run_abortion(frame, role_definition,
-                                                   role_context)
-            return report
-
-        handler_result = yield from self._run_handler(frame, role_definition,
-                                                      role_context, resolved)
-        decided = yield from self._run_signalling(frame, handler_result)
-        return self._conclude(frame, resolved, decided, result)
-
-    # ------------------------------------------------------------------
-    # Phases
-    # ------------------------------------------------------------------
-    def _entry_barrier(self, action: str, instance_key: str, role: str,
-                       participants: Tuple[str, ...]):
-        others = tuple(p for p in participants if p != self.name)
-        message = EnterActionMessage(action, self.name, role, instance_key)
-        for other in others:
-            self.system.network.send(self.name, other, message)
-        if not others:
-            return
-        key = instance_key
-        needed = set(others)
-        if needed <= self._entry_seen[key]:
-            return
-        event = self.kernel.event()
-        self._entry_events[key] = (needed, event)
-        self.status = "waiting_entry"
-        try:
-            yield event
-        except Interrupt:
-            self._interrupt_requested = False
-            # An exception in the enclosing action reached us before the
-            # nested action assembled; unwind to the enclosing frame.
-            raise _AbortedByEnclosing(ActionReport(
-                action, role, self.name, ActionStatus.ABORTED_BY_ENCLOSING))
-        finally:
-            self._entry_events.pop(key, None)
-            if self.status == "waiting_entry":
-                self.status = "idle"
-
-    def _exit_barrier(self, frame: ActionFrame):
-        """Synchronous exit protocol; returns True if the barrier completed."""
-        others = frame.context.others(self.name)
-        message = ExitReadyMessage(frame.action, self.name, "success",
-                                   frame.instance_key)
-        for other in others:
-            self.system.network.send(self.name, other, message)
-        if not others:
-            return True
-        key = frame.instance_key
-        needed = set(others)
-        if needed <= self._exit_seen[key]:
-            return True
-        event = self.kernel.event()
-        self._exit_events[key] = (needed, event)
-        self.status = "waiting_exit"
-        try:
-            yield event
-            return True
-        except Interrupt:
-            self._interrupt_requested = False
-            frame.exception_mode = True
-            return False
-        finally:
-            self._exit_events.pop(key, None)
-            if self.status == "waiting_exit":
-                self.status = "idle"
-
-    def _local_raise(self, frame: ActionFrame,
-                     exception: ExceptionDescriptor):
-        frame.exception_mode = True
-        self.system.metrics.record_raise(self.name, frame.action,
-                                         exception.name, self.kernel.now)
-        effects = self.coordinator.raise_exception(exception)
-        yield from self._execute_effects(effects)
-
-    def _await_resolution(self, frame: ActionFrame) -> Any:
-        self.status = "awaiting_resolution"
-        try:
-            while frame.resolved is None:
-                if frame.resolution_event is None or \
-                        frame.resolution_event.triggered:
-                    frame.resolution_event = self.kernel.event()
-                    if frame.resolved is not None:
-                        break
-                try:
-                    yield frame.resolution_event
-                except Interrupt:
-                    self._interrupt_requested = False
-                    if self.pending_abort is not None and \
-                            self.pending_abort.covers(frame.action):
-                        return frame.resolved
-                    # Stale interrupt: keep waiting for the resolution.
-                    frame.resolution_event = self.kernel.event()
-        finally:
-            if self.status == "awaiting_resolution":
-                self.status = "idle"
-        return frame.resolved
-
-    def _run_handler(self, frame: ActionFrame, role_definition,
-                     role_context, resolved: ExceptionDescriptor):
-        self.status = "handling"
-        self.system.metrics.record_handler(self.name, frame.action,
-                                           resolved.name, self.kernel.now)
-        handler = role_definition.handlers.lookup(resolved)
-        try:
-            value = yield from self._call_user(handler, role_context)
-            handler_result = normalise_result(value)
-        except RaisedException as raised:
-            # A handler raising a declared interface exception means SIGNAL;
-            # anything else is a handler failure (ƒ).
-            descriptor = raised.descriptor
-            if frame.definition.declares_interface(descriptor):
-                handler_result = HandlerResult.signal(descriptor)
-            else:
-                handler_result = HandlerResult.failed(
-                    f"handler raised undeclared {descriptor.name}")
-        except Interrupt:
-            self._interrupt_requested = False
-            handler_result = HandlerResult.failed("handler interrupted")
-        finally:
-            if self.status == "handling":
-                self.status = "idle"
-        return handler_result
-
-    def _run_abortion(self, frame: ActionFrame, role_definition, role_context):
-        """Abort this frame because an enclosing action raised an exception."""
-        assert self.pending_abort is not None
-        self.status = "aborting"
-        self.system.metrics.record_abortion(self.name, frame.action,
-                                            self.kernel.now)
-        if self.config.abort_time > 0:
-            yield self.kernel.timeout(self.config.abort_time)
-
-        abortion_handler = role_definition.handlers.abortion_handler
-        signalled: Optional[ExceptionDescriptor] = None
-        if abortion_handler is not None:
-            try:
-                value = yield from self._call_user(abortion_handler, role_context)
-                outcome = normalise_result(value)
-                if outcome.status in (HandlerStatus.SIGNAL, HandlerStatus.FAILED):
-                    signalled = outcome.exception
-            except RaisedException as raised:
-                signalled = raised.descriptor
-            except Interrupt:
-                self._interrupt_requested = False
-
-        # Roll back the aborted action's effects on external objects.
-        if frame.transaction.status is TransactionStatus.ACTIVE:
-            frame.transaction.abort()
-
-        is_outermost = frame.action == self.pending_abort.outermost
-        if is_outermost:
-            resume = self.pending_abort.resume_action
-            self.pending_abort = None
-            # Only the exception of the outermost aborted action's handler is
-            # allowed to be raised in the containing action.
-            effects = self.coordinator.abortion_completed(resume, signalled)
-            yield from self._execute_effects(effects)
-        self.status = "idle"
-        return ActionReport(frame.action, frame.role, self.name,
-                            ActionStatus.ABORTED_BY_ENCLOSING,
-                            started_at=frame.started_at)
-
-    def _run_signalling(self, frame: ActionFrame,
-                        handler_result: HandlerResult) -> Any:
-        self.status = "signalling"
-        proposal = self._proposal_from(handler_result)
-        frame.signal_event = self.kernel.event()
-        frame.signal_coordinator = SignalCoordinator(self.name, frame.context)
-        # Replay signalling messages that arrived before this phase started.
-        pending = self._pending_signals.pop(frame.action, [])
-        try:
-            effects = frame.signal_coordinator.propose(proposal)
-            yield from self._execute_effects(effects)
-            for message in pending:
-                effects = frame.signal_coordinator.receive(message)
-                yield from self._execute_effects(effects)
-            if frame.signal_coordinator.decided is None:
-                decided = yield frame.signal_event
-            else:
-                decided = frame.signal_coordinator.decided
-        finally:
-            self.status = "idle"
-        return decided
-
-    def _proposal_from(self, handler_result: HandlerResult) -> ExceptionDescriptor:
-        if handler_result.status is HandlerStatus.SUCCESS:
-            return NO_EXCEPTION
-        if handler_result.status is HandlerStatus.SIGNAL:
-            return handler_result.exception or FAILURE
-        if handler_result.status is HandlerStatus.ABORT:
-            return UNDO
-        return FAILURE
-
-    def _conclude(self, frame: ActionFrame, resolved: ExceptionDescriptor,
-                  decided: ExceptionDescriptor, result: Any) -> ActionReport:
-        if decided == NO_EXCEPTION:
-            self._commit_if_designated(frame)
-            status = ActionStatus.RECOVERED
-        elif decided == UNDO:
-            self._ensure_rolled_back(frame)
-            status = ActionStatus.UNDONE
-        elif decided == FAILURE:
-            self._ensure_rolled_back(frame)
-            status = ActionStatus.FAILED
-        else:
-            # A "plain" interface exception: the handlers repaired what they
-            # could; deliver the (possibly partial) results.
-            self._commit_if_designated(frame)
-            status = ActionStatus.SIGNALLED
-        if decided != NO_EXCEPTION:
-            self.system.metrics.record_signal(self.name, frame.action,
-                                              decided.name, self.kernel.now)
-        self.coordinator.leave_action(frame.action,
-                                      success=(decided == NO_EXCEPTION))
-        return ActionReport(frame.action, frame.role, self.name, status,
-                            signalled=decided, resolved=resolved,
-                            result=result, started_at=frame.started_at)
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _commit_if_designated(self, frame: ActionFrame) -> None:
-        if frame.transaction.status is not TransactionStatus.ACTIVE:
-            return
-        designated = min(frame.context.participants)
-        if self.name == designated:
-            frame.transaction.commit()
-
-    def _ensure_rolled_back(self, frame: ActionFrame) -> None:
-        if frame.transaction.status is TransactionStatus.ACTIVE:
-            frame.transaction.abort()
-
-    def _to_outcome(self, report: ActionReport):
-        from ..analysis.metrics import ActionOutcome
-        return ActionOutcome(
-            action=report.action,
-            outcome=report.status.value,
-            signalled=(report.signalled.name
-                       if report.signalled != NO_EXCEPTION else None),
-            started_at=report.started_at,
-            finished_at=report.finished_at,
-        )
-
-    @staticmethod
-    def _call_user(function, context):
-        """Run a user callable that may or may not be a generator function."""
-        if function is None:
-            return None
-        if is_generator_handler(function):
-            result = yield from function(context)
-            return result
-        return function(context)
+        return self.dispatcher.mailbox(frame.instance_key, tag).get()
 
     def __repr__(self) -> str:
         return f"<Partition {self.name} status={self.status}>"

@@ -1,0 +1,220 @@
+"""Tests for the declarative scenario engine (registry + parallel runs)."""
+
+import pytest
+
+from repro.analysis import messages_single_exception
+from repro.bench import (
+    REGISTRY,
+    Scenario,
+    ScenarioRegistry,
+    run_scenario,
+    sweep_figure12_tres,
+    sweep_figure12_tmmax,
+    sweep_figure9,
+)
+from repro.bench.engine import figure9_point, figure9_grid
+from repro.bench.scenarios import run_experiment1, run_experiment2
+
+
+# ----------------------------------------------------------------------
+# Registry behaviour
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_default_registry_contains_figures_and_new_workloads(self):
+        for name in ("figure9", "figure12_tmmax", "figure12_tres",
+                     "large_n", "churn"):
+            assert name in REGISTRY
+
+    def test_every_registered_scenario_has_a_grid_and_description(self):
+        for scenario in REGISTRY:
+            assert scenario.grid, scenario.name
+            assert scenario.description, scenario.name
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        registry.add(Scenario("demo", lambda: {}, ()))
+        with pytest.raises(ValueError):
+            registry.add(Scenario("demo", lambda: {}, ()))
+
+    def test_unknown_scenario_reports_known_names(self):
+        registry = ScenarioRegistry()
+        registry.add(Scenario("known", lambda: {}, ()))
+        with pytest.raises(KeyError, match="known"):
+            registry.get("missing")
+
+    def test_register_decorator_keeps_runner_usable(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("twice", grid=[{"n": 1}, {"n": 2}])
+        def twice(n):
+            """Doubles n."""
+            return {"n": n, "result": 2 * n}
+
+        assert twice(3) == {"n": 3, "result": 6}
+        assert registry.get("twice").description == "Doubles n."
+        assert run_scenario("twice", registry=registry) == [
+            {"n": 1, "result": 2}, {"n": 2, "result": 4}]
+
+
+# ----------------------------------------------------------------------
+# Byte-identical reproduction of the old hand-rolled sweeps
+# ----------------------------------------------------------------------
+class TestLegacyEquivalence:
+    def test_figure9_rows_match_hand_rolled_loop(self):
+        values = [0.2, 0.6]
+        rows = sweep_figure9("t_msg", values=values, iterations=2)
+        expected = []
+        for value in values:
+            result = run_experiment1(t_msg=value, t_abort=0.1,
+                                     t_resolution=0.3, iterations=2)
+            expected.append({
+                "t_msg": value,
+                "total_time": result.total_time,
+                "time_per_iteration": result.time_per_iteration,
+                "protocol_messages": result.protocol_messages,
+            })
+        assert rows == expected
+
+    def test_figure12_rows_match_hand_rolled_loop(self):
+        rows = sweep_figure12_tres(values=[0.3, 0.7])
+        expected = []
+        for t_res in [0.3, 0.7]:
+            ours = run_experiment2(1.0, t_res, algorithm="ours")
+            cr = run_experiment2(1.0, t_res, algorithm="campbell-randell")
+            expected.append({
+                "t_res": t_res,
+                "time_ours": ours.total_time,
+                "time_cr": cr.total_time,
+                "messages_ours": ours.protocol_messages,
+                "messages_cr": cr.protocol_messages,
+                "resolution_calls_ours": ours.resolution_calls,
+                "resolution_calls_cr": cr.resolution_calls,
+            })
+        assert rows == expected
+
+    def test_sweep_rejects_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            sweep_figure9("t_nonsense")
+
+    def test_figure9_grid_covers_all_defaults(self):
+        assert len(figure9_grid("t_msg")) == 14
+        assert len(figure9_grid("t_abort")) == 11
+        assert len(figure9_grid("t_resolution")) == 11
+
+
+# ----------------------------------------------------------------------
+# Parallel execution: identical rows, preserved order
+# ----------------------------------------------------------------------
+class TestParallelExecution:
+    def test_figure9_parallel_equals_sequential(self):
+        points = figure9_grid("t_msg", values=[0.2, 0.4, 0.6], iterations=1)
+        sequential = run_scenario("figure9", points=points)
+        parallel = run_scenario("figure9", points=points, parallel=True,
+                                max_workers=2)
+        assert parallel == sequential
+
+    def test_figure12_parallel_equals_sequential(self):
+        sequential = sweep_figure12_tmmax(values=[1.0, 1.4])
+        parallel = sweep_figure12_tmmax(values=[1.0, 1.4], parallel=True)
+        assert parallel == sequential
+
+    def test_large_n_parallel_equals_sequential(self):
+        points = [{"n_threads": n} for n in (3, 5, 8)]
+        sequential = run_scenario("large_n", points=points)
+        parallel = run_scenario("large_n", points=points, parallel=True)
+        assert parallel == sequential
+
+    def test_churn_parallel_equals_sequential(self):
+        points = [{"n_groups": n, "iterations": 1} for n in (1, 3)]
+        sequential = run_scenario("churn", points=points)
+        parallel = run_scenario("churn", points=points, parallel=True)
+        assert parallel == sequential
+
+    def test_unpicklable_runner_falls_back_to_sequential(self):
+        registry = ScenarioRegistry()
+        offset = 10
+
+        @registry.register("closure", grid=[{"n": 1}, {"n": 2}])
+        def closure_runner(n):
+            return {"n": n + offset}
+
+        rows = run_scenario("closure", registry=registry, parallel=True)
+        assert rows == [{"n": 11}, {"n": 12}]
+
+    def test_single_point_grids_run_in_process(self):
+        rows = run_scenario("large_n", points=[{"n_threads": 3}],
+                            parallel=True)
+        assert rows[0]["n_threads"] == 3
+
+    def test_empty_grid_returns_no_rows(self):
+        assert run_scenario("large_n", points=[]) == []
+
+
+# ----------------------------------------------------------------------
+# The new workloads
+# ----------------------------------------------------------------------
+class TestLargeN:
+    def test_measured_messages_match_formula_beyond_the_paper(self):
+        rows = run_scenario("large_n", points=[{"n_threads": n}
+                                               for n in (8, 12)])
+        for row in rows:
+            assert row["resolution_messages"] == \
+                messages_single_exception(row["n_threads"])
+            assert row["resolution_calls"] == 1
+            assert row["total_time"] > 0
+
+    def test_default_grid_reaches_64_participants(self):
+        scenario = REGISTRY.get("large_n")
+        assert max(point["n_threads"] for point in scenario.grid) == 64
+
+
+class TestChurn:
+    def test_all_participations_recover(self):
+        row = run_scenario("churn", points=[{"n_groups": 3,
+                                             "iterations": 2}])[0]
+        assert row["participations_recovered"] == 3 * 3 * 2
+        assert row["resolutions"] == 3 * 2
+
+    def test_message_load_scales_linearly_with_groups(self):
+        rows = run_scenario("churn", points=[{"n_groups": 1, "iterations": 1},
+                                             {"n_groups": 4,
+                                              "iterations": 1}])
+        assert rows[1]["protocol_messages"] == 4 * rows[0]["protocol_messages"]
+
+    def test_concurrent_groups_share_virtual_time(self):
+        # Groups run concurrently: 4 groups take (almost) the same virtual
+        # time as 1 group, not 4x.
+        rows = run_scenario("churn", points=[{"n_groups": 1, "iterations": 1},
+                                             {"n_groups": 4,
+                                              "iterations": 1}])
+        assert rows[1]["total_time"] < 2 * rows[0]["total_time"]
+
+    def test_group_validation(self):
+        from repro.bench.scenarios import run_churn
+        with pytest.raises(ValueError):
+            run_churn(0)
+        with pytest.raises(ValueError):
+            run_churn(1, group_size=1)
+        with pytest.raises(ValueError):
+            run_churn(1, iterations=0)
+
+    def test_actions_completed_is_measured_not_assumed(self):
+        row = run_scenario("churn", points=[{"n_groups": 2,
+                                             "iterations": 1}])[0]
+        assert row["actions_attempted"] == 2
+        assert row["actions_completed"] == 2
+        assert row["participations_recovered"] == 2 * 3
+
+
+class TestTableFacades:
+    def test_churn_table_applies_iterations_to_the_default_grid(self):
+        from repro.bench import churn_table
+        rows = churn_table(iterations=1)
+        assert [row["actions_attempted"] for row in rows] == [1, 2, 4, 8, 16]
+
+    def test_large_n_table_applies_algorithm_to_the_default_grid(self):
+        from repro.bench import large_n_table
+        ours = large_n_table(thread_counts=[4], algorithm="ours")[0]
+        cr = large_n_table(thread_counts=[4],
+                           algorithm="campbell-randell")[0]
+        assert ours["resolution_messages"] != cr["resolution_messages"]

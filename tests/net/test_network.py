@@ -285,6 +285,130 @@ class TestStatistics:
         assert snapshot["sent"] == 1
         assert isinstance(snapshot["by_type"], dict)
 
+    def test_per_link_counters_track_directed_links(self):
+        kernel, network, a, b = make_network()
+        c = network.add_node("C")
+        for _ in range(3):
+            a.send("B", "x")
+        b.send("A", "y")
+        a.send("C", "z")
+        kernel.run()
+        assert network.stats.by_link[("A", "B")] == 3
+        assert network.stats.by_link[("B", "A")] == 1
+        assert network.stats.by_link[("A", "C")] == 1
+        assert ("C", "A") not in network.stats.by_link
+
+    def test_per_link_counters_include_dropped_messages(self):
+        faults = FaultPlan()
+        faults.drop_nth_message("A", "B", 1)
+        kernel, network, a, b = make_network(faults=faults)
+        a.send("B", "lost")
+        kernel.run()
+        # Sending is counted per link even when the fault plan drops it.
+        assert network.stats.by_link[("A", "B")] == 1
+        assert network.stats.dropped == 1
+
+    def test_reset_clears_every_counter(self):
+        kernel, network, a, b = make_network()
+        a.send("B", 1)
+        kernel.run()
+        network.stats.reset()
+        assert network.stats.sent == 0
+        assert network.stats.delivered == 0
+        assert dict(network.stats.by_type) == {}
+        assert dict(network.stats.by_link) == {}
+
+    def test_snapshot_restore_roundtrip(self):
+        kernel, network, a, b = make_network()
+        for i in range(3):
+            a.send("B", i)
+        kernel.run()
+        snapshot = network.stats.snapshot()
+        network.stats.reset()
+        network.stats.restore(snapshot)
+        assert network.stats.snapshot() == snapshot
+        assert network.stats.by_link[("A", "B")] == 3
+
+    def test_snapshot_is_isolated_from_later_traffic(self):
+        kernel, network, a, b = make_network()
+        a.send("B", 1)
+        snapshot = network.stats.snapshot()
+        a.send("B", 2)
+        assert snapshot["sent"] == 1
+        assert snapshot["by_link"][("A", "B")] == 1
+
+    def test_merge_aggregates_parallel_run_snapshots(self):
+        kernel, network, a, b = make_network()
+        a.send("B", 1)
+        kernel.run()
+        other = {"sent": 5, "delivered": 4, "dropped": 1,
+                 "by_type": {"int": 5}, "by_link": {("A", "B"): 2,
+                                                    ("B", "A"): 3}}
+        network.stats.merge(other)
+        assert network.stats.sent == 6
+        assert network.stats.delivered == 5
+        assert network.stats.dropped == 1
+        assert network.stats.by_type["int"] == 6
+        assert network.stats.by_link[("A", "B")] == 3
+        assert network.stats.by_link[("B", "A")] == 3
+
+
+# ----------------------------------------------------------------------
+# Fault-plan drops interacting with the FIFO clamp
+# ----------------------------------------------------------------------
+class TestDropsAndFifo:
+    def test_fifo_preserved_around_surgical_drops_under_random_latency(self):
+        faults = FaultPlan()
+        faults.drop_nth_message("A", "B", 3)
+        faults.drop_nth_message("A", "B", 7)
+        streams = SeededStreams(7)
+        kernel, network, a, b = make_network(
+            UniformLatency(0.1, 2.0, streams=streams), faults=faults)
+        received = drain(b, 10)
+        for i in range(12):
+            a.send("B", i)
+        kernel.run()
+        expected = [i for i in range(12) if i not in (2, 6)][:10]
+        assert [payload for _t, payload in received] == expected
+        times = [t for t, _payload in received]
+        assert times == sorted(times)
+        assert faults.stats.dropped == 2
+
+    def test_dropped_message_does_not_advance_the_link_clock(self):
+        # A dropped message is never scheduled, so it must not clamp the
+        # delivery time of later messages on the same link.
+        faults = FaultPlan()
+        faults.add_link_delay("A", "B", 10.0)
+        faults.drop_nth_message("A", "B", 1)
+        kernel, network, a, b = make_network(ConstantLatency(0.5),
+                                             faults=faults)
+        received = drain(b, 1)
+        a.send("B", "dropped-slow")        # would arrive at 10.5 if delivered
+        faults.add_link_delay("A", "B", 0.0)   # later messages: no extra delay
+        a.send("B", "fast")
+        kernel.run()
+        assert received == [(0.5, "fast")]
+
+    def test_fault_delay_feeds_the_fifo_clamp(self):
+        # The first message gets a 2s fault delay; the second, sent later
+        # without extra delay, would overtake it and must be clamped.
+        faults = FaultPlan()
+        faults.add_link_delay("A", "B", 2.0)
+        kernel, network, a, b = make_network(ConstantLatency(0.5),
+                                             faults=faults)
+        received = drain(b, 2)
+
+        def sender(kernel):
+            a.send("B", "first")           # arrives at 2.5
+            yield kernel.timeout(1.0)
+            faults.add_link_delay("A", "B", 0.0)
+            a.send("B", "second")          # would arrive at 1.5 -> clamped
+        kernel.process(sender(kernel))
+        kernel.run()
+        assert [payload for _t, payload in received] == ["first", "second"]
+        assert received[0][0] == pytest.approx(2.5)
+        assert received[1][0] == pytest.approx(2.5)
+
 
 # ----------------------------------------------------------------------
 # RPC

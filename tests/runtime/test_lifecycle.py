@@ -1,0 +1,170 @@
+"""Direct unit tests of the life-cycle subsystem and its frame state."""
+
+import pytest
+
+from repro.core import HandlerMap, HandlerResult
+from repro.core.exceptions import FAILURE, NO_EXCEPTION, UNDO, interface
+from repro.runtime import ActionStatus, FrameStack
+from repro.runtime.lifecycle import ActionLifecycle, call_user
+from tests.conftest import make_simple_system, run_single_action
+from tests.runtime.test_runtime import make_action
+
+EPS = interface("eps")
+
+
+# ----------------------------------------------------------------------
+# FrameStack: instance keys and frame lookup
+# ----------------------------------------------------------------------
+class TestFrameStack:
+    def test_top_level_instance_keys_count_occurrences(self):
+        stack = FrameStack()
+        assert stack.next_instance_key("A", None) == (1, "A#1")
+        assert stack.next_instance_key("A", None) == (2, "A#2")
+        assert stack.next_instance_key("B", None) == (1, "B#1")
+
+    def test_nested_instance_keys_chain_through_the_parent(self):
+        stack = FrameStack()
+
+        class FakeParent:
+            instance_key = "Outer#1"
+
+        occurrence, key = stack.next_instance_key("Inner", FakeParent())
+        assert (occurrence, key) == (1, "Outer#1/Inner#1")
+        occurrence, key = stack.next_instance_key("Inner", FakeParent())
+        assert (occurrence, key) == (2, "Outer#1/Inner#2")
+
+    def test_same_action_under_different_parents_counted_separately(self):
+        stack = FrameStack()
+
+        class P1:
+            instance_key = "Outer#1"
+
+        class P2:
+            instance_key = "Outer#2"
+
+        assert stack.next_instance_key("Inner", P1()) == (1, "Outer#1/Inner#1")
+        assert stack.next_instance_key("Inner", P2()) == (1, "Outer#2/Inner#1")
+
+    def test_find_matches_name_and_instance_key_innermost_first(self):
+        stack = FrameStack()
+
+        class FakeFrame:
+            def __init__(self, action, instance_key):
+                self.action = action
+                self.instance_key = instance_key
+
+        outer = FakeFrame("A", "A#1")
+        inner = FakeFrame("A", "A#2")
+        stack.push(outer)
+        stack.push(inner)
+        assert stack.find("A") is inner
+        assert stack.find("A#1") is outer
+        assert stack.find("Nope") is None
+        stack.remove(inner)
+        assert stack.find("A") is outer
+
+
+# ----------------------------------------------------------------------
+# call_user: plain callables vs generator functions
+# ----------------------------------------------------------------------
+class TestCallUser:
+    def drive(self, generator):
+        try:
+            while True:
+                next(generator)
+        except StopIteration as stop:
+            return stop.value
+
+    def test_none_returns_none(self):
+        assert self.drive(call_user(None, object())) is None
+
+    def test_plain_function_is_called_directly(self):
+        assert self.drive(call_user(lambda ctx: ctx + 1, 41)) == 42
+
+    def test_generator_function_is_delegated_to(self):
+        def body(ctx):
+            yield
+            return ctx * 2
+
+        assert self.drive(call_user(body, 21)) == 42
+
+
+# ----------------------------------------------------------------------
+# Signalling proposals
+# ----------------------------------------------------------------------
+class TestProposalMapping:
+    def test_success_proposes_no_exception(self):
+        result = HandlerResult.success()
+        assert ActionLifecycle._proposal_from(result) == NO_EXCEPTION
+
+    def test_signal_proposes_the_exception(self):
+        assert ActionLifecycle._proposal_from(HandlerResult.signal(EPS)) == EPS
+
+    def test_abort_proposes_undo(self):
+        assert ActionLifecycle._proposal_from(HandlerResult.abort()) == UNDO
+
+    def test_failure_proposes_failure(self):
+        result = HandlerResult.failed("broken")
+        assert ActionLifecycle._proposal_from(result) == FAILURE
+
+
+# ----------------------------------------------------------------------
+# Life-cycle bookkeeping across a full run
+# ----------------------------------------------------------------------
+class TestLifecycleBookkeeping:
+    def test_frames_are_popped_and_status_restored(self):
+        system = make_simple_system()
+        reports = run_single_action(
+            system,
+            make_action("A", [lambda ctx: (yield ctx.delay(0.1)), None]),
+            {"r1": "T1", "r2": "T2"})
+        assert all(report.status is ActionStatus.SUCCESS for report in reports)
+        for partition in system.partitions.values():
+            assert len(partition.frames) == 0
+            assert partition.status == "idle"
+            assert partition.pending_abort is None
+
+    def test_sequential_instances_get_distinct_keys(self):
+        system = make_simple_system()
+        action = make_action("A", [None, None])
+        system.define_action(action)
+        system.bind("A", {"r1": "T1", "r2": "T2"})
+
+        def program(role):
+            def body(ctx):
+                first = yield from ctx.perform_action("A", role)
+                second = yield from ctx.perform_action("A", role)
+                return (first, second)
+            return body
+
+        system.spawn("T1", program("r1"))
+        system.spawn("T2", program("r2"))
+        system.run_to_completion()
+        occurrences = system.partitions["T1"].frames.occurrences
+        assert occurrences["|A"] == 2
+
+    def test_unbound_role_is_rejected(self):
+        system = make_simple_system()
+        action = make_action("A", [None, None])
+        system.define_action(action)
+        system.bind("A", {"r1": "T1", "r2": "T2"})
+
+        def program(ctx):
+            yield from ctx.perform_action("A", "r9")
+
+        system.spawn("T1", program)
+        with pytest.raises(ValueError):
+            system.run()
+
+    def test_role_bound_elsewhere_is_rejected(self):
+        system = make_simple_system()
+        action = make_action("A", [None, None])
+        system.define_action(action)
+        system.bind("A", {"r1": "T1", "r2": "T2"})
+
+        def program(ctx):
+            yield from ctx.perform_action("A", "r2")   # r2 belongs to T2
+
+        system.spawn("T1", program)
+        with pytest.raises(ValueError):
+            system.run()
