@@ -1,0 +1,77 @@
+"""Resolution performance baseline: collect and write ``BENCH_resolution.json``.
+
+The file gives later PRs a perf trajectory for the resolution hot path: the
+graph microbenchmark (compiled index build / statistics / ``resolve()``
+loop, with a naive-scan reference) and the wide-graph all-raise storm
+scenario (simulated totals plus the real wall-clock of the run).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.baseline [--output PATH] [--parallel]
+
+CI runs the sequential form on every push and uploads the JSON as an
+artifact, so resolution perf regressions are visible per PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .engine import GridPoint, run_scenario
+
+#: Bump when the row layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def collect_resolution_baseline(
+        wide_points: Optional[Sequence[GridPoint]] = None,
+        micro_points: Optional[Sequence[GridPoint]] = None,
+        parallel: bool = False) -> Dict[str, object]:
+    """Run both resolution benchmarks and return the baseline document."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "wide_graph": run_scenario("wide_graph", points=wide_points,
+                                   parallel=parallel),
+        "graph_microbench": run_scenario("graph_microbench",
+                                         points=micro_points,
+                                         parallel=parallel),
+    }
+
+
+def write_resolution_baseline(path: str,
+                              wide_points: Optional[Sequence[GridPoint]] = None,
+                              micro_points: Optional[Sequence[GridPoint]] = None,
+                              parallel: bool = False) -> Dict[str, object]:
+    """Collect the baseline and write it to ``path`` as indented JSON."""
+    document = collect_resolution_baseline(wide_points, micro_points,
+                                           parallel=parallel)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Write the resolution perf baseline JSON.")
+    parser.add_argument("--output", default="BENCH_resolution.json",
+                        help="output path (default: BENCH_resolution.json)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="fan the grids out over a process pool")
+    arguments = parser.parse_args(argv)
+    document = write_resolution_baseline(arguments.output,
+                                         parallel=arguments.parallel)
+    micro = document["graph_microbench"]
+    wide = document["wide_graph"]
+    print(f"wrote {arguments.output}: {len(micro)} microbench rows, "
+          f"{len(wide)} wide-graph rows")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -15,6 +15,9 @@ fresh :class:`~repro.runtime.system.DistributedCASystem` with its own
 network and :class:`~repro.net.network.MessageStatistics`, and the
 simulation itself is deterministic virtual time, so the two execution modes
 produce byte-identical rows; results are always returned in grid order.
+(The perf scenarios are the documented exception: ``graph_microbench``
+rows are wall-clock throughout, and ``wide_graph`` rows carry one
+wall-clock field, ``wall_seconds``.)
 
 Registering a new workload::
 
@@ -47,6 +50,8 @@ from .scenarios import (
     run_complexity_scenario,
     run_experiment1,
     run_experiment2,
+    run_graph_microbench,
+    run_wide_graph,
 )
 
 #: One grid point: keyword arguments for a scenario runner.
@@ -304,6 +309,46 @@ def large_n_point(n_threads: int, n_exceptions: int = 1,
         "paper_all": messages_all_exceptions(n_threads),
         "theorem2_bound": theorem2_worst_case_messages(n_threads, 1),
     }
+
+
+#: The wide-graph grid: all-raise storms over a truncated 12-primitive
+#: graph (794 nodes) with a growing number of raising threads.
+WIDE_GRAPH_GRID = tuple({"n_threads": n} for n in (4, 8, 12))
+
+
+@REGISTRY.register("wide_graph", grid=WIDE_GRAPH_GRID,
+                   description="Resolution-heavy all-raise storms over a "
+                               "wide truncated exception graph")
+def wide_graph_point(n_threads: int, n_primitives: int = 12,
+                     max_level: int = 3, iterations: int = 2,
+                     algorithm: str = "ours") -> Row:
+    """One wide-graph storm point (see scenarios.run_wide_graph)."""
+    return run_wide_graph(n_threads=n_threads, n_primitives=n_primitives,
+                          max_level=max_level, iterations=iterations,
+                          algorithm=algorithm)
+
+
+#: The graph-microbenchmark grid: growing graphs, fixed resolve loop.
+#: (Rows carry wall-clock timings, so unlike the simulated-time scenarios
+#: they are not byte-identical between runs or execution modes.)
+GRAPH_MICROBENCH_GRID = (
+    {"n_primitives": 8, "max_level": 3},
+    {"n_primitives": 12, "max_level": 3},
+    {"n_primitives": 16, "max_level": 3},
+)
+
+
+@REGISTRY.register("graph_microbench", grid=GRAPH_MICROBENCH_GRID,
+                   description="Compiled exception-graph resolution "
+                               "microbenchmark (no runtime)")
+def graph_microbench_point(n_primitives: int, max_level: int = 3,
+                           resolve_calls: int = 100,
+                           naive_calls: int = 3) -> Row:
+    """One microbenchmark point (see scenarios.run_graph_microbench)."""
+    return run_graph_microbench(n_primitives=n_primitives,
+                                max_level=max_level,
+                                resolve_calls=resolve_calls,
+                                naive_calls=naive_calls)
 
 
 #: The churn grid: an increasing number of unrelated concurrent actions

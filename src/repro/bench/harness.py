@@ -30,11 +30,13 @@ from .engine import (
     CHURN_GRID,
     FIGURE9_BASELINE,
     FIGURE9_GRIDS,
+    GRAPH_MICROBENCH_GRID,
     LARGE_N_GRID,
     FIGURE12_FIXED_TMMAX,
     FIGURE12_FIXED_TRES,
     FIGURE12_TMMAX_GRID,
     FIGURE12_TRES_GRID,
+    WIDE_GRAPH_GRID,
     figure9_grid,
     run_scenario,
 )
@@ -147,6 +149,28 @@ def churn_table(group_counts: Optional[Iterable[int]] = None,
     points = [{"n_groups": n, "iterations": iterations}
               for n in group_counts]
     return run_scenario("churn", points=points, parallel=parallel)
+
+
+def wide_graph_table(thread_counts: Optional[Iterable[int]] = None,
+                     n_primitives: int = 12, max_level: int = 3,
+                     iterations: int = 2,
+                     parallel: bool = False) -> List[Dict[str, object]]:
+    """Resolution-heavy all-raise storms over a wide truncated graph."""
+    if thread_counts is None:
+        thread_counts = [point["n_threads"] for point in WIDE_GRAPH_GRID]
+    points = [{"n_threads": n, "n_primitives": n_primitives,
+               "max_level": max_level, "iterations": iterations}
+              for n in thread_counts]
+    return run_scenario("wide_graph", points=points, parallel=parallel)
+
+
+def graph_microbench_table(points: Optional[Iterable[Dict[str, int]]] = None,
+                           parallel: bool = False) -> List[Dict[str, object]]:
+    """Compiled-graph resolution microbenchmark rows (wall-clock timings)."""
+    if points is None:
+        points = [dict(point) for point in GRAPH_MICROBENCH_GRID]
+    return run_scenario("graph_microbench", points=list(points),
+                        parallel=parallel)
 
 
 # ----------------------------------------------------------------------

@@ -25,11 +25,17 @@ benchmarks) and small runner functions returning the measured quantities.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.action import CAActionDefinition, RoleDefinition
-from ..core.exception_graph import ExceptionGraph, generate_full_graph
+from ..core.exception_graph import (
+    ExceptionGraph,
+    generate_full_graph,
+    graph_statistics,
+)
 from ..core.exceptions import internal
 from ..core.handlers import HandlerMap, HandlerResult
 from ..net.latency import ConstantLatency
@@ -385,6 +391,167 @@ def build_churn(n_groups: int, iterations: int = 1, group_size: int = 3,
         for i, thread in enumerate(threads, start=1):
             system.spawn(thread, make_program(action_name, f"w{i}"))
     return system
+
+
+def build_wide_graph(n_threads: int = 8, n_primitives: int = 12,
+                     max_level: int = 3, iterations: int = 2,
+                     t_msg: float = 0.05, t_resolution: float = 0.05,
+                     algorithm: str = "ours") -> DistributedCASystem:
+    """Build the resolution-heavy wide-graph scenario.
+
+    ``n_threads`` threads enter one CA action whose exception graph has
+    ``n_primitives`` primitive exceptions and is truncated at ``max_level``
+    (the paper's third simplification rule) — with the defaults that is a
+    794-node graph.  Every iteration is an *all-raise storm*: each thread
+    raises its own primitive nearly simultaneously, so the resolver performs
+    a full set-cover resolution over the wide graph on every pass.  With
+    more raised primitives than ``max_level + 1`` the storm resolves to the
+    universal exception, exactly as the truncation rule prescribes.
+
+    The scenario exists to exercise resolution itself (the compiled graph
+    index) rather than the messaging pattern, which the ``large_n`` sweep
+    already covers.
+    """
+    if n_threads < 2:
+        raise ValueError("need at least two threads for a storm")
+    if n_primitives < n_threads:
+        raise ValueError("need at least one primitive per thread")
+    config = RuntimeConfig(algorithm=algorithm, resolution_time=t_resolution)
+    system = DistributedCASystem(config, latency=ConstantLatency(t_msg))
+    threads = [f"T{i}" for i in range(1, n_threads + 1)]
+    system.add_threads(threads)
+
+    primitives = [internal(f"storm_{i:02d}") for i in range(n_primitives)]
+    graph = generate_full_graph(primitives, max_level=max_level,
+                                action_name="WideGraph")
+
+    def resolving_handler(ctx):
+        yield ctx.delay(HANDLER_TIME)
+        return HandlerResult.success()
+
+    def make_raising_role(index):
+        def body(ctx):
+            yield ctx.delay(NORMAL_COMPUTATION_TIME + 0.001 * index)
+            ctx.raise_exception(primitives[index])
+        return body
+
+    roles = [
+        RoleDefinition(f"r{i + 1}", make_raising_role(i),
+                       HandlerMap(default_handler=resolving_handler))
+        for i in range(n_threads)
+    ]
+    action = CAActionDefinition("WideGraph", roles,
+                                internal_exceptions=primitives, graph=graph)
+    system.define_action(action)
+    system.bind("WideGraph",
+                {f"r{i + 1}": threads[i] for i in range(n_threads)})
+
+    def make_program(role):
+        def program(ctx):
+            reports = []
+            for _ in range(iterations):
+                report = yield from ctx.perform_action("WideGraph", role)
+                reports.append(report)
+            return reports
+        return program
+
+    for i, thread in enumerate(threads):
+        system.spawn(thread, make_program(f"r{i + 1}"))
+    return system
+
+
+def run_wide_graph(n_threads: int = 8, n_primitives: int = 12,
+                   max_level: int = 3, iterations: int = 2,
+                   t_msg: float = 0.05, t_resolution: float = 0.05,
+                   algorithm: str = "ours") -> Dict[str, object]:
+    """Run the wide-graph storm and return one (JSON-serializable) row."""
+    system = build_wide_graph(n_threads, n_primitives, max_level, iterations,
+                              t_msg, t_resolution, algorithm)
+    graph = system.registry.get("WideGraph").graph
+    stats = graph_statistics(graph)
+    wall_start = time.perf_counter()
+    reports = system.run_to_completion()
+    wall_seconds = time.perf_counter() - wall_start
+    recovered = sum(1 for per_thread in reports for report in per_thread
+                    if report.status is ActionStatus.RECOVERED)
+    return {
+        "n_threads": n_threads,
+        "n_primitives": n_primitives,
+        "max_level": max_level,
+        "iterations": iterations,
+        "graph_nodes": stats["nodes"],
+        "recovered": recovered,
+        "total_time": system.now,
+        "wall_seconds": wall_seconds,
+        "protocol_messages": system.network.stats.protocol_messages(),
+        "resolution_calls": sum(p.coordinator.resolution_calls
+                                for p in system.partitions.values()),
+        "message_stats": system.network.stats.snapshot(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Graph microbenchmark: compiled resolution without any runtime
+# ----------------------------------------------------------------------
+def run_graph_microbench(n_primitives: int = 12, max_level: int = 3,
+                         resolve_calls: int = 100, sample_size: int = 6,
+                         naive_calls: int = 3, seed: int = 7
+                         ) -> Dict[str, object]:
+    """Time graph generation, statistics and a ``resolve()`` loop.
+
+    Measures the compiled hot path (and, for perspective, a few calls of the
+    naive reference scan) on a ``generate_full_graph`` instance.  Wall-clock
+    fields vary run to run, of course; the row exists to track the
+    *trajectory* of resolution performance across PRs via
+    ``BENCH_resolution.json``.
+    """
+    rng = random.Random(seed)
+    primitives = [internal(f"mb_{i:02d}") for i in range(n_primitives)]
+
+    start = time.perf_counter()
+    graph = generate_full_graph(primitives, max_level=max_level,
+                                action_name="microbench")
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stats = graph_statistics(graph)
+    stats_seconds = time.perf_counter() - start
+
+    draws = [rng.sample(primitives, rng.randint(1, min(sample_size,
+                                                       n_primitives)))
+             for _ in range(resolve_calls)]
+    start = time.perf_counter()
+    for raised in draws:
+        graph.resolve(raised)
+    resolve_seconds = time.perf_counter() - start
+
+    naive_seconds_per_call = None
+    if naive_calls > 0:
+        start = time.perf_counter()
+        naive_results = [graph.resolve_naive(raised)
+                         for raised in draws[:naive_calls]]
+        naive_seconds_per_call = (time.perf_counter() - start) / naive_calls
+        compiled_results = [graph.resolve(raised)
+                            for raised in draws[:naive_calls]]
+        if naive_results != compiled_results:
+            raise RuntimeError(
+                "compiled resolve() diverged from the naive reference: "
+                f"{naive_results} != {compiled_results}")
+
+    per_call = resolve_seconds / max(1, resolve_calls)
+    return {
+        "n_primitives": n_primitives,
+        "max_level": max_level,
+        "nodes": stats["nodes"],
+        "build_seconds": build_seconds,
+        "stats_seconds": stats_seconds,
+        "resolve_calls": resolve_calls,
+        "resolve_seconds": resolve_seconds,
+        "resolve_us_per_call": per_call * 1e6,
+        "naive_seconds_per_call": naive_seconds_per_call,
+        "speedup_vs_naive": (naive_seconds_per_call / per_call
+                             if naive_seconds_per_call is not None else None),
+    }
 
 
 def run_churn(n_groups: int, iterations: int = 1, group_size: int = 3,

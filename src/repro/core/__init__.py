@@ -32,6 +32,7 @@ from .effects import (
     sends,
 )
 from .exception_graph import (
+    CompiledGraphIndex,
     ExceptionGraph,
     ExceptionGraphError,
     generate_full_graph,
@@ -78,7 +79,15 @@ from .signalling import (
     SignalOutcome,
     SignalProtocolError,
 )
-from .state import ActionContext, ContextStack, LocalExceptionList, ThreadState
+from .state import (
+    ActionContext,
+    ContextStack,
+    LocalExceptionList,
+    ThreadState,
+    max_thread,
+    min_thread,
+    thread_order_key,
+)
 
 __all__ = [
     "ABORTION",
@@ -92,6 +101,7 @@ __all__ = [
     "CAActionDefinition",
     "ChargeTime",
     "CommitMessage",
+    "CompiledGraphIndex",
     "ContextStack",
     "CoordinatorBase",
     "count_messages",
@@ -119,6 +129,8 @@ __all__ = [
     "InterruptRole",
     "LocalExceptionList",
     "LogEvent",
+    "max_thread",
+    "min_thread",
     "NO_EXCEPTION",
     "PerformUndo",
     "ProtocolError",
@@ -135,6 +147,7 @@ __all__ = [
     "SignalProtocolError",
     "SuspendedMessage",
     "ThreadState",
+    "thread_order_key",
     "ToBeSignalledMessage",
     "UNDO",
     "UNIVERSAL",

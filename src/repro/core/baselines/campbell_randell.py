@@ -173,7 +173,7 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         if context is None:
             return []
         self.resolution_calls += 1
-        context.graph.resolve(known)
+        context.resolve(known)
         return [fx.ChargeTime("resolution", 1)]
 
     # ------------------------------------------------------------------
@@ -194,7 +194,7 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         if not raised:
             return []
         self.resolution_calls += 1
-        resolved = context.graph.resolve(raised)
+        resolved = context.resolve(raised)
         self._own_announced[action] = resolved
         self._trace(f"CR resolve -> {resolved.name} in {action}")
         effects: List[fx.Effect] = [
@@ -223,7 +223,7 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
             return []
         # Agreement value: the cover of every announced resolution (they
         # normally coincide; the cover makes disagreement safe).
-        final = context.graph.resolve(set(announced.values()))
+        final = context.resolve(set(announced.values()))
         self._own_confirmed[action] = final
         self._confirms.setdefault(action, set()).add(self.thread_id)
         self._trace(f"CR confirm {final.name} in {action}")

@@ -94,7 +94,7 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
         if not raised:
             return []
         self.resolution_calls += 1
-        resolved = context.graph.resolve(raised)
+        resolved = context.resolve(raised)
         self._own_agreement[action] = resolved
         self._trace(f"R96 agree {resolved.name} in {action}")
         effects: List[fx.Effect] = [
@@ -121,7 +121,7 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
         agreements[self.thread_id] = self._own_agreement[action]
         if set(agreements) != set(context.participants):
             return []
-        final = context.graph.resolve(set(agreements.values()))
+        final = context.resolve(set(agreements.values()))
         self._own_confirmed[action] = final
         self._confirms.setdefault(action, set()).add(self.thread_id)
         self._trace(f"R96 confirm {final.name} in {action}")

@@ -14,6 +14,21 @@ raised exceptions" (following Campbell & Randell 1986).  This module
 implements that resolution, the automatic generation of the full n-level
 graph described in the paper, and the simplification rules listed at the end
 of Section 3.2.
+
+Because the Section 3.2 graphs grow combinatorially (level ``k`` holds up to
+``C(n, k+1)`` resolving exceptions), the naive resolution scan — recomputing
+every candidate's descendant set and walking the unmemoized ``level()``
+recursion — does not scale past a handful of primitives.  Resolution
+therefore runs against a :class:`CompiledGraphIndex`: an immutable snapshot
+holding per-node cover bitsets over a frozen node order (with the primitive
+columns exposed as primitive cover sets), cover-set sizes and memoized
+levels/descendant counts.  The index is built lazily, cached on the graph,
+invalidated by the mutating operations (:meth:`ExceptionGraph.add_exception`
+and :meth:`ExceptionGraph.add_cover`), and shared by every participant of an
+action that holds the same graph object (see
+:class:`~repro.core.state.ActionContext`).  The original scan is kept as
+:meth:`ExceptionGraph.resolve_naive` so tests can assert the compiled path
+is observably identical.
 """
 
 from __future__ import annotations
@@ -31,6 +46,138 @@ from .exceptions import (
 
 class ExceptionGraphError(ValueError):
     """Raised for structurally invalid graphs (cycles, missing root, ...)."""
+
+
+class CompiledGraphIndex:
+    """Immutable resolution index for one :class:`ExceptionGraph` snapshot.
+
+    The index freezes the graph's node insertion order and assigns each node
+    a bit position, so that every per-node quantity the resolution tie-break
+    needs is available in O(1):
+
+    ``cover_masks``
+        ``cover_masks[i]`` is an int bitset with bit ``j`` set iff node ``i``
+        covers node ``j`` (reflexively — bit ``i`` is always set).  Masked
+        with :attr:`primitive_mask` this yields the node's primitive cover
+        set over the frozen primitive order.
+    ``cover_sizes``
+        ``bin(cover_masks[i]).count("1")`` — the ``len(covered)`` of the
+        naive scan (the primary tie-break key).
+    ``levels``
+        Memoized graph levels (primitives are level 0, every other node is
+        one more than the maximum level of its children).  Descendant
+        counts are ``cover_sizes[i] - 1``, exposed through
+        :meth:`descendant_count`.
+
+    With the index, resolving a raised set is one OR over the raised nodes'
+    bits followed by a single pass over the frozen node order testing mask
+    containment — no descendant recomputation and no level recursion.
+    """
+
+    __slots__ = ("nodes", "positions", "cover_masks", "cover_sizes",
+                 "levels", "primitive_mask", "primitives", "version")
+
+    def __init__(self, graph: "ExceptionGraph", version: int) -> None:
+        children = graph._children
+        self.version = version
+        self.nodes: Tuple[ExceptionDescriptor, ...] = tuple(children)
+        self.positions: Dict[ExceptionDescriptor, int] = {
+            node: index for index, node in enumerate(self.nodes)}
+
+        # Reverse-topological pass: children are fully computed before any
+        # of their parents (the graph is a DAG by construction).
+        order = self._reverse_topological(children)
+        masks: List[int] = [0] * len(self.nodes)
+        levels: List[int] = [0] * len(self.nodes)
+        for node in order:
+            index = self.positions[node]
+            mask = 1 << index
+            level = 0
+            for child in children[node]:
+                child_index = self.positions[child]
+                mask |= masks[child_index]
+                level = max(level, levels[child_index] + 1)
+            masks[index] = mask
+            levels[index] = level
+
+        self.cover_masks: Tuple[int, ...] = tuple(masks)
+        self.levels: Tuple[int, ...] = tuple(levels)
+        self.cover_sizes: Tuple[int, ...] = tuple(
+            bin(mask).count("1") for mask in masks)
+        self.primitives: Tuple[ExceptionDescriptor, ...] = tuple(
+            node for node in self.nodes if not children[node])
+        primitive_mask = 0
+        for primitive in self.primitives:
+            primitive_mask |= 1 << self.positions[primitive]
+        self.primitive_mask = primitive_mask
+
+    @staticmethod
+    def _reverse_topological(
+            children: Dict[ExceptionDescriptor, Set[ExceptionDescriptor]]
+    ) -> List[ExceptionDescriptor]:
+        """Nodes ordered so every node appears after all its children."""
+        order: List[ExceptionDescriptor] = []
+        state: Dict[ExceptionDescriptor, int] = {}
+        for root in children:
+            if root in state:
+                continue
+            stack: List[Tuple[ExceptionDescriptor, bool]] = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    state[node] = 2
+                    order.append(node)
+                    continue
+                if state.get(node):
+                    continue
+                state[node] = 1
+                stack.append((node, True))
+                for child in children[node]:
+                    if not state.get(child):
+                        stack.append((child, False))
+        return order
+
+    # ------------------------------------------------------------------
+    def level(self, exception: ExceptionDescriptor) -> int:
+        """Memoized level of ``exception`` (raises ``KeyError`` if unknown)."""
+        return self.levels[self.positions[exception]]
+
+    def descendant_count(self, exception: ExceptionDescriptor) -> int:
+        """Number of exceptions covered (strictly) by ``exception``."""
+        return self.cover_sizes[self.positions[exception]] - 1
+
+    def cover_mask(self, exception: ExceptionDescriptor) -> int:
+        """The reflexive cover bitset of ``exception`` over the node order."""
+        return self.cover_masks[self.positions[exception]]
+
+    def primitive_cover(self, exception: ExceptionDescriptor
+                        ) -> FrozenSet[ExceptionDescriptor]:
+        """The primitive exceptions covered by ``exception`` (reflexively)."""
+        mask = self.cover_mask(exception) & self.primitive_mask
+        return frozenset(p for p in self.primitives
+                         if mask & (1 << self.positions[p]))
+
+    def resolve(self, raised_set: Set[ExceptionDescriptor],
+                universal: ExceptionDescriptor) -> ExceptionDescriptor:
+        """Set-cover lookup equivalent to the naive candidate scan."""
+        target = 0
+        for exception in raised_set:
+            position = self.positions.get(exception)
+            if position is None:
+                return universal
+            target |= 1 << position
+        best_key: Optional[Tuple[int, int, str]] = None
+        best: ExceptionDescriptor = universal
+        for index, mask in enumerate(self.cover_masks):
+            if mask & target == target:
+                key = (self.cover_sizes[index], self.levels[index],
+                       self.nodes[index].name)
+                # Strict comparison keeps the first of fully-tied candidates
+                # in frozen node order, matching the naive scan's stable sort.
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = self.nodes[index]
+        return best
 
 
 class ExceptionGraph:
@@ -58,6 +205,10 @@ class ExceptionGraph:
             universal: set()}
         self._parents: Dict[ExceptionDescriptor, Set[ExceptionDescriptor]] = {
             universal: set()}
+        #: Cached compiled index; rebuilt lazily after any mutation.
+        self._compiled: Optional[CompiledGraphIndex] = None
+        #: Mutation counter; lets holders of an index detect staleness.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -73,6 +224,7 @@ class ExceptionGraph:
         if exception not in self._children:
             self._children[exception] = set()
             self._parents[exception] = set()
+            self._invalidate()
         effective_parent = parent if parent is not None else self.universal
         if effective_parent not in self._children:
             self.add_exception(effective_parent)
@@ -87,6 +239,7 @@ class ExceptionGraph:
             if node not in self._children:
                 self._children[node] = set()
                 self._parents[node] = set()
+                self._invalidate()
         if parent == child:
             raise ExceptionGraphError(f"{parent} cannot cover itself")
         if self._reachable(child, parent):
@@ -100,6 +253,7 @@ class ExceptionGraph:
                 and len(self._parents[child]) > 1:
             self._parents[child].discard(self.universal)
             self._children[self.universal].discard(child)
+        self._invalidate()
 
     def declare_hierarchy(self, resolving: ExceptionDescriptor,
                           covered: Sequence[ExceptionDescriptor]) -> ExceptionDescriptor:
@@ -170,14 +324,53 @@ class ExceptionGraph:
         """Level of the exception: primitives are level 0.
 
         The level of a non-primitive node is one more than the maximum level
-        of its children, matching Figure 3 of the paper.
+        of its children, matching Figure 3 of the paper.  Served from the
+        compiled index (memoized); :meth:`level_naive` keeps the original
+        recursion for equivalence testing.
         """
+        if exception not in self._children:
+            raise KeyError(exception)
+        return self.compiled().level(exception)
+
+    def level_naive(self, exception: ExceptionDescriptor) -> int:
+        """The original unmemoized level recursion (reference semantics)."""
         if exception not in self._children:
             raise KeyError(exception)
         children = self._children[exception]
         if not children:
             return 0
-        return 1 + max(self.level(child) for child in children)
+        return 1 + max(self.level_naive(child) for child in children)
+
+    def descendant_count(self, exception: ExceptionDescriptor) -> int:
+        """Number of exceptions covered (strictly) by ``exception``."""
+        if exception not in self._children:
+            raise KeyError(exception)
+        return self.compiled().descendant_count(exception)
+
+    # ------------------------------------------------------------------
+    # Compiled index
+    # ------------------------------------------------------------------
+    def compiled(self) -> CompiledGraphIndex:
+        """The compiled resolution index for the graph's current state.
+
+        Built lazily and cached; :meth:`add_exception` and :meth:`add_cover`
+        invalidate the cache, so the returned index always reflects the
+        graph.  All participants of an action sharing this graph object
+        (through their :class:`~repro.core.state.ActionContext`) share one
+        index build.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledGraphIndex(self, self._version)
+        return self._compiled
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (bumped by every structural change)."""
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        self._compiled = None
 
     def validate(self) -> None:
         """Check structural invariants; raises :class:`ExceptionGraphError`.
@@ -214,6 +407,27 @@ class ExceptionGraph:
         Unknown exceptions resolve to the universal exception, as do empty
         covers (the paper: "other undefined exceptions ... simply lead to
         the raising of the universal exception").
+
+        This is the hot path of every coordinator's resolution step; it runs
+        against the compiled index (one bitset containment pass) and returns
+        exactly what :meth:`resolve_naive` would.
+        """
+        raised_set = {e for e in raised if e is not None}
+        if not raised_set:
+            raise ValueError("cannot resolve an empty set of exceptions")
+        if any(e not in self._children for e in raised_set):
+            return self.universal
+        if len(raised_set) == 1:
+            return next(iter(raised_set))
+        return self.compiled().resolve(raised_set, self.universal)
+
+    def resolve_naive(self, raised: Iterable[ExceptionDescriptor]
+                      ) -> ExceptionDescriptor:
+        """The original O(V·E) candidate scan with unmemoized levels.
+
+        Kept as the reference implementation: property tests assert that
+        :meth:`resolve` (the compiled path) picks the identical exception —
+        same winner under the size/level/name tie-break — on every graph.
         """
         raised_set = {e for e in raised if e is not None}
         if not raised_set:
@@ -227,7 +441,7 @@ class ExceptionGraph:
         for candidate in self._children:
             covered = self.descendants(candidate) | {candidate}
             if raised_set <= covered:
-                candidates.append((len(covered), self.level(candidate),
+                candidates.append((len(covered), self.level_naive(candidate),
                                    candidate.name, candidate))
         if not candidates:
             return self.universal
@@ -373,9 +587,10 @@ def prune_impossible_combinations(
 
 def graph_statistics(graph: ExceptionGraph) -> Dict[str, int]:
     """Summary counts used by tests and by the DESIGN/EXPERIMENTS reports."""
+    index = graph.compiled()
     return {
         "nodes": len(graph),
         "primitives": len(graph.primitives()),
         "resolving": len(graph.resolving_exceptions()),
-        "max_level": max((graph.level(e) for e in graph.exceptions), default=0),
+        "max_level": max(index.levels, default=0),
     }

@@ -43,7 +43,13 @@ from .messages import (
     ProtocolMessage,
     SuspendedMessage,
 )
-from .state import ActionContext, ContextStack, LocalExceptionList, ThreadState
+from .state import (
+    ActionContext,
+    ContextStack,
+    LocalExceptionList,
+    ThreadState,
+    max_thread,
+)
 
 
 class ProtocolError(RuntimeError):
@@ -87,11 +93,7 @@ class CoordinatorBase:
         self.sa.push(context)
         self.state = ThreadState.NORMAL
         self._trace(f"enter {context.action}")
-        effects: List[fx.Effect] = []
-        pending, self.retained = self._split_retained(context.action)
-        for message in pending:
-            effects.extend(self.receive(message))
-        return effects
+        return self._replay_retained(context.action)
 
     def leave_action(self, action: str, success: bool = True) -> List[fx.Effect]:
         """The thread leaves ``action`` (after the synchronous exit protocol)."""
@@ -103,6 +105,7 @@ class CoordinatorBase:
         self.sa.pop()
         self.le.remove_other_actions(self.active_action_name() or "")
         self.handling.pop(action, None)
+        self._drop_retained(action)
         self._clear_action_state(action)
         self.state = ThreadState.NORMAL if success else ThreadState.EXCEPTIONAL
         self._trace(f"leave {action} ({'success' if success else 'failure'})")
@@ -145,6 +148,24 @@ class CoordinatorBase:
         matching = [m for m in self.retained if getattr(m, "action", None) == action]
         remaining = [m for m in self.retained if getattr(m, "action", None) != action]
         return matching, remaining
+
+    def _drop_retained(self, action: str) -> None:
+        """Discard retained messages for an action instance that has ended.
+
+        Called when ``action`` is left or aborted: any message still parked
+        for it belongs to the finished instance and must not leak into a
+        later instance of the same action name.
+        """
+        self.retained = [m for m in self.retained
+                         if getattr(m, "action", None) != action]
+
+    def _replay_retained(self, action: str) -> List[fx.Effect]:
+        """Re-deliver messages parked for ``action`` (now the active action)."""
+        pending, self.retained = self._split_retained(action)
+        effects: List[fx.Effect] = []
+        for message in pending:
+            effects.extend(self.receive(message))
+        return effects
 
     def _trace(self, text: str) -> None:
         self.trace.append(f"{self.thread_id}: {text}")
@@ -242,10 +263,33 @@ class ResolutionCoordinator(CoordinatorBase):
 
     def _receive_commit(self, message: CommitMessage) -> List[fx.Effect]:
         context = self.active_context()
-        if context is None or context.action != message.action:
+        if context is None or not self.sa.contains(message.action):
+            # The action was never entered or has already ended on this
+            # thread; a Commit for it is stale and safe to drop.
             self._trace(f"ignore Commit for {message.action}")
             return [fx.LogEvent(f"{self.thread_id} ignored Commit for "
                              f"{message.action}")]
+        if context.action != message.action:
+            # The action is on the stack but not active — e.g. the Commit
+            # arrived while this thread is still aborting nested actions
+            # toward it.  Dropping it would strand the thread suspended
+            # forever (the resolver commits exactly once), so retain it,
+            # like Exception/Suspended messages, and replay it when the
+            # action becomes active again (see abortion_completed).
+            self.retained.append(message)
+            self._trace(f"retain Commit for {message.action}")
+            return [fx.LogEvent(f"{self.thread_id} retained Commit for "
+                             f"{message.action}")]
+        if self.pending_abort_target is not None:
+            # The Commit is for the active action, but that action is being
+            # aborted by an enclosing exception: the resolution it announces
+            # is for a dying instance.  It must not clear LEi — the list
+            # holds the enclosing action's records ("remove all elements
+            # except <A*, Tj, Ej>"), and wiping them would lose the very
+            # exception the abortion is resolving.
+            self._trace(f"ignore Commit for aborting {message.action}")
+            return [fx.LogEvent(f"{self.thread_id} ignored Commit for "
+                             f"aborting {message.action}")]
         self.le.clear()
         self.handling[message.action] = message.exception
         self._trace(f"commit {message.exception.name} in {message.action}")
@@ -294,6 +338,7 @@ class ResolutionCoordinator(CoordinatorBase):
         # Pop the aborted contexts so that ``target`` becomes the active one.
         for popped in self.sa.pop_until(target):
             self.handling.pop(popped.action, None)
+            self._drop_retained(popped.action)
             self._clear_action_state(popped.action)
         context = self.sa.top()
         effects: List[fx.Effect] = []
@@ -322,6 +367,10 @@ class ResolutionCoordinator(CoordinatorBase):
             self._trace(f"suspended after abortion in {target}")
             effects.append(fx.SendTo(context.others(self.thread_id),
                                   SuspendedMessage(target, self.thread_id)))
+        # ``target`` is the active action again: replay messages retained
+        # for it — in particular a Commit that arrived mid-abortion, which
+        # would otherwise be lost and leave this thread suspended forever.
+        effects.extend(self._replay_retained(target))
         effects.extend(self._check_resolution())
         return effects
 
@@ -351,12 +400,14 @@ class ResolutionCoordinator(CoordinatorBase):
         if reported != set(context.participants):
             return []
         exceptional = self.le.exceptional_threads(action)
-        if not exceptional or max(exceptional) != self.thread_id:
+        # "Largest identifier" is the paper's numeric ordering: with ids
+        # T1…T64 the resolver must be T64, not the lexicographic max T9.
+        if not exceptional or max_thread(exceptional) != self.thread_id:
             return []
 
         raised = self.le.exceptions_for(action)
         self.resolution_calls += 1
-        resolved = context.graph.resolve(raised)
+        resolved = context.resolve(raised)
         self.le.clear()
         self.handling[action] = resolved
         self._trace(f"resolve {sorted(e.name for e in raised)} -> "

@@ -10,11 +10,12 @@ CA actions", and each thread is in one of the states N (normal), X
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from .exception_graph import ExceptionGraph
+from .exception_graph import CompiledGraphIndex, ExceptionGraph
 from .exceptions import ExceptionDescriptor, RaisedRecord
 
 
@@ -24,6 +25,40 @@ class ThreadState(Enum):
     NORMAL = "N"
     EXCEPTIONAL = "X"
     SUSPENDED = "S"
+
+
+_DIGIT_RUNS = re.compile(r"(\d+)")
+
+
+def thread_order_key(thread_id: str) -> Tuple[Tuple[Union[str, int], ...], str]:
+    """Natural-order sort key for thread identifiers.
+
+    The paper elects "the thread with the largest identifier among the
+    exceptional threads" as the resolver; with numbered identifiers that
+    ordering is numeric, so ``T64`` must outrank ``T9`` (lexicographically
+    ``"T9" > "T64"``).  Digit runs compare as integers, everything else as
+    text, and the resulting keys alternate text/number chunks so comparisons
+    between any two identifiers are well defined.  The raw identifier is
+    appended as a final tie-break so distinct ids that naturalise equally
+    (``"T9"`` vs ``"T09"``) still have a total order — without it, election
+    among such ids would depend on set-iteration order and nodes could
+    disagree.  Every place the protocols order thread ids — resolver
+    election, participant ordering, designated committer — must use this
+    one key so all nodes agree.
+    """
+    chunks = tuple(int(chunk) if chunk.isdigit() else chunk
+                   for chunk in _DIGIT_RUNS.split(thread_id))
+    return (chunks, thread_id)
+
+
+def max_thread(thread_ids: Iterable[str]) -> str:
+    """The largest thread identifier under the shared natural ordering."""
+    return max(thread_ids, key=thread_order_key)
+
+
+def min_thread(thread_ids: Iterable[str]) -> str:
+    """The smallest thread identifier under the shared natural ordering."""
+    return min(thread_ids, key=thread_order_key)
 
 
 @dataclass
@@ -43,12 +78,27 @@ class ActionContext:
     def __post_init__(self) -> None:
         if not self.participants:
             raise ValueError(f"action {self.action!r} has no participants")
-        ordered = tuple(sorted(self.participants))
+        ordered = tuple(sorted(self.participants, key=thread_order_key))
         object.__setattr__(self, "participants", ordered)
 
     def others(self, me: str) -> Tuple[str, ...]:
         """All participants except ``me``."""
         return tuple(p for p in self.participants if p != me)
+
+    @property
+    def compiled_graph(self) -> CompiledGraphIndex:
+        """The action's compiled exception-graph index.
+
+        Every participant of an action holds an :class:`ActionContext` over
+        the *same* :class:`ExceptionGraph` object (the one registered with
+        the action definition), so the lazily built index is computed once
+        and shared by all of them; graph mutations invalidate it.
+        """
+        return self.graph.compiled()
+
+    def resolve(self, raised) -> ExceptionDescriptor:
+        """Resolve ``raised`` through the action's (compiled) graph."""
+        return self.graph.resolve(raised)
 
     def __repr__(self) -> str:
         return f"<ActionContext {self.action} G={list(self.participants)}>"

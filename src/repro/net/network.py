@@ -88,21 +88,44 @@ class MessageStatistics:
         self.by_type.clear()
         self.by_link.clear()
 
+    #: Separator used when encoding a directed link as a single string.
+    LINK_SEPARATOR = "->"
+
+    @classmethod
+    def encode_link(cls, link: tuple) -> str:
+        """Encode a ``(source, destination)`` link as ``"src->dst"``."""
+        return f"{link[0]}{cls.LINK_SEPARATOR}{link[1]}"
+
+    @classmethod
+    def decode_link(cls, link: Any) -> tuple:
+        """Decode a link key from either tuple or ``"src->dst"`` string form."""
+        if isinstance(link, tuple):
+            return link
+        source, separator, destination = str(link).partition(cls.LINK_SEPARATOR)
+        if not separator:
+            raise ValueError(f"malformed link key {link!r}")
+        return (source, destination)
+
     def snapshot(self) -> Dict[str, Any]:
         """Return a plain-dict copy of every counter.
 
-        The snapshot is a self-contained, picklable value; :meth:`restore`
-        rebuilds a statistics object from one and :meth:`merge` adds one
-        onto another.  (The scenario engine itself isolates parallel runs
-        by giving each grid point a fresh system — these methods exist for
-        tooling that wants to aggregate such per-run counters.)
+        The snapshot is a self-contained value that is both picklable and
+        JSON-serializable — links are encoded as ``"src->dst"`` strings so
+        benchmark rows containing snapshots can be written to ``BENCH_*``
+        JSON files.  :meth:`restore` rebuilds a statistics object from one
+        and :meth:`merge` adds one onto another (both accept tuple-keyed
+        legacy snapshots as well).  The scenario engine itself isolates
+        parallel runs by giving each grid point a fresh system — these
+        methods exist for tooling that wants to aggregate such per-run
+        counters.
         """
         return {
             "sent": self.sent,
             "delivered": self.delivered,
             "dropped": self.dropped,
             "by_type": dict(self.by_type),
-            "by_link": dict(self.by_link),
+            "by_link": {self.encode_link(link): count
+                        for link, count in self.by_link.items()},
         }
 
     def restore(self, snapshot: Dict[str, Any]) -> None:
@@ -114,7 +137,8 @@ class MessageStatistics:
         """Add the counters captured in ``snapshot`` onto this instance.
 
         Used to aggregate the per-run statistics returned by parallel
-        scenario workers into one summary.
+        scenario workers into one summary.  ``by_link`` keys may be either
+        ``(source, destination)`` tuples or ``"src->dst"`` strings.
         """
         self.sent += snapshot.get("sent", 0)
         self.delivered += snapshot.get("delivered", 0)
@@ -122,7 +146,7 @@ class MessageStatistics:
         for name, count in snapshot.get("by_type", {}).items():
             self.by_type[name] += count
         for link, count in snapshot.get("by_link", {}).items():
-            self.by_link[link] += count
+            self.by_link[self.decode_link(link)] += count
 
 
 class Network:

@@ -25,7 +25,7 @@ from ..core.handlers import HandlerResult, HandlerStatus, is_generator_handler
 from ..core.handlers import normalise_result
 from ..core.messages import EnterActionMessage, ExitReadyMessage
 from ..core.signalling import SignalCoordinator
-from ..core.state import ActionContext
+from ..core.state import ActionContext, min_thread, thread_order_key
 from ..objects.transaction import TransactionStatus
 from ..simkernel.events import Interrupt
 from .context import RoleContext
@@ -88,7 +88,8 @@ class ActionLifecycle:
             raise ValueError(
                 f"role {role!r} of {action!r} is bound to {binding[role]!r}, "
                 f"not to {partition.name!r}")
-        participants = tuple(sorted(set(binding.values())))
+        participants = tuple(sorted(set(binding.values()),
+                                    key=thread_order_key))
 
         occurrence, instance_key = partition.frames.next_instance_key(
             action, parent_frame)
@@ -170,6 +171,15 @@ class ActionLifecycle:
 
         handler_result = yield from self._run_handler(frame, role_definition,
                                                       role_context, resolved)
+        if partition.pending_abort is not None and \
+                partition.pending_abort.covers(frame.action):
+            # An enclosing exception interrupted the handler ("handling" is
+            # abort-interruptible): the nested action must abort instead of
+            # entering the signalling phase, where the abort could no longer
+            # reach it and peers would wait on its proposal forever.
+            report = yield from self._run_abortion(frame, role_definition,
+                                                   role_context)
+            return report
         decided = yield from self._run_signalling(frame, handler_result)
         return self._conclude(frame, resolved, decided, result)
 
@@ -404,7 +414,7 @@ class ActionLifecycle:
     def _commit_if_designated(self, frame: ActionFrame) -> None:
         if frame.transaction.status is not TransactionStatus.ACTIVE:
             return
-        designated = min(frame.context.participants)
+        designated = min_thread(frame.context.participants)
         if self.partition.name == designated:
             frame.transaction.commit()
 

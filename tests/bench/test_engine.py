@@ -22,7 +22,7 @@ from repro.bench.scenarios import run_experiment1, run_experiment2
 class TestRegistry:
     def test_default_registry_contains_figures_and_new_workloads(self):
         for name in ("figure9", "figure12_tmmax", "figure12_tres",
-                     "large_n", "churn"):
+                     "large_n", "churn", "wide_graph", "graph_microbench"):
             assert name in REGISTRY
 
     def test_every_registered_scenario_has_a_grid_and_description(self):
@@ -218,3 +218,46 @@ class TestTableFacades:
         cr = large_n_table(thread_counts=[4],
                            algorithm="campbell-randell")[0]
         assert ours["resolution_messages"] != cr["resolution_messages"]
+
+
+class TestWideGraph:
+    def test_storm_recovers_every_participation(self):
+        from repro.bench import wide_graph_table
+        row = wide_graph_table(thread_counts=[4], iterations=1)[0]
+        assert row["recovered"] == 4
+        assert row["resolution_calls"] == 1
+        assert row["graph_nodes"] > 700   # the wide truncated graph
+
+    def test_rows_embed_json_serializable_snapshots(self):
+        import json
+
+        from repro.bench import wide_graph_table
+        row = wide_graph_table(thread_counts=[4], iterations=1)[0]
+        encoded = json.dumps(row)
+        assert "->" in encoded            # the string-encoded link keys
+
+    def test_graph_microbench_reports_compiled_timings(self):
+        from repro.bench import graph_microbench_table
+        row = graph_microbench_table(points=[{"n_primitives": 8,
+                                              "max_level": 2,
+                                              "naive_calls": 1}])[0]
+        assert row["nodes"] == 1 + 8 + 28 + 56
+        assert row["resolve_seconds"] < 1.0
+        assert row["speedup_vs_naive"] > 1
+
+
+class TestResolutionBaseline:
+    def test_writer_produces_loadable_json(self, tmp_path):
+        import json
+
+        from repro.bench import write_resolution_baseline
+        path = tmp_path / "BENCH_resolution.json"
+        document = write_resolution_baseline(
+            str(path),
+            wide_points=[{"n_threads": 4, "iterations": 1}],
+            micro_points=[{"n_primitives": 6, "max_level": 2,
+                           "resolve_calls": 10, "naive_calls": 0}])
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(document))
+        assert len(loaded["wide_graph"]) == 1
+        assert len(loaded["graph_microbench"]) == 1

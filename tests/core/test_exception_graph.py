@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.analysis import exception_graph_level_size
 from repro.core import (
+    ActionContext,
     ExceptionGraph,
     ExceptionGraphError,
     UNIVERSAL,
@@ -190,6 +191,108 @@ class TestPruning:
 
 
 # ----------------------------------------------------------------------
+# The compiled resolution index
+# ----------------------------------------------------------------------
+class TestCompiledIndex:
+    def test_index_is_cached(self):
+        graph = small_graph()
+        assert graph.compiled() is graph.compiled()
+
+    def test_index_shared_across_action_contexts(self):
+        # All participants of an action hold contexts over the same graph
+        # object, so they share one compiled index build.
+        graph = small_graph()
+        context_a = ActionContext("A", ("T1", "T2"), graph)
+        context_b = ActionContext("A", ("T1", "T2"), graph)
+        assert context_a.compiled_graph is context_b.compiled_graph
+        assert context_a.resolve([E1, E2]).name == "e1&e2"
+
+    def test_add_exception_invalidates_index(self):
+        graph = ExceptionGraph("g")
+        graph.add_exception(E1)
+        before = graph.compiled()
+        graph.add_exception(E4)
+        after = graph.compiled()
+        assert after is not before
+        assert E4 in after.positions
+
+    def test_add_cover_invalidates_index(self):
+        graph = ExceptionGraph("g")
+        graph.add_exception(E1)
+        graph.add_exception(E2)
+        before = graph.compiled()
+        version_before = graph.version
+        # Without a common cover the pair resolves to the universal node.
+        assert graph.resolve([E1, E2]) == graph.universal
+        resolving = internal("both")
+        graph.declare_hierarchy(resolving, [E1, E2])
+        assert graph.version > version_before
+        assert graph.compiled() is not before
+        # The new cover is picked up immediately: no stale index answers.
+        assert graph.resolve([E1, E2]) == resolving
+
+    def test_levels_and_descendant_counts_match_naive(self):
+        graph = generate_full_graph([E1, E2, E3, E4])
+        for node in graph.exceptions:
+            assert graph.level(node) == graph.level_naive(node)
+            assert graph.descendant_count(node) == len(graph.descendants(node))
+
+    def test_primitive_cover_sets(self):
+        graph = small_graph()
+        index = graph.compiled()
+        pair = next(n for n in graph.exceptions if n.name == "e1&e2")
+        assert index.primitive_cover(pair) == frozenset({E1, E2})
+        assert index.primitive_cover(E1) == frozenset({E1})
+        assert index.primitive_cover(graph.universal) == frozenset({E1, E2, E3})
+
+    def test_unknown_node_raises_keyerror(self):
+        graph = small_graph()
+        with pytest.raises(KeyError):
+            graph.level(internal("stranger"))
+        with pytest.raises(KeyError):
+            graph.descendant_count(internal("stranger"))
+
+    def test_statistics_and_resolution_fast_on_wide_graph(self):
+        # Acceptance bar: 12 primitives (max_level=3, 794 nodes) must
+        # complete graph_statistics plus a 100-call resolve loop in < 1s.
+        import random
+        import time
+
+        primitives = [internal(f"w{i:02d}") for i in range(12)]
+        graph = generate_full_graph(primitives, max_level=3)
+        rng = random.Random(7)
+        start = time.perf_counter()
+        stats = graph_statistics(graph)
+        for _ in range(100):
+            graph.resolve(rng.sample(primitives, rng.randint(1, 6)))
+        elapsed = time.perf_counter() - start
+        assert stats["primitives"] == 12
+        assert elapsed < 1.0
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_property_compiled_matches_naive_on_random_dags(self, data):
+        # Randomized DAGs: edges only from lower to higher index, so the
+        # construction never cycles; resolution through the compiled index
+        # must pick the identical exception to the naive scan.
+        n = data.draw(st.integers(min_value=2, max_value=10))
+        nodes = [internal(f"n{i}") for i in range(n)]
+        graph = ExceptionGraph("random")
+        for node in nodes:
+            graph.add_exception(node)
+        edges = data.draw(st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+            .filter(lambda pair: pair[0] < pair[1]),
+            max_size=3 * n))
+        for parent_index, child_index in edges:
+            graph.add_cover(nodes[parent_index], nodes[child_index])
+        raised = data.draw(st.lists(st.sampled_from(nodes), min_size=1,
+                                    max_size=n))
+        assert graph.resolve(raised) == graph.resolve_naive(raised)
+        for node in graph.exceptions:
+            assert graph.level(node) == graph.level_naive(node)
+
+# ----------------------------------------------------------------------
 # Property-based tests on the resolution invariants
 # ----------------------------------------------------------------------
 primitive_lists = st.lists(
@@ -229,6 +332,18 @@ class TestResolutionProperties:
         graph = generate_full_graph(primitives)
         graph.validate()
         assert set(graph.primitives()) == set(primitives)
+
+    @given(primitives=primitive_lists, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_compiled_matches_naive_on_generated_graphs(
+            self, primitives, data):
+        max_level = data.draw(st.one_of(
+            st.none(), st.integers(1, max(1, len(primitives) - 1))))
+        graph = generate_full_graph(primitives, max_level=max_level)
+        pool = graph.exceptions
+        raised = data.draw(st.lists(st.sampled_from(pool), min_size=1,
+                                    max_size=min(5, len(pool))))
+        assert graph.resolve(raised) == graph.resolve_naive(raised)
 
     @given(primitives=primitive_lists, data=st.data())
     @settings(max_examples=40, deadline=None)

@@ -25,6 +25,9 @@ from repro.core import (
     default_abort_handler,
     interface,
     internal,
+    max_thread,
+    min_thread,
+    thread_order_key,
 )
 from repro.core.handlers import is_generator_handler, normalise_result
 
@@ -120,6 +123,34 @@ class TestHandlers:
 # ----------------------------------------------------------------------
 # Protocol state: ActionContext, ContextStack, LocalExceptionList
 # ----------------------------------------------------------------------
+class TestThreadOrdering:
+    def test_numeric_suffixes_compare_numerically(self):
+        assert thread_order_key("T9") < thread_order_key("T10")
+        assert thread_order_key("T9") < thread_order_key("T64")
+        assert max_thread(["T1", "T9", "T64"]) == "T64"
+        assert min_thread(["T10", "T2", "T9"]) == "T2"
+
+    def test_plain_text_ids_compare_lexicographically(self):
+        assert max_thread(["alpha", "beta"]) == "beta"
+        assert thread_order_key("alpha") < thread_order_key("beta")
+
+    def test_mixed_chunks(self):
+        assert thread_order_key("node2cpu10") < thread_order_key("node2cpu11")
+        assert thread_order_key("node2cpu10") < thread_order_key("node10cpu1")
+
+    def test_equal_naturalisations_still_totally_ordered(self):
+        # "T09" and "T9" naturalise to the same chunks; the raw id
+        # tie-break keeps the order total so every node agrees.
+        assert thread_order_key("T09") != thread_order_key("T9")
+        assert thread_order_key("T09") < thread_order_key("T9")
+        assert max_thread(["T9", "T09"]) == max_thread(["T09", "T9"]) == "T9"
+
+    def test_sorted_participants_use_natural_order(self):
+        threads = tuple(f"T{i}" for i in (10, 2, 1, 64, 9))
+        context = ActionContext("A", threads, ExceptionGraph("A"))
+        assert context.participants == ("T1", "T2", "T9", "T10", "T64")
+
+
 class TestProtocolState:
     def test_context_orders_participants(self):
         context = ActionContext("A", ("T3", "T1", "T2"), ExceptionGraph("A"))

@@ -264,6 +264,115 @@ class TestNestedAbortion:
         assert set(driver.handled) == {"T2", "T3"}
 
 
+class TestDelayedCommit:
+    """The lost-Commit abortion race (the latency-window bug).
+
+    A ``Commit`` that reaches a thread while it is still aborting nested
+    actions toward the commit's action used to be discarded; the resolver
+    commits exactly once, so the thread stayed suspended forever.  The
+    coordinator now retains such a Commit (like Exception/Suspended
+    messages) and replays it from ``abortion_completed``.
+    """
+
+    def build_aborting_t2(self):
+        """T2 with stack [Outer, Inner], aborting Inner toward Outer."""
+        outer_graph = generate_full_graph([E1, E2], action_name="Outer")
+        inner_graph = generate_full_graph([E3], action_name="Inner")
+        coordinator = ResolutionCoordinator("T2")
+        coordinator.enter_action(
+            ActionContext("Outer", ("T1", "T2", "T3"), outer_graph))
+        coordinator.enter_action(
+            ActionContext("Inner", ("T2", "T3"), inner_graph, parent="Outer"))
+        effects = coordinator.receive(ExceptionMessage("Outer", "T1", E1))
+        assert any(isinstance(e, AbortNested) for e in effects)
+        assert coordinator.pending_abort_target == "Outer"
+        return coordinator
+
+    def test_commit_during_abortion_is_retained_not_dropped(self):
+        coordinator = self.build_aborting_t2()
+        commit = CommitMessage("Outer", "T3", E1)
+        effects = coordinator.receive(commit)
+        assert commit in coordinator.retained
+        assert "Outer" not in coordinator.handling
+        assert not any(isinstance(e, HandleResolved) for e in effects)
+
+    def test_retained_commit_replayed_from_abortion_completed(self):
+        coordinator = self.build_aborting_t2()
+        commit = CommitMessage("Outer", "T3", E1)
+        coordinator.receive(commit)
+        effects = coordinator.abortion_completed("Outer", None)
+        handled = [e for e in effects if isinstance(e, HandleResolved)]
+        assert handled and handled[0].exception == E1
+        assert coordinator.handling["Outer"] == E1
+        assert not coordinator.retained
+
+    def test_without_commit_abortion_leaves_thread_suspended(self):
+        # The deadlock shape the fix prevents: no Commit ever arrives again,
+        # so after the abortion the thread is suspended with nothing to do.
+        coordinator = self.build_aborting_t2()
+        effects = coordinator.abortion_completed("Outer", None)
+        assert coordinator.state is ThreadState.SUSPENDED
+        assert not any(isinstance(e, HandleResolved) for e in effects)
+
+    def test_commit_for_aborting_active_action_does_not_wipe_le(self):
+        # Variant of the race: the Commit is for the *nested* action that is
+        # itself being aborted.  It is stale (the instance is dying) and must
+        # not clear LEi, which holds the enclosing action's record.
+        outer_graph = generate_full_graph([E1, E2], action_name="Outer")
+        inner_graph = generate_full_graph([E3], action_name="Inner")
+        coordinator = ResolutionCoordinator("T2")
+        coordinator.enter_action(
+            ActionContext("Outer", ("T1", "T2", "T3"), outer_graph))
+        coordinator.enter_action(
+            ActionContext("Inner", ("T2", "T3"), inner_graph, parent="Outer"))
+        coordinator.receive(ExceptionMessage("Inner", "T3", E3))
+        coordinator.receive(ExceptionMessage("Outer", "T1", E1))
+        assert coordinator.pending_abort_target == "Outer"
+        effects = coordinator.receive(CommitMessage("Inner", "T3", E3))
+        assert "Inner" not in coordinator.handling
+        assert not any(isinstance(e, HandleResolved) for e in effects)
+        records = coordinator.le.records_for("Outer")
+        assert [r.exception for r in records] == [E1]
+
+    def test_retained_commit_dropped_when_action_left(self):
+        # A Commit retained for an action must not leak into a later
+        # instance of the same action name once the instance has ended.
+        coordinator = self.build_aborting_t2()
+        coordinator.receive(CommitMessage("Outer", "T3", E1))
+        coordinator.abortion_completed("Outer", None)
+        assert not coordinator.retained
+        coordinator.receive(CommitMessage("Outer", "T3", E2))  # handled now
+        coordinator.leave_action("Outer", success=True)
+        assert not coordinator.retained
+
+
+class TestResolverElectionNaturalOrder:
+    def test_resolver_is_numeric_max_at_n_ge_10(self):
+        # With ids T1..T12 the "largest identifier" is T12; lexicographic
+        # ordering would elect T9 and the real T12 would also consider
+        # itself resolver on some interleavings (split-brain commits).
+        threads = tuple(f"T{i}" for i in range(1, 13))
+        driver = make_driver(threads=threads)
+        driver.raise_in("T9", E1)
+        driver.raise_in("T12", E2)
+        driver.deliver_all()
+        commits = [effect for _sender, effect in driver.effects_log
+                   if isinstance(effect, SendTo)
+                   and isinstance(effect.message, CommitMessage)]
+        assert len(commits) == 1
+        assert commits[0].message.resolver == "T12"
+        assert set(driver.handled) == set(threads)
+        assert all(e.name == "e1&e2" for e in driver.handled.values())
+
+    def test_single_raiser_at_large_n(self):
+        threads = tuple(f"T{i}" for i in range(1, 17))
+        driver = make_driver(threads=threads)
+        driver.raise_in("T16", E1)
+        driver.deliver_all()
+        assert driver.coordinators["T16"].resolution_calls == 1
+        assert all(e == E1 for e in driver.handled.values())
+
+
 class TestLifecycle:
     def test_leave_action_resets_state(self):
         graph = generate_full_graph([E1])

@@ -1,0 +1,166 @@
+"""Regression test for the lost-Commit abortion race (system level).
+
+Scenario: ``T1``–``T3`` run action ``Outer``; ``T2``/``T3`` enter the nested
+action ``Inner``.  ``T2`` raises in ``Inner`` and resolves it (it is the
+largest exceptional thread), but the latency model delays its ``Commit`` to
+``T3``.  While that Commit is in flight, ``T1`` raises in ``Outer``, so both
+``T2`` (whose Inner handler is interrupted) and ``T3`` (still awaiting the
+Inner resolution) abort ``Inner``.  The delayed Commit lands on ``T3``
+squarely inside its abortion window.
+
+Before the fix this run deadlocked: ``T3`` handled the stale Commit, which
+emptied ``LEi`` and lost the record of ``T1``'s outer exception, so ``T3``
+(the largest exceptional thread after its abortion handler signalled) never
+saw a complete picture and never resolved — every thread was stranded and
+``run_to_completion`` raised ``RuntimeError`` ("simulation ended before the
+awaited event fired").  After the fix the Commit is ignored/retained by the
+coordinator's abortion bookkeeping and the run completes with all three
+threads recovering through the ``abort_residue&outer_fault`` cover.
+"""
+
+import pytest
+
+from repro.core.action import CAActionDefinition, RoleDefinition
+from repro.core.exception_graph import generate_full_graph
+from repro.core.exceptions import internal
+from repro.core.handlers import HandlerMap, HandlerResult
+from repro.core.messages import CommitMessage
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.report import ActionStatus
+from repro.runtime.system import DistributedCASystem
+
+
+class CommitDelayPlan(FaultPlan):
+    """Latency model add-on: delay ``Commit`` messages on one link."""
+
+    def __init__(self, source: str, destination: str, extra: float) -> None:
+        super().__init__()
+        self._commit_link = (source, destination)
+        self._commit_extra = extra
+
+    def apply(self, envelope, now):
+        deliver, extra = super().apply(envelope, now)
+        if deliver and isinstance(envelope.payload, CommitMessage) and \
+                (envelope.source, envelope.destination) == self._commit_link:
+            extra += self._commit_extra
+            self.stats.delayed += 1
+        return deliver, extra
+
+
+OUTER_FAULT = internal("outer_fault")
+ABORT_RESIDUE = internal("abort_residue")
+INNER_FAULT = internal("inner_fault")
+
+
+def build_delayed_commit_system(commit_delay: float = 3.0,
+                                abort_time: float = 3.0):
+    """The race scenario; the Inner Commit T2->T3 arrives mid-abortion."""
+    config = RuntimeConfig(algorithm="ours", abort_time=abort_time,
+                           resolution_time=0.0)
+    system = DistributedCASystem(
+        config, latency=ConstantLatency(0.1),
+        faults=CommitDelayPlan("T2", "T3", commit_delay))
+    system.add_threads(["T1", "T2", "T3"])
+
+    outer_graph = generate_full_graph([OUTER_FAULT, ABORT_RESIDUE],
+                                      action_name="Outer")
+    inner_graph = generate_full_graph([INNER_FAULT], action_name="Inner")
+
+    def outer_handler(ctx):
+        yield ctx.delay(0.2)
+        return HandlerResult.success()
+
+    def slow_inner_handler(ctx):
+        # Keeps T2 in its (abort-interruptible) handling phase when the
+        # outer exception arrives.
+        yield ctx.delay(10.0)
+        return HandlerResult.success()
+
+    def signal_residue(ctx):
+        return HandlerResult.signal(ABORT_RESIDUE)
+
+    def inner_raiser(ctx):
+        yield ctx.delay(1.0)
+        ctx.raise_exception(INNER_FAULT)
+
+    def inner_worker(ctx):
+        yield ctx.delay(50.0)
+
+    inner = CAActionDefinition(
+        "Inner",
+        [RoleDefinition("b2", inner_raiser,
+                        HandlerMap(default_handler=slow_inner_handler)),
+         RoleDefinition("b3", inner_worker,
+                        HandlerMap(abortion_handler=signal_residue,
+                                   default_handler=slow_inner_handler))],
+        internal_exceptions=[INNER_FAULT], graph=inner_graph, parent="Outer")
+
+    def outer_raiser(ctx):
+        yield ctx.delay(2.0)
+        ctx.raise_exception(OUTER_FAULT)
+
+    def nesting_role(role):
+        def body(ctx):
+            yield ctx.delay(0.1)
+            report = yield from ctx.perform_nested("Inner", role)
+            return report
+        return body
+
+    outer = CAActionDefinition(
+        "Outer",
+        [RoleDefinition("a1", outer_raiser,
+                        HandlerMap(default_handler=outer_handler)),
+         RoleDefinition("a2", nesting_role("b2"),
+                        HandlerMap(default_handler=outer_handler)),
+         RoleDefinition("a3", nesting_role("b3"),
+                        HandlerMap(default_handler=outer_handler))],
+        internal_exceptions=[OUTER_FAULT, ABORT_RESIDUE], graph=outer_graph)
+
+    system.define_action(outer)
+    system.define_action(inner)
+    system.bind("Outer", {"a1": "T1", "a2": "T2", "a3": "T3"})
+    system.bind("Inner", {"b2": "T2", "b3": "T3"})
+
+    def make_program(role):
+        def program(ctx):
+            report = yield from ctx.perform_action("Outer", role)
+            return report
+        return program
+
+    for thread, role in (("T1", "a1"), ("T2", "a2"), ("T3", "a3")):
+        system.spawn(thread, make_program(role))
+    return system
+
+
+class TestDelayedCommitRegression:
+    def test_run_completes_despite_commit_in_abortion_window(self):
+        system = build_delayed_commit_system()
+        reports = system.run_to_completion()      # deadlocked before the fix
+        assert [r.status for r in reports] == [ActionStatus.RECOVERED] * 3
+        assert all(r.resolved.name == "abort_residue&outer_fault"
+                   for r in reports)
+
+    def test_no_thread_left_suspended_or_mid_abort(self):
+        system = build_delayed_commit_system()
+        system.run_to_completion()
+        for partition in system.partitions.values():
+            assert partition.status == "idle"
+            assert partition.pending_abort is None
+            assert partition.coordinator.pending_abort_target is None
+            assert not partition.coordinator.retained
+
+    def test_delay_was_actually_injected(self):
+        system = build_delayed_commit_system()
+        system.run_to_completion()
+        assert system.network.faults.stats.delayed >= 1
+
+    def test_fast_commit_baseline_unaffected(self):
+        # With no extra Commit delay the same application completes too,
+        # and reaches the same covering exception.
+        system = build_delayed_commit_system(commit_delay=0.0)
+        reports = system.run_to_completion()
+        assert [r.status for r in reports] == [ActionStatus.RECOVERED] * 3
+        assert all(r.resolved.name == "abort_residue&outer_fault"
+                   for r in reports)

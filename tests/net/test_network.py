@@ -335,7 +335,33 @@ class TestStatistics:
         snapshot = network.stats.snapshot()
         a.send("B", 2)
         assert snapshot["sent"] == 1
-        assert snapshot["by_link"][("A", "B")] == 1
+        assert snapshot["by_link"]["A->B"] == 1
+
+    def test_snapshot_json_roundtrip(self):
+        # Snapshots must be JSON-serializable (benchmark rows embed them in
+        # BENCH_*.json files), and restore() must accept the decoded form.
+        import json
+
+        kernel, network, a, b = make_network()
+        for i in range(3):
+            a.send("B", i)
+        b.send("A", "reply")
+        kernel.run()
+        snapshot = network.stats.snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded == snapshot
+        network.stats.reset()
+        network.stats.restore(decoded)
+        assert network.stats.by_link[("A", "B")] == 3
+        assert network.stats.by_link[("B", "A")] == 1
+        assert network.stats.snapshot() == snapshot
+
+    def test_merge_accepts_tuple_and_string_link_keys(self):
+        kernel, network, a, b = make_network()
+        network.stats.merge({"by_link": {("A", "B"): 2}})
+        network.stats.merge({"by_link": {"A->B": 3, "B->A": 1}})
+        assert network.stats.by_link[("A", "B")] == 5
+        assert network.stats.by_link[("B", "A")] == 1
 
     def test_merge_aggregates_parallel_run_snapshots(self):
         kernel, network, a, b = make_network()
