@@ -44,6 +44,7 @@ from ..analysis.bounds import (
     messages_single_exception,
     theorem2_worst_case_messages,
 )
+from ..explore.explorer import explore_chunk
 from .scenarios import (
     EXPERIMENT1_ITERATIONS,
     run_churn,
@@ -349,6 +350,32 @@ def graph_microbench_point(n_primitives: int, max_level: int = 3,
                                 max_level=max_level,
                                 resolve_calls=resolve_calls,
                                 naive_calls=naive_calls)
+
+
+#: The explorer grid: a fixed-seed 200-plan budget over the nested-abort
+#: target, split into chunks of 25 so the process-pool path has real
+#: parallelism.  Every chunk is pure in ``(seed, start, stop)`` — the
+#: generator samples plan ``i`` identically in any process — so parallel
+#: and sequential sweeps return byte-identical rows (each row carries a
+#: digest over the canonical traces of its cases).
+EXPLORE_SEED = 2026
+EXPLORE_CHUNK_SIZE = 25
+EXPLORE_BUDGET = 200
+EXPLORE_GRID = tuple(
+    {"target": "nested_abort", "seed": EXPLORE_SEED,
+     "start": start, "stop": start + EXPLORE_CHUNK_SIZE}
+    for start in range(0, EXPLORE_BUDGET, EXPLORE_CHUNK_SIZE))
+
+
+@REGISTRY.register("explore", grid=EXPLORE_GRID,
+                   description="Fault-space exploration sweep: seeded fault "
+                               "plans + schedule perturbation, checked "
+                               "against the invariant oracles")
+def explore_point(target: str, seed: int, start: int, stop: int,
+                  **options) -> Row:
+    """One chunk of an explorer sweep (see repro.explore.explorer)."""
+    return explore_chunk(target=target, seed=seed, start=start, stop=stop,
+                         **options)
 
 
 #: The churn grid: an increasing number of unrelated concurrent actions

@@ -28,6 +28,8 @@ from ..analysis.bounds import (
 )
 from .engine import (
     CHURN_GRID,
+    EXPLORE_CHUNK_SIZE,
+    EXPLORE_SEED,
     FIGURE9_BASELINE,
     FIGURE9_GRIDS,
     GRAPH_MICROBENCH_GRID,
@@ -138,6 +140,24 @@ def large_n_table(thread_counts: Optional[Iterable[int]] = None,
         thread_counts = [point["n_threads"] for point in LARGE_N_GRID]
     points = [{"n_threads": n, "algorithm": algorithm} for n in thread_counts]
     return run_scenario("large_n", points=points, parallel=parallel)
+
+
+def explore_table(budget: int = 200, seed: int = EXPLORE_SEED,
+                  target: str = "nested_abort",
+                  chunk_size: int = EXPLORE_CHUNK_SIZE,
+                  parallel: bool = False) -> List[Dict[str, object]]:
+    """Fault-space exploration sweep: one row per chunk of seeded plans.
+
+    Every row reports the chunk's case count, failure count, violations
+    and a digest over its canonical traces; a clean sweep has
+    ``failures == 0`` everywhere.  The sweep is a pure function of
+    ``(target, seed, budget)``, so the parallel and sequential paths
+    return byte-identical rows.
+    """
+    points = [{"target": target, "seed": seed, "start": start,
+               "stop": min(start + chunk_size, budget)}
+              for start in range(0, budget, chunk_size)]
+    return run_scenario("explore", points=points, parallel=parallel)
 
 
 def churn_table(group_counts: Optional[Iterable[int]] = None,

@@ -36,11 +36,20 @@ class ProtocolMessage:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ExceptionMessage(ProtocolMessage):
-    """``Exception(A, Ti, E)``: ``thread`` raised ``exception`` in ``action``."""
+    """``Exception(A, Ti, E)``: ``thread`` raised ``exception`` in ``action``.
+
+    ``instance`` identifies the particular action *instance* the message
+    belongs to (empty when the sender predates instance tracking).  The
+    fault-space explorer demonstrated why the name alone is ambiguous: a
+    message delayed past the end of its instance would otherwise be
+    retained forever — or worse, replayed into a later instance of the
+    same action name.
+    """
 
     action: str
     thread: str
     exception: ExceptionDescriptor
+    instance: str = ""
 
 
 @dataclass(frozen=True)
@@ -49,6 +58,7 @@ class SuspendedMessage(ProtocolMessage):
 
     action: str
     thread: str
+    instance: str = ""
 
 
 @dataclass(frozen=True)
@@ -58,6 +68,7 @@ class CommitMessage(ProtocolMessage):
     action: str
     resolver: str
     exception: ExceptionDescriptor
+    instance: str = ""
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,186 @@
+"""Correctness oracles over protocol state: the paper's claims as predicates.
+
+The paper argues three properties of the combined resolution + signalling
+algorithms (Sections 3.3–3.4):
+
+* **agreement** — every participant of an action instance that handles a
+  resolving exception handles the *same* one (the resolver commits exactly
+  once, Commit is what everyone else obeys);
+* **exactly-one outcome** — each participating thread concludes each action
+  instance exactly once (no duplicated or lost conclusions);
+* **no stranded thread** — under the stated assumptions (dependable FIFO
+  communication), no thread is left suspended forever: at quiescence every
+  thread is idle, has no pending abortion and retains no undelivered
+  protocol messages.
+
+This module states those properties as pure predicates over plain data
+(records collected by the explorer's
+:class:`~repro.explore.monitor.InvariantMonitor` probes, and coordinator /
+partition state inspected at quiescence).  Keeping them here — next to the
+state machines whose guarantees they express — lets both the mechanized
+fault-space explorer and hand-written tests share one oracle catalogue.
+
+Every predicate returns a list of :class:`OracleViolation` (empty means the
+property holds), so callers can aggregate across predicates and runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Mapping, Sequence, Tuple
+
+from .state import ThreadState
+
+#: Invariant names, as reported in violations (the catalogue).
+AGREEMENT = "agreement"
+EXACTLY_ONE_OUTCOME = "exactly_one_outcome"
+NO_STRANDED_THREAD = "no_stranded_thread"
+ABORTION_ATOMIC = "abortion_atomic"
+DIFFERENTIAL_AGREEMENT = "differential_agreement"
+NO_CRASH = "no_crash"
+
+INVARIANTS = (AGREEMENT, EXACTLY_ONE_OUTCOME, NO_STRANDED_THREAD,
+              ABORTION_ATOMIC, DIFFERENTIAL_AGREEMENT, NO_CRASH)
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One observed violation of one invariant."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+def check_agreement(resolutions: Mapping[Tuple[str, str], Sequence[Tuple[str, str]]]
+                    ) -> List[OracleViolation]:
+    """All participants of one instance resolved to the same exception.
+
+    ``resolutions`` maps ``(action, instance_key)`` to the list of
+    ``(thread, resolved_exception_name)`` pairs observed for that instance —
+    one entry per resolution *delivery*, so a duplicated Commit shows up
+    as the same thread appearing twice and is flagged even when the
+    duplicate announces the same exception (the resolver commits exactly
+    once per instance).  Threads that never resolved (e.g. the instance
+    was aborted before its resolution reached them) are simply absent;
+    agreement is required among those that did.
+    """
+    violations: List[OracleViolation] = []
+    for (action, instance), seen in sorted(resolutions.items()):
+        names = sorted({name for _, name in seen})
+        if len(names) > 1:
+            by_thread = ", ".join(f"{thread}:{name}"
+                                  for thread, name in sorted(seen))
+            violations.append(OracleViolation(
+                AGREEMENT,
+                f"{action} instance {instance} resolved divergently "
+                f"({by_thread})"))
+        threads = [thread for thread, _ in seen]
+        for thread in sorted(set(threads)):
+            count = threads.count(thread)
+            if count > 1:
+                violations.append(OracleViolation(
+                    AGREEMENT,
+                    f"{action} instance {instance} delivered {count} "
+                    f"resolutions to {thread}"))
+    return violations
+
+
+def check_exactly_one_outcome(outcomes: Mapping[Tuple[str, str, str], int],
+                              require_completion: bool = True
+                              ) -> List[OracleViolation]:
+    """Each (instance, thread) participation concluded exactly once.
+
+    ``outcomes`` maps ``(action, instance_key, thread)`` to the number of
+    conclusions observed for that participation (zero for participations
+    that were entered but never concluded).  More than one conclusion is
+    a safety violation unconditionally; a *missing* conclusion is the
+    liveness half — under assumption-violating fault plans a participation
+    may legitimately never conclude, so callers waive it by passing
+    ``require_completion=False``.
+    """
+    violations: List[OracleViolation] = []
+    for (action, instance, thread), count in sorted(outcomes.items()):
+        if count > 1 or (count == 0 and require_completion):
+            violations.append(OracleViolation(
+                EXACTLY_ONE_OUTCOME,
+                f"{thread} concluded {action} instance {instance} "
+                f"{count} times"))
+    return violations
+
+
+@dataclass(frozen=True)
+class ThreadQuiescence:
+    """The explorer-visible state of one thread at quiescence."""
+
+    thread: str
+    program_finished: bool
+    status: str
+    coordinator_state: ThreadState
+    pending_abort: bool
+    pending_abort_target: Any
+    retained_messages: int
+    stack_depth: int
+
+
+def check_no_stranded_thread(threads: Iterable[ThreadQuiescence]
+                             ) -> List[OracleViolation]:
+    """No thread is left suspended/waiting once the simulation went quiet."""
+    violations: List[OracleViolation] = []
+    for snap in threads:
+        problems: List[str] = []
+        if not snap.program_finished:
+            problems.append("program never finished")
+        if snap.status != "idle":
+            problems.append(f"status={snap.status!r}")
+        if snap.coordinator_state is ThreadState.SUSPENDED:
+            problems.append("coordinator suspended")
+        if snap.stack_depth:
+            problems.append(f"{snap.stack_depth} contexts still on SA")
+        if snap.retained_messages:
+            problems.append(f"{snap.retained_messages} retained messages")
+        if problems:
+            violations.append(OracleViolation(
+                NO_STRANDED_THREAD,
+                f"{snap.thread} stranded at quiescence: "
+                + "; ".join(problems)))
+    return violations
+
+
+def check_abortion_atomic(threads: Iterable[ThreadQuiescence]
+                          ) -> List[OracleViolation]:
+    """Nested abortion ran to completion wherever it started."""
+    violations: List[OracleViolation] = []
+    for snap in threads:
+        if snap.pending_abort or snap.pending_abort_target is not None:
+            target = snap.pending_abort_target
+            violations.append(OracleViolation(
+                ABORTION_ATOMIC,
+                f"{snap.thread} still mid-abortion at quiescence "
+                f"(target={target!r})"))
+    return violations
+
+
+def check_differential_agreement(reference: Mapping[str, str],
+                                 candidate: Mapping[str, str],
+                                 reference_name: str,
+                                 candidate_name: str) -> List[OracleViolation]:
+    """Two algorithms resolved the same instances to the same exceptions.
+
+    Both arguments map ``"action#instance/thread"`` keys to resolved
+    exception names.  The baselines implement the *same specification* with
+    different message patterns, so on an identical deterministic workload
+    they must agree on what each instance resolved to.
+    """
+    violations: List[OracleViolation] = []
+    for key in sorted(set(reference) | set(candidate)):
+        ours = reference.get(key)
+        theirs = candidate.get(key)
+        if ours != theirs:
+            violations.append(OracleViolation(
+                DIFFERENTIAL_AGREEMENT,
+                f"{key}: {reference_name} resolved {ours!r} but "
+                f"{candidate_name} resolved {theirs!r}"))
+    return violations

@@ -33,7 +33,7 @@ X = exceptional, S = suspended):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from . import effects as fx
 from .exceptions import ExceptionDescriptor, RaisedRecord
@@ -72,6 +72,13 @@ class CoordinatorBase:
         self.sa = ContextStack()
         #: Messages for actions this thread has not entered yet.
         self.retained: List[ProtocolMessage] = []
+        #: Instance keys of action instances this thread has finished
+        #: (left or aborted).  A message stamped with one of these is
+        #: *stale* — the explorer showed that retaining it either leaks it
+        #: forever or replays it into a later instance of the same action
+        #: name.  (Grows with the number of instances of a run; a
+        #: long-lived deployment would prune it, the simulation need not.)
+        self.finished_instances: Set[str] = set()
         #: Action the thread is currently aborting towards (None if not).
         self.pending_abort_target: Optional[str] = None
         #: Resolving exception currently being handled, per action.
@@ -93,7 +100,7 @@ class CoordinatorBase:
         self.sa.push(context)
         self.state = ThreadState.NORMAL
         self._trace(f"enter {context.action}")
-        return self._replay_retained(context.action)
+        return self._replay_retained(context)
 
     def leave_action(self, action: str, success: bool = True) -> List[fx.Effect]:
         """The thread leaves ``action`` (after the synchronous exit protocol)."""
@@ -103,13 +110,35 @@ class CoordinatorBase:
                 f"{self.thread_id} cannot leave {action}: active action is "
                 f"{top.action if top else None}")
         self.sa.pop()
+        if top.instance:
+            self.finished_instances.add(top.instance)
         self.le.remove_other_actions(self.active_action_name() or "")
         self.handling.pop(action, None)
-        self._drop_retained(action)
+        self._drop_retained(action, top.instance)
         self._clear_action_state(action)
         self.state = ThreadState.NORMAL if success else ThreadState.EXCEPTIONAL
         self._trace(f"leave {action} ({'success' if success else 'failure'})")
         return []
+
+    def abandon_instance(self, instance: str) -> None:
+        """The runtime gave up an action attempt before entering it.
+
+        A nested entry barrier interrupted by an enclosing exception leaves
+        an allocated instance key that no thread-side ``enter_action`` will
+        ever follow; peer messages already stamped for it must not wait for
+        an entry that cannot happen (the explorer found them parked
+        forever).  Mark the instance finished and drop anything retained
+        for it.
+        """
+        if not instance:
+            return
+        self.finished_instances.add(instance)
+        before = len(self.retained)
+        self.retained = [m for m in self.retained
+                         if getattr(m, "instance", "") != instance]
+        if len(self.retained) != before:
+            self._trace(f"drop retained for abandoned {instance}")
+        self._trace(f"abandon {instance}")
 
     def _clear_action_state(self, action: str) -> None:
         """Hook: drop any per-action protocol state when the action is left.
@@ -143,29 +172,71 @@ class CoordinatorBase:
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
-    def _split_retained(self, action: str) -> Tuple[List[ProtocolMessage],
-                                                    List[ProtocolMessage]]:
-        matching = [m for m in self.retained if getattr(m, "action", None) == action]
-        remaining = [m for m in self.retained if getattr(m, "action", None) != action]
-        return matching, remaining
-
-    def _drop_retained(self, action: str) -> None:
+    def _drop_retained(self, action: str, instance: str = "") -> None:
         """Discard retained messages for an action instance that has ended.
 
         Called when ``action`` is left or aborted: any message still parked
         for it belongs to the finished instance and must not leak into a
-        later instance of the same action name.
+        later instance of the same action name.  Messages stamped for a
+        *different* instance of the same name (parked for a future
+        occurrence the sender already entered) survive; unstamped messages
+        are treated as belonging to the ending instance, as before
+        instance tracking existed.
         """
-        self.retained = [m for m in self.retained
-                         if getattr(m, "action", None) != action]
+        def ends_with(message: ProtocolMessage) -> bool:
+            if getattr(message, "action", None) != action:
+                return False
+            stamp = getattr(message, "instance", "")
+            return not stamp or not instance or stamp == instance
 
-    def _replay_retained(self, action: str) -> List[fx.Effect]:
-        """Re-deliver messages parked for ``action`` (now the active action)."""
-        pending, self.retained = self._split_retained(action)
+        self.retained = [m for m in self.retained if not ends_with(m)]
+
+    def _replay_retained(self, context: ActionContext) -> List[fx.Effect]:
+        """Re-deliver messages parked for ``context`` (now the active action).
+
+        Messages stamped with the instance key of an already-finished
+        instance are dropped as stale; messages stamped for a *different*
+        (not-yet-finished) instance of the same action name stay parked.
+        Unstamped messages replay by action name, as always.
+        """
+        pending: List[ProtocolMessage] = []
+        parked: List[ProtocolMessage] = []
+        for message in self.retained:
+            if getattr(message, "action", None) != context.action:
+                parked.append(message)
+                continue
+            staleness = self._message_staleness(message, context)
+            if staleness == "stale":
+                self._trace("drop stale retained for "
+                            f"{getattr(message, 'instance', '')}")
+            elif staleness == "other":
+                parked.append(message)
+            else:
+                pending.append(message)
+        self.retained = parked
         effects: List[fx.Effect] = []
         for message in pending:
             effects.extend(self.receive(message))
         return effects
+
+    def _message_staleness(self, message: ProtocolMessage,
+                           context: Optional[ActionContext] = None) -> str:
+        """Classify a message against the instance bookkeeping.
+
+        Returns ``"stale"`` (belongs to a finished instance), ``"other"``
+        (stamped for a different, not-yet-finished instance — e.g. a later
+        occurrence the sender already entered) or ``"current"`` (unstamped,
+        or matching ``context``).
+        """
+        instance = getattr(message, "instance", "")
+        if not instance:
+            return "current"
+        if instance in self.finished_instances:
+            return "stale"
+        if context is not None and context.instance and \
+                instance != context.instance:
+            return "other"
+        return "current"
 
     def _trace(self, text: str) -> None:
         self.trace.append(f"{self.thread_id}: {text}")
@@ -206,7 +277,8 @@ class ResolutionCoordinator(CoordinatorBase):
 
         effects: List[fx.Effect] = [
             fx.SendTo(context.others(self.thread_id),
-                   ExceptionMessage(action, self.thread_id, exception)),
+                   ExceptionMessage(action, self.thread_id, exception,
+                                    instance=context.instance)),
             fx.InformObjects(action, exception),
         ]
         effects.extend(self._check_resolution())
@@ -227,12 +299,29 @@ class ResolutionCoordinator(CoordinatorBase):
         target_action = message.action
         context = self.active_context()
 
+        if self._message_staleness(message) == "stale":
+            # The instance this message belongs to has already ended here;
+            # retaining it would leak it (or poison a later instance).
+            self._trace(f"drop stale message for {message.instance}")
+            return [fx.LogEvent(f"{self.thread_id} dropped stale message "
+                             f"for {message.instance}")]
+
         if context is None or not self.sa.contains(target_action):
             # "retain the Exception or Suspended message till Ti enters A*"
             self.retained.append(message)
             self._trace(f"retain message for {target_action}")
             return [fx.LogEvent(f"{self.thread_id} retained message for "
                              f"{target_action}")]
+
+        target_context = self.sa.find(target_action)
+        if self._message_staleness(message, target_context) == "other":
+            # Stamped for a different occurrence of this action name that
+            # has not ended here (e.g. the sender already re-entered it):
+            # park it for that instance.
+            self.retained.append(message)
+            self._trace(f"retain message for {message.instance}")
+            return [fx.LogEvent(f"{self.thread_id} retained message for "
+                             f"{message.instance}")]
 
         exception = (message.exception
                      if isinstance(message, ExceptionMessage) else None)
@@ -256,19 +345,32 @@ class ResolutionCoordinator(CoordinatorBase):
                                          exception if exception is not None
                                          else ExceptionDescriptor("suspended-peer")))
             effects.append(fx.SendTo(
-                self.sa.find(target_action).others(self.thread_id),
-                SuspendedMessage(target_action, self.thread_id)))
+                target_context.others(self.thread_id),
+                SuspendedMessage(target_action, self.thread_id,
+                                 instance=target_context.instance)))
         effects.extend(self._check_resolution())
         return effects
 
     def _receive_commit(self, message: CommitMessage) -> List[fx.Effect]:
         context = self.active_context()
+        if self._message_staleness(message) == "stale":
+            self._trace(f"drop stale Commit for {message.instance}")
+            return [fx.LogEvent(f"{self.thread_id} dropped stale Commit "
+                             f"for {message.instance}")]
         if context is None or not self.sa.contains(message.action):
             # The action was never entered or has already ended on this
             # thread; a Commit for it is stale and safe to drop.
             self._trace(f"ignore Commit for {message.action}")
             return [fx.LogEvent(f"{self.thread_id} ignored Commit for "
                              f"{message.action}")]
+        if self._message_staleness(message,
+                                   self.sa.find(message.action)) == "other":
+            # A Commit stamped for a different, not-yet-finished occurrence
+            # of this action name: park it for that instance.
+            self.retained.append(message)
+            self._trace(f"retain Commit for {message.instance}")
+            return [fx.LogEvent(f"{self.thread_id} retained Commit for "
+                             f"{message.instance}")]
         if context.action != message.action:
             # The action is on the stack but not active — e.g. the Commit
             # arrived while this thread is still aborting nested actions
@@ -338,8 +440,10 @@ class ResolutionCoordinator(CoordinatorBase):
         # Pop the aborted contexts so that ``target`` becomes the active one.
         for popped in self.sa.pop_until(target):
             self.handling.pop(popped.action, None)
-            self._drop_retained(popped.action)
+            self._drop_retained(popped.action, popped.instance)
             self._clear_action_state(popped.action)
+            if popped.instance:
+                self.finished_instances.add(popped.instance)
         context = self.sa.top()
         effects: List[fx.Effect] = []
 
@@ -359,18 +463,20 @@ class ResolutionCoordinator(CoordinatorBase):
             self._trace(f"abortion handler raised {raised.name} in {target}")
             effects.append(fx.SendTo(context.others(self.thread_id),
                                   ExceptionMessage(target, self.thread_id,
-                                                   raised)))
+                                                   raised,
+                                                   instance=context.instance)))
             effects.append(fx.InformObjects(target, raised))
         else:
             self.state = ThreadState.SUSPENDED
             self._record(target, self.thread_id, None)
             self._trace(f"suspended after abortion in {target}")
             effects.append(fx.SendTo(context.others(self.thread_id),
-                                  SuspendedMessage(target, self.thread_id)))
+                                  SuspendedMessage(target, self.thread_id,
+                                                   instance=context.instance)))
         # ``target`` is the active action again: replay messages retained
         # for it — in particular a Commit that arrived mid-abortion, which
         # would otherwise be lost and leave this thread suspended forever.
-        effects.extend(self._replay_retained(target))
+        effects.extend(self._replay_retained(context))
         effects.extend(self._check_resolution())
         return effects
 
@@ -415,6 +521,7 @@ class ResolutionCoordinator(CoordinatorBase):
         return [
             fx.ChargeTime("resolution", 1),
             fx.SendTo(context.others(self.thread_id),
-                   CommitMessage(action, self.thread_id, resolved)),
+                   CommitMessage(action, self.thread_id, resolved,
+                                 instance=context.instance)),
             fx.HandleResolved(action, resolved, resolver=self.thread_id),
         ]

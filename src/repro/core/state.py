@@ -74,6 +74,12 @@ class ActionContext:
     participants: Tuple[str, ...]
     graph: ExceptionGraph
     parent: Optional[str] = None
+    #: Key of the particular action *instance* (empty in contexts built by
+    #: instance-agnostic callers).  Cooperating threads compute identical
+    #: keys for the same joint attempt, so protocol messages stamped with
+    #: it can be told apart from messages of earlier/later instances of
+    #: the same action name.
+    instance: str = ""
 
     def __post_init__(self) -> None:
         if not self.participants:

@@ -1,0 +1,50 @@
+"""Systematic fault-space exploration with deterministic replay.
+
+The paper's correctness claims — every participant resolves to the same
+covering exception, no thread is left stranded suspended, nested abortion
+is atomic — hold over *all* legal message timings and schedules, not just
+the ones the hand-written scenarios happen to produce.  This package
+mechanizes the search over that space:
+
+* :mod:`~repro.explore.plan` — :class:`ExplorationPlan`, a serializable
+  ``(fault directives, schedule-perturbation seed)`` pair; every run is a
+  pure function of ``(target, plan)``;
+* :mod:`~repro.explore.generator` — :class:`FaultPlanGenerator`, seeded
+  sampling of plans from the drop/corrupt/delay/crash vocabulary;
+* :mod:`~repro.explore.targets` — the scenario systems under exploration;
+* :mod:`~repro.explore.monitor` — :class:`InvariantMonitor`, which probes
+  the runtime and evaluates the oracle catalogue of
+  :mod:`repro.core.oracles` after every run;
+* :mod:`~repro.explore.trace` — byte-identical canonical traces and
+  digests for deterministic replay checking;
+* :mod:`~repro.explore.explorer` — :class:`Explorer`, the budgeted sweep
+  (also exposed as the scenario-engine workload ``"explore"``);
+* :mod:`~repro.explore.shrink` — delta-debugging reduction of a failing
+  plan to a minimal reproducer, emitted as a ready-to-paste pytest.
+"""
+
+from .explorer import CaseResult, Explorer, ExplorationReport, run_case
+from .generator import FaultPlanGenerator
+from .monitor import InvariantMonitor
+from .plan import ExplorationPlan
+from .shrink import ShrinkResult, shrink_plan, to_pytest_source
+from .targets import TARGETS, ExplorationTarget
+from .trace import TraceRecorder, canonical_trace, trace_digest
+
+__all__ = [
+    "CaseResult",
+    "ExplorationPlan",
+    "ExplorationReport",
+    "ExplorationTarget",
+    "Explorer",
+    "FaultPlanGenerator",
+    "InvariantMonitor",
+    "ShrinkResult",
+    "TARGETS",
+    "TraceRecorder",
+    "canonical_trace",
+    "run_case",
+    "shrink_plan",
+    "to_pytest_source",
+    "trace_digest",
+]

@@ -1,0 +1,141 @@
+"""Seeded sampling of exploration plans from the fault vocabulary.
+
+The generator is a pure function of ``(seed, index)``: plan ``i`` of seed
+``s`` is always the same plan, in any process, regardless of how many other
+plans were sampled before it.  That property is what lets the budgeted
+sweep run on a process pool and still be byte-identical with the
+sequential sweep, and what makes "plan 137 of seed 2026" a complete bug
+report.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from ..net.faults import DIRECTIVE_KINDS, FaultDirective
+from ..simkernel.rng import SeededStreams
+from .plan import ExplorationPlan
+
+#: Message types the generator targets by default: the protocol messages of
+#: the resolution and signalling algorithms (delaying application traffic
+#: exercises nothing the protocols care about).
+DEFAULT_MESSAGE_TYPES: Tuple[str, ...] = (
+    "ExceptionMessage", "SuspendedMessage", "CommitMessage",
+    "ToBeSignalledMessage",
+)
+
+#: Directive kinds the generator can sample.  ``restore`` is excluded: it
+#: only exists to serialize crash-then-restore plans faithfully; sampled
+#: on its own it would be a no-op directive wasting budget.
+SAMPLABLE_KINDS: Tuple[str, ...] = tuple(
+    kind for kind in DIRECTIVE_KINDS if kind != "restore")
+
+#: Directive kinds sampled by default: the delivery-preserving ones, so the
+#: full oracle catalogue (including liveness) applies to every sampled
+#: plan.  Pass ``kinds=DIRECTIVE_KINDS`` for the complete vocabulary.
+DEFAULT_KINDS: Tuple[str, ...] = ("delay_link", "delay_type", "delay_nth")
+
+
+class FaultPlanGenerator:
+    """Samples :class:`ExplorationPlan` points from a seeded stream.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; ``sample(i)`` is a pure function of ``(seed, i)``.
+    threads:
+        Node names of the target system (links are ordered pairs of them).
+    kinds:
+        Directive kinds to draw from (default: delivery-preserving delays).
+    message_types:
+        Payload type names eligible for ``delay_type`` directives.
+    max_directives:
+        Upper bound on directives per plan (1..max, uniform).
+    delay_range:
+        ``(low, high)`` of sampled extra delays, virtual time units.
+    max_nth:
+        Upper bound for the ``n`` of nth-message directives.
+    crash_window:
+        ``(low, high)`` of sampled crash times (``crash`` kind only).
+    jitter_probability:
+        Probability that a plan carries a schedule-perturbation seed.
+    """
+
+    def __init__(self, seed: int, threads: Sequence[str],
+                 kinds: Sequence[str] = DEFAULT_KINDS,
+                 message_types: Sequence[str] = DEFAULT_MESSAGE_TYPES,
+                 max_directives: int = 3,
+                 delay_range: Tuple[float, float] = (0.25, 5.0),
+                 max_nth: int = 6,
+                 crash_window: Tuple[float, float] = (0.0, 5.0),
+                 jitter_probability: float = 0.5) -> None:
+        if len(threads) < 2:
+            raise ValueError("need at least two threads to have links")
+        unknown = set(kinds) - set(SAMPLABLE_KINDS)
+        if unknown:
+            raise ValueError(f"unknown directive kinds {sorted(unknown)}")
+        if not kinds:
+            raise ValueError("need at least one directive kind")
+        if max_directives < 1:
+            raise ValueError("max_directives must be >= 1")
+        if not 0.0 <= jitter_probability <= 1.0:
+            raise ValueError("jitter_probability must be in [0, 1]")
+        self.seed = int(seed)
+        self.threads = tuple(threads)
+        self.kinds = tuple(kinds)
+        self.message_types = tuple(message_types)
+        self.max_directives = max_directives
+        self.delay_range = delay_range
+        self.max_nth = max_nth
+        self.crash_window = crash_window
+        self.jitter_probability = jitter_probability
+        self._links = tuple((a, b) for a in self.threads for b in self.threads
+                            if a != b)
+
+    # ------------------------------------------------------------------
+    def sample(self, index: int) -> ExplorationPlan:
+        """Sample plan number ``index`` (pure in ``(seed, index)``)."""
+        rng = self._rng(index)
+        count = rng.randint(1, self.max_directives)
+        directives = tuple(self._sample_directive(rng) for _ in range(count))
+        tie_seed: Optional[int] = None
+        if rng.random() < self.jitter_probability:
+            tie_seed = rng.randrange(2 ** 32)
+        return ExplorationPlan(directives=directives, tie_seed=tie_seed)
+
+    def _rng(self, index: int) -> random.Random:
+        # Named sub-streams give the same PYTHONHASHSEED-independent
+        # derivation the rest of the repository uses — but a *fresh* stream
+        # object per call, so sampling order cannot leak between indices.
+        return SeededStreams(self.seed).stream(f"plan-{index}")
+
+    def _sample_directive(self, rng: random.Random) -> FaultDirective:
+        kind = self.kinds[rng.randrange(len(self.kinds))]
+        if kind == "crash":
+            node = self.threads[rng.randrange(len(self.threads))]
+            at_time: Optional[float] = None
+            if rng.random() < 0.5:
+                at_time = round(rng.uniform(*self.crash_window), 3)
+            return FaultDirective("crash", node=node, at_time=at_time)
+        source, destination = self._links[rng.randrange(len(self._links))]
+        if kind == "drop_nth":
+            return FaultDirective("drop_nth", source=source,
+                                  destination=destination,
+                                  n=rng.randint(1, self.max_nth))
+        if kind == "corrupt_nth":
+            return FaultDirective("corrupt_nth", source=source,
+                                  destination=destination,
+                                  n=rng.randint(1, self.max_nth))
+        extra = round(rng.uniform(*self.delay_range), 3)
+        if kind == "delay_link":
+            return FaultDirective("delay_link", source=source,
+                                  destination=destination, extra=extra)
+        if kind == "delay_nth":
+            return FaultDirective("delay_nth", source=source,
+                                  destination=destination,
+                                  n=rng.randint(1, self.max_nth), extra=extra)
+        type_name = self.message_types[rng.randrange(len(self.message_types))]
+        return FaultDirective("delay_type", source=source,
+                              destination=destination, type_name=type_name,
+                              extra=extra)

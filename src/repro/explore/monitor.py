@@ -1,0 +1,95 @@
+"""Invariant monitoring: runtime probes feeding the oracle catalogue.
+
+The :class:`InvariantMonitor` registers as a life-cycle probe on a
+:class:`~repro.runtime.system.DistributedCASystem` (see
+``DistributedCASystem.add_probe``) and records every resolution delivery
+and every action conclusion.  After the run, :meth:`check` evaluates the
+oracle predicates of :mod:`repro.core.oracles`:
+
+* ``agreement`` and the duplicate-conclusion half of
+  ``exactly_one_outcome`` are checked unconditionally — they are pure
+  safety properties;
+* the missing-conclusion half of ``exactly_one_outcome`` and the
+  ``no_stranded_thread`` / ``abortion_atomic`` oracles are
+  liveness-flavoured and only meaningful when the plan stayed within the
+  paper's delivery assumptions (a plan that *drops* a protocol message is
+  allowed to strand a participation — the paper says so explicitly), so
+  :meth:`check` takes a ``require_liveness`` flag the explorer derives
+  from ``ExplorationPlan.preserves_delivery``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from ..core import oracles
+from ..core.oracles import OracleViolation, ThreadQuiescence
+from ..runtime.system import DistributedCASystem
+
+
+class InvariantMonitor:
+    """Collects probe records for one run and evaluates the oracles."""
+
+    def __init__(self, system: DistributedCASystem) -> None:
+        self.system = system
+        #: (action, instance) -> [(thread, resolved exception name)], one
+        #: entry per *delivered* resolution (duplicates included).
+        self.resolutions: Dict[Tuple[str, str], List[Tuple[str, str]]] = \
+            defaultdict(list)
+        #: (action, instance, thread) -> number of conclusions observed.
+        self.outcomes: Dict[Tuple[str, str, str], int] = defaultdict(int)
+        #: "instance/thread" -> resolved exception name (for differential
+        #: comparison across algorithms).
+        self.resolved_map: Dict[str, str] = {}
+        system.add_probe(self._on_probe)
+
+    # ------------------------------------------------------------------
+    def _on_probe(self, event: str, **data) -> None:
+        if event == "resolved":
+            key = (data["action"], data["instance"])
+            name = data["exception"].name
+            self.resolutions[key].append((data["thread"], name))
+            self.resolved_map[f"{data['instance']}/{data['thread']}"] = name
+        elif event == "entered":
+            # Seed the outcome counter at zero so a participation that is
+            # entered but never concluded is visible to the oracle as a
+            # lost conclusion, not silently absent.
+            self.outcomes.setdefault(
+                (data["action"], data["instance"], data["thread"]), 0)
+        elif event == "concluded":
+            self.outcomes[(data["action"], data["instance"],
+                           data["thread"])] += 1
+
+    # ------------------------------------------------------------------
+    def quiescence(self) -> List[ThreadQuiescence]:
+        """Snapshot every thread's explorer-visible state at quiescence."""
+        snapshots: List[ThreadQuiescence] = []
+        for name in sorted(self.system.partitions):
+            partition = self.system.partitions[name]
+            process = partition.thread_process
+            finished = process is not None and process.triggered
+            coordinator = partition.coordinator
+            snapshots.append(ThreadQuiescence(
+                thread=name,
+                program_finished=finished,
+                status=partition.status,
+                coordinator_state=coordinator.state,
+                pending_abort=partition.pending_abort is not None,
+                pending_abort_target=coordinator.pending_abort_target,
+                retained_messages=len(coordinator.retained),
+                stack_depth=len(coordinator.sa),
+            ))
+        return snapshots
+
+    def check(self, require_liveness: bool = True) -> List[OracleViolation]:
+        """Evaluate the oracle catalogue over the collected records."""
+        violations: List[OracleViolation] = []
+        violations.extend(oracles.check_agreement(self.resolutions))
+        violations.extend(oracles.check_exactly_one_outcome(
+            self.outcomes, require_completion=require_liveness))
+        if require_liveness:
+            snapshots = self.quiescence()
+            violations.extend(oracles.check_no_stranded_thread(snapshots))
+            violations.extend(oracles.check_abortion_atomic(snapshots))
+        return violations

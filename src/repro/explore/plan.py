@@ -1,0 +1,104 @@
+"""Exploration plans: one point of the fault space, serializable and replayable.
+
+An :class:`ExplorationPlan` is everything that distinguishes one explored
+run from another over the same target system:
+
+* a sequence of :class:`~repro.net.faults.FaultDirective` — the message-
+  and node-level faults to inject; and
+* an optional ``tie_seed`` — the kernel's schedule-perturbation seed,
+  which selects one deterministic interleaving of otherwise-concurrent
+  events (see :class:`~repro.simkernel.kernel.Kernel`).
+
+Plans are value objects: they serialize to plain JSON, rebuild exactly,
+and running the same ``(target, plan)`` twice produces byte-identical
+traces.  That is what makes a failing plan a *reproducer* rather than a
+flaky observation, and what the shrinker relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..net.faults import FaultDirective, FaultPlan
+
+
+@dataclass(frozen=True)
+class ExplorationPlan:
+    """A deterministic, serializable fault + schedule assignment."""
+
+    directives: Tuple[FaultDirective, ...] = ()
+    tie_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "directives", tuple(self.directives))
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def preserves_delivery(self) -> bool:
+        """True if every directive only delays messages.
+
+        Schedule perturbation never violates the paper's assumptions (the
+        kernel keeps FIFO links intact under it), so a delivery-preserving
+        plan may be held to the full safety *and* liveness oracles.
+        """
+        return all(d.preserves_delivery for d in self.directives)
+
+    def make_fault_plan(self) -> FaultPlan:
+        """Instantiate a fresh :class:`FaultPlan` for one run of this plan."""
+        return FaultPlan.from_directives(self.directives)
+
+    # ------------------------------------------------------------------
+    # Serialization and identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "directives": [d.to_dict() for d in self.directives],
+        }
+        if self.tie_seed is not None:
+            data["tie_seed"] = self.tie_seed
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExplorationPlan":
+        return cls(
+            directives=tuple(FaultDirective.from_dict(d)
+                             for d in data.get("directives", ())),
+            tie_seed=data.get("tie_seed"),
+        )
+
+    def key(self) -> str:
+        """A canonical string identity (stable across processes)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def describe(self) -> str:
+        """Human-readable multi-line rendering (shrink reports, logs)."""
+        lines = [d.describe() for d in self.directives] or ["(no faults)"]
+        if self.tie_seed is not None:
+            lines.append(f"schedule perturbation seed {self.tie_seed}")
+        return "; ".join(lines)
+
+    # ------------------------------------------------------------------
+    # Shrinking support
+    # ------------------------------------------------------------------
+    def without_directive(self, index: int) -> "ExplorationPlan":
+        """A copy with the ``index``-th directive removed."""
+        kept = self.directives[:index] + self.directives[index + 1:]
+        return replace(self, directives=kept)
+
+    def without_tie_seed(self) -> "ExplorationPlan":
+        """A copy with the schedule perturbation removed."""
+        return replace(self, tie_seed=None)
+
+    def with_directive(self, index: int,
+                       directive: FaultDirective) -> "ExplorationPlan":
+        """A copy with the ``index``-th directive replaced."""
+        updated = (self.directives[:index] + (directive,)
+                   + self.directives[index + 1:])
+        return replace(self, directives=updated)
+
+    def __len__(self) -> int:
+        return len(self.directives)

@@ -14,8 +14,8 @@ are violated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..simkernel.rng import SeededStreams
 from .message import Envelope
@@ -32,6 +32,89 @@ class FaultStatistics:
 
     def total(self) -> int:
         return self.dropped + self.corrupted + self.delayed + self.blocked_by_crash
+
+
+#: The surgical fault kinds a :class:`FaultDirective` can describe.
+DIRECTIVE_KINDS = ("drop_nth", "corrupt_nth", "delay_link", "delay_type",
+                   "delay_nth", "crash", "restore")
+
+#: Directive kinds that keep the paper's Assumptions 1 and 2 intact: they
+#: only *delay* messages (delivery stays exactly-once, uncorrupted, FIFO).
+#: Plans built solely from these may legitimately be held to the
+#: algorithms' full safety *and* liveness guarantees.  (``restore`` on its
+#: own blocks nothing; the crash it undoes carries the violation.)
+DELIVERY_PRESERVING_KINDS = frozenset({"delay_link", "delay_type",
+                                       "delay_nth", "restore"})
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One serializable fault-injection instruction.
+
+    A directive is the unit the fault-space explorer samples, shrinks and
+    replays: a plan is a sequence of directives plus a seed, and
+    :meth:`FaultPlan.from_directives` rebuilds an identical plan from them.
+
+    Fields are interpreted per ``kind``:
+
+    * ``drop_nth`` / ``corrupt_nth`` — drop/corrupt the ``n``-th message on
+      the ``source``→``destination`` link;
+    * ``delay_link`` — add ``extra`` delay to every message on the link;
+    * ``delay_type`` — add ``extra`` delay to messages on the link whose
+      payload type name is ``type_name``;
+    * ``delay_nth`` — add ``extra`` delay to the ``n``-th message on the
+      link;
+    * ``crash`` — crash node ``node`` (from ``at_time`` onwards if given).
+    """
+
+    kind: str
+    source: str = ""
+    destination: str = ""
+    n: int = 0
+    extra: float = 0.0
+    type_name: str = ""
+    node: str = ""
+    at_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DIRECTIVE_KINDS:
+            raise ValueError(f"unknown directive kind {self.kind!r}; "
+                             f"choose from {DIRECTIVE_KINDS}")
+
+    @property
+    def preserves_delivery(self) -> bool:
+        """True if this directive only delays (Assumptions 1/2 hold)."""
+        return self.kind in DELIVERY_PRESERVING_KINDS
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A compact JSON-serializable form (defaults omitted)."""
+        blank = FaultDirective(kind=self.kind)
+        return {key: value for key, value in asdict(self).items()
+                if key == "kind" or value != getattr(blank, key)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultDirective":
+        """Rebuild a directive from :meth:`to_dict` output."""
+        return cls(**data)
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering (used by shrink reports)."""
+        if self.kind == "crash":
+            when = "" if self.at_time is None else f" at t={self.at_time:g}"
+            return f"crash {self.node}{when}"
+        if self.kind == "restore":
+            return f"restore {self.node}"
+        link = f"{self.source}->{self.destination}"
+        if self.kind == "drop_nth":
+            return f"drop message #{self.n} on {link}"
+        if self.kind == "corrupt_nth":
+            return f"corrupt message #{self.n} on {link}"
+        if self.kind == "delay_link":
+            return f"delay every message on {link} by {self.extra:g}"
+        if self.kind == "delay_nth":
+            return f"delay message #{self.n} on {link} by {self.extra:g}"
+        return (f"delay {self.type_name} messages on {link} "
+                f"by {self.extra:g}")
 
 
 class FaultPlan:
@@ -57,11 +140,16 @@ class FaultPlan:
         self._drop_nth: Dict[Tuple[str, str], Set[int]] = {}
         self._corrupt_nth: Dict[Tuple[str, str], Set[int]] = {}
         self._extra_delay: Dict[Tuple[str, str], float] = {}
+        self._type_delay: Dict[Tuple[str, str, str], float] = {}
+        self._nth_delay: Dict[Tuple[str, str], Dict[int, float]] = {}
         self._link_counts: Dict[Tuple[str, str], int] = {}
         self._crashed_nodes: Set[str] = set()
         self._crash_times: Dict[str, float] = {}
         self.stats = FaultStatistics()
         self.log: List[str] = []
+        #: The surgical directives this plan was built from, in application
+        #: order (probabilistic parameters are serialized separately).
+        self.directives: List[FaultDirective] = []
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -71,18 +159,55 @@ class FaultPlan:
         if n < 1:
             raise ValueError("n is 1-based and must be >= 1")
         self._drop_nth.setdefault((source, destination), set()).add(n)
+        self.directives.append(FaultDirective(
+            "drop_nth", source=source, destination=destination, n=n))
 
     def corrupt_nth_message(self, source: str, destination: str, n: int) -> None:
         """Corrupt the ``n``-th (1-based) message on the given link."""
         if n < 1:
             raise ValueError("n is 1-based and must be >= 1")
         self._corrupt_nth.setdefault((source, destination), set()).add(n)
+        self.directives.append(FaultDirective(
+            "corrupt_nth", source=source, destination=destination, n=n))
 
     def add_link_delay(self, source: str, destination: str, extra: float) -> None:
         """Add a fixed extra delay to every message on the given link."""
         if extra < 0:
             raise ValueError("extra delay must be non-negative")
         self._extra_delay[(source, destination)] = extra
+        self.directives.append(FaultDirective(
+            "delay_link", source=source, destination=destination, extra=extra))
+
+    def delay_message_type(self, source: str, destination: str,
+                           type_name: str, extra: float) -> None:
+        """Add a fixed extra delay to messages of one payload type on a link.
+
+        ``type_name`` is the class name of the envelope payload (e.g.
+        ``"CommitMessage"``), matching the keys of
+        :class:`~repro.net.network.MessageStatistics` ``by_type`` counters.
+        This is the generalisation of the hand-crafted Commit-delaying plan
+        that exposed the lost-Commit abortion race.
+        """
+        if extra < 0:
+            raise ValueError("extra delay must be non-negative")
+        if not type_name:
+            raise ValueError("type_name must be non-empty")
+        self._type_delay[(source, destination, type_name)] = extra
+        self.directives.append(FaultDirective(
+            "delay_type", source=source, destination=destination,
+            type_name=type_name, extra=extra))
+
+    def delay_nth_message(self, source: str, destination: str, n: int,
+                          extra: float) -> None:
+        """Add a fixed extra delay to the ``n``-th (1-based) message on a link."""
+        if n < 1:
+            raise ValueError("n is 1-based and must be >= 1")
+        if extra < 0:
+            raise ValueError("extra delay must be non-negative")
+        self._nth_delay.setdefault((source, destination), {})[n] = extra
+        self.directives.append(FaultDirective(
+            "delay_nth", source=source, destination=destination, n=n,
+            extra=extra))
 
     def crash_node(self, node: str, at_time: Optional[float] = None) -> None:
         """Mark a node as crashed (optionally from ``at_time`` onwards).
@@ -93,11 +218,91 @@ class FaultPlan:
             self._crashed_nodes.add(node)
         else:
             self._crash_times[node] = at_time
+        self.directives.append(FaultDirective("crash", node=node,
+                                              at_time=at_time))
 
     def restore_node(self, node: str) -> None:
-        """Undo a crash (used by recovery-oriented tests)."""
+        """Undo a crash (used by recovery-oriented tests).
+
+        Recorded as its own ``restore`` directive — the earlier ``crash``
+        stays in the plan's history, so serialization replays the same
+        crash-then-restore sequence (and ``preserves_delivery`` still
+        reports the crash) instead of pretending it never happened.
+        """
         self._crashed_nodes.discard(node)
         self._crash_times.pop(node, None)
+        self.directives.append(FaultDirective("restore", node=node))
+
+    def apply_directive(self, directive: FaultDirective) -> None:
+        """Apply one :class:`FaultDirective` to this plan."""
+        if directive.kind == "drop_nth":
+            self.drop_nth_message(directive.source, directive.destination,
+                                  directive.n)
+        elif directive.kind == "corrupt_nth":
+            self.corrupt_nth_message(directive.source, directive.destination,
+                                     directive.n)
+        elif directive.kind == "delay_link":
+            self.add_link_delay(directive.source, directive.destination,
+                                directive.extra)
+        elif directive.kind == "delay_type":
+            self.delay_message_type(directive.source, directive.destination,
+                                    directive.type_name, directive.extra)
+        elif directive.kind == "delay_nth":
+            self.delay_nth_message(directive.source, directive.destination,
+                                   directive.n, directive.extra)
+        elif directive.kind == "crash":
+            self.crash_node(directive.node, directive.at_time)
+        else:  # "restore" — __post_init__ guarantees the kind is known
+            self.restore_node(directive.node)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable description of the plan's *construction*.
+
+        Captures the surgical directives and the probabilistic parameters
+        (with the seed of the plan's streams), not the mutable runtime
+        bookkeeping: :meth:`from_dict` on the result builds a plan that
+        behaves identically on the same message sequence.
+        """
+        return {
+            "seed": self._streams.seed,
+            "drop_probability": self.drop_probability,
+            "corrupt_probability": self.corrupt_probability,
+            "directives": [d.to_dict() for d in self.directives],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        plan = cls(streams=SeededStreams(data.get("seed", 0)),
+                   drop_probability=data.get("drop_probability", 0.0),
+                   corrupt_probability=data.get("corrupt_probability", 0.0))
+        for directive in data.get("directives", ()):
+            plan.apply_directive(FaultDirective.from_dict(directive))
+        return plan
+
+    @classmethod
+    def from_directives(cls, directives: Iterable[FaultDirective],
+                        **kwargs: Any) -> "FaultPlan":
+        """Build a plan by applying ``directives`` in order."""
+        plan = cls(**kwargs)
+        for directive in directives:
+            plan.apply_directive(directive)
+        return plan
+
+    def preserves_delivery(self) -> bool:
+        """True if this plan cannot drop, corrupt or block any message.
+
+        Such plans stay within the paper's Assumptions 1 and 2, so the
+        resolution algorithm's full guarantees apply and any stranded
+        thread found under them is a protocol bug, not a violated
+        assumption.
+        """
+        return (self.drop_probability == 0.0
+                and self.corrupt_probability == 0.0
+                and all(d.preserves_delivery for d in self.directives))
 
     # ------------------------------------------------------------------
     # Queries used by the network
@@ -147,8 +352,13 @@ class FaultPlan:
             self.log.append(f"corrupted {envelope!r} (probabilistic)")
 
         extra = self._extra_delay.get(link, 0.0)
+        extra += self._type_delay.get(
+            (envelope.source, envelope.destination,
+             type(envelope.payload).__name__), 0.0)
+        extra += self._nth_delay.get(link, {}).get(count, 0.0)
         if extra:
             self.stats.delayed += 1
+            self.log.append(f"delayed {envelope!r} by {extra:g}")
         return True, extra
 
 

@@ -162,6 +162,10 @@ class Network:
         Fault-injection plan; defaults to a fresh no-fault plan.
     """
 
+    #: Minimal spacing enforced between same-link deliveries when the
+    #: kernel's seeded tie perturbation is active (see :meth:`send`).
+    FIFO_EPSILON = 1e-9
+
     def __init__(self, kernel: Kernel,
                  latency: Optional[LatencyModel] = None,
                  faults: Optional[FaultPlan] = None) -> None:
@@ -228,6 +232,13 @@ class Network:
         # same directed link.
         link = (source, destination)
         deliver_at = max(deliver_at, self._link_clock.get(link, 0.0))
+        if self.kernel.tie_jitter_active and \
+                deliver_at == self._link_clock.get(link):
+            # Under seeded tie perturbation, same-timestamp deliveries on
+            # one link could be reordered, which would break Assumption 2.
+            # Keep per-link delivery times strictly increasing so schedule
+            # exploration never leaves the FIFO envelope.
+            deliver_at += self.FIFO_EPSILON
         self._link_clock[link] = deliver_at
         envelope.deliver_time = deliver_at
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Set, Tuple, TYPE_CHECKING
 
+from ..core.exceptions import FAILURE
 from ..core.messages import (
     ApplicationMessage,
     EnterActionMessage,
@@ -55,11 +56,27 @@ class Dispatcher:
         partition = self.partition
         while True:
             envelope = yield partition.node.inbox.get()
-            yield from self.dispatch(envelope.payload)
+            yield from self.dispatch(envelope.payload,
+                                     corrupted=envelope.corrupted)
 
-    def dispatch(self, payload):
-        """Route one received payload (generator, used via ``yield from``)."""
+    def dispatch(self, payload, corrupted: bool = False):
+        """Route one received payload (generator, used via ``yield from``).
+
+        A corrupted signalling message is not trusted: per Section 3.4 "the
+        corrupted message … can be simply treated as a failure exception",
+        so the sender is recorded as proposing ƒ, which forces the whole
+        group to signal ƒ.  (The resolution algorithm itself assumes
+        dependable communication — Assumption 1 — so corruption of its
+        messages is outside the protocol's fault model and they are
+        delivered as-is.)
+        """
         partition = self.partition
+        if corrupted and isinstance(payload, ToBeSignalledMessage):
+            partition.log.append(
+                f"corrupted toBeSignalled from {payload.thread} "
+                f"for {payload.action}: treated as ƒ")
+            payload = ToBeSignalledMessage(payload.action, payload.thread,
+                                           FAILURE, payload.round_number)
         if isinstance(payload, EnterActionMessage):
             self._note_entry(payload)
         elif isinstance(payload, ExitReadyMessage):

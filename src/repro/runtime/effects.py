@@ -89,6 +89,14 @@ class PartitionEffectInterpreter(fx.EffectInterpreter):
             return
         frame.exception_mode = True
         frame.resolved = effect.exception
+        # Probed per *delivery*, not per conclusion, so a duplicated or
+        # divergent Commit shows up in the agreement oracle even when the
+        # life-cycle only consumes one resolution.
+        partition.system.probe("resolved", thread=partition.name,
+                               action=frame.action,
+                               instance=frame.instance_key,
+                               exception=effect.exception,
+                               resolver=effect.resolver)
         if effect.resolver == partition.name:
             partition.system.metrics.record_resolution(
                 partition.name, effect.action, effect.exception.name,

@@ -99,7 +99,8 @@ class ActionLifecycle:
 
         context = ActionContext(
             action, participants, definition.graph,
-            parent=parent_frame.action if parent_frame else None)
+            parent=parent_frame.action if parent_frame else None,
+            instance=instance_key)
         transaction = system.transaction_for(instance_key, definition)
         frame = ActionFrame(
             action=action, role=role, occurrence=occurrence,
@@ -109,6 +110,8 @@ class ActionLifecycle:
             resolution_event=partition.kernel.event(),
         )
         partition.frames.push(frame)
+        system.probe("entered", thread=partition.name, action=action,
+                     instance=instance_key)
         try:
             effects = partition.coordinator.enter_action(context)
             yield from partition.execute_effects(effects)
@@ -117,6 +120,9 @@ class ActionLifecycle:
             partition.frames.remove(frame)
         report.finished_at = partition.kernel.now
         system.metrics.record_outcome(self._to_outcome(report))
+        system.probe("concluded", thread=partition.name, action=action,
+                     instance=instance_key, status=report.status,
+                     resolved=report.resolved, signalled=report.signalled)
         return report
 
     def _run_action_body(self, frame: ActionFrame,
@@ -207,7 +213,10 @@ class ActionLifecycle:
         except Interrupt:
             partition.interrupt_requested = False
             # An exception in the enclosing action reached us before the
-            # nested action assembled; unwind to the enclosing frame.
+            # nested action assembled; unwind to the enclosing frame.  The
+            # allocated instance will never be entered here — retire it so
+            # peer messages stamped for it are not retained forever.
+            partition.coordinator.abandon_instance(instance_key)
             raise AbortedByEnclosing(ActionReport(
                 action, role, partition.name,
                 ActionStatus.ABORTED_BY_ENCLOSING))
@@ -338,6 +347,10 @@ class ActionLifecycle:
         if is_outermost:
             resume = partition.pending_abort.resume_action
             partition.pending_abort = None
+            partition.system.probe("abortion_completed",
+                                   thread=partition.name, action=frame.action,
+                                   instance=frame.instance_key,
+                                   resume_action=resume, signalled=signalled)
             # Only the exception of the outermost aborted action's handler is
             # allowed to be raised in the containing action.
             effects = partition.coordinator.abortion_completed(resume, signalled)

@@ -59,6 +59,22 @@ class DistributedCASystem:
         self._bindings: Dict[str, Dict[str, str]] = {}
         self._instance_transactions: Dict[str, Transaction] = {}
         self._programs: List = []
+        #: Observers of life-cycle events, called as ``probe(event, **data)``.
+        #: The fault-space explorer's InvariantMonitor registers here; the
+        #: list is empty (and the notifications free) in normal runs.
+        self.probes: List[Callable[..., None]] = []
+
+    # ------------------------------------------------------------------
+    # Life-cycle probes (used by the fault-space explorer)
+    # ------------------------------------------------------------------
+    def add_probe(self, callback: Callable[..., None]) -> None:
+        """Register a life-cycle observer (see :attr:`probes`)."""
+        self.probes.append(callback)
+
+    def probe(self, event: str, **data) -> None:
+        """Notify every registered observer of one life-cycle event."""
+        for callback in self.probes:
+            callback(event, **data)
 
     # ------------------------------------------------------------------
     # Static structure

@@ -8,13 +8,21 @@ clock until a stop condition.
 Determinism: ties in the event queue are broken first by priority
 (urgent before normal) and then by insertion order, so two runs of the same
 program produce the same trace.
+
+Schedule exploration: a kernel can be created with a ``tie_seed``, in which
+case events that share both timestamp and priority are ordered by a seeded
+pseudo-random key drawn at scheduling time (insertion order remains the
+final tie-break).  Each seed selects one deterministic interleaving of the
+otherwise-concurrent events, so the fault-space explorer can sweep many
+legal schedules while every individual run stays exactly reproducible.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 from itertools import count
-from typing import Any, Generator, Iterable, List, Optional, Union
+from typing import Any, Callable, Generator, Iterable, List, Optional, Union
 
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout
 from .process import Process
@@ -38,13 +46,25 @@ class Kernel:
     ----------
     initial_time:
         Starting value of the virtual clock (defaults to 0.0).
+    tie_seed:
+        When not ``None``, events scheduled for the same (time, priority)
+        are ordered by a pseudo-random key from this seed instead of pure
+        insertion order.  Each seed is one deterministic interleaving.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0,
+                 tie_seed: Optional[int] = None) -> None:
         self._now = float(initial_time)
         self._queue: List[tuple] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        self._tie_rng = (random.Random(tie_seed) if tie_seed is not None
+                         else None)
+        self.tie_seed = tie_seed
+        #: Optional step hook called as ``tracer(when, priority, eid, event)``
+        #: just before each event's callbacks run (used by the fault-space
+        #: explorer's trace recorder; must itself be deterministic).
+        self.tracer: Optional[Callable[[float, int, int, Any], None]] = None
 
     # ------------------------------------------------------------------
     # Clock and introspection
@@ -58,6 +78,11 @@ class Kernel:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def tie_jitter_active(self) -> bool:
+        """True when same-(time, priority) ordering is seed-perturbed."""
+        return self._tie_rng is not None
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the queue is empty."""
@@ -94,8 +119,13 @@ class Kernel:
     def schedule(self, event: Event, priority: int = NORMAL,
                  delay: float = 0.0) -> None:
         """Put ``event`` on the queue to fire ``delay`` from now."""
+        # The tie key is 0.0 without a tie seed, reducing the ordering to
+        # (time, priority, insertion); with one, it is drawn in scheduling
+        # order from the seeded stream, so it is itself reproducible.
+        tie = self._tie_rng.random() if self._tie_rng is not None else 0.0
         heapq.heappush(self._queue,
-                       (self._now + delay, priority, next(self._eid), event))
+                       (self._now + delay, priority, tie, next(self._eid),
+                        event))
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -106,11 +136,13 @@ class Kernel:
             If no events remain.
         """
         try:
-            when, _priority, _eid, event = heapq.heappop(self._queue)
+            when, priority, _tie, eid, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
         self._now = when
+        if self.tracer is not None:
+            self.tracer(when, priority, eid, event)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -148,8 +180,9 @@ class Kernel:
                     f"until ({at}) must not be earlier than now ({self._now})")
             stop_event = Event(self)
             # Urgent so that the run stops *before* processing other events
-            # scheduled for exactly that time.
-            heapq.heappush(self._queue, (at, 0, next(self._eid), stop_event))
+            # scheduled for exactly that time (tie key 0.0 sorts first).
+            heapq.heappush(self._queue,
+                           (at, 0, 0.0, next(self._eid), stop_event))
             stop_event._ok = True
             stop_event._value = None
             stop_event.callbacks.append(self._stop_callback)

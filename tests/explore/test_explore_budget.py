@@ -1,0 +1,55 @@
+"""Fixed-seed explorer budgets: clean sweeps over the current code.
+
+The small budgets run in tier-1; the full 200-plan budgets carry the
+``explore`` marker and run in the nightly/``workflow_dispatch`` CI job
+(``pytest -m explore``).
+"""
+
+import pytest
+
+from repro.explore import Explorer
+
+
+class TestTier1Budgets:
+    def test_nested_abort_small_budget_clean(self):
+        report = Explorer(target="nested_abort", seed=2026, budget=40).run()
+        assert len(report.cases) == 40
+        assert report.failures == [], "\n".join(
+            case.describe() for case in report.failures)
+
+    def test_concurrent_raises_small_budget_clean(self):
+        report = Explorer(target="concurrent_raises", seed=2026,
+                          budget=25).run()
+        assert report.failures == [], "\n".join(
+            case.describe() for case in report.failures)
+
+    def test_report_summary_of_clean_sweep_is_empty(self):
+        report = Explorer(target="nested_abort", seed=1, budget=5).run()
+        assert report.summary() == {}
+        assert len(report.digest()) == 64
+
+
+@pytest.mark.explore
+class TestNightlyBudgets:
+    def test_nested_abort_full_budget_clean(self):
+        report = Explorer(target="nested_abort", seed=2026, budget=200).run()
+        assert report.failures == [], "\n".join(
+            case.describe() for case in report.failures)
+
+    def test_concurrent_raises_full_budget_with_baselines_clean(self):
+        report = Explorer(target="concurrent_raises", seed=2026, budget=200,
+                          baselines=("campbell-randell",
+                                     "romanovsky96")).run()
+        assert report.failures == [], "\n".join(
+            case.describe() for case in report.failures)
+
+    def test_full_vocabulary_budget_upholds_safety(self):
+        # Drop/corrupt/crash plans may legitimately strand threads (the
+        # liveness oracles are conditioned away), but the safety oracles
+        # — agreement, exactly-one outcome, no Python-level crash — must
+        # hold across the whole vocabulary.
+        from repro.explore.generator import SAMPLABLE_KINDS
+        report = Explorer(target="nested_abort", seed=2026, budget=200,
+                          kinds=SAMPLABLE_KINDS).run()
+        assert report.failures == [], "\n".join(
+            case.describe() for case in report.failures)

@@ -1,0 +1,154 @@
+"""Acceptance: the explorer rediscovers the lost-Commit race mechanically.
+
+PR 2 fixed a deadlock that was found by *hand-crafting* one fault plan
+(delay the Inner ``Commit`` into T3's abortion window).  These tests
+locally revert the fix — restoring the pre-PR2 ``_receive_commit``
+behaviour — and show that a fixed-seed explorer budget rediscovers the
+deadlock through the ``no_stranded_thread`` oracle alone, and that the
+shrinker reduces the failing plan to a ≤ 3-directive reproducer.  With
+the fix in place, the same budget passes clean
+(``test_explore_budget.py`` sweeps the full budget; the shrunk plan is
+re-checked here).
+"""
+
+import pytest
+
+from repro.core import effects as fx
+from repro.core.oracles import EXACTLY_ONE_OUTCOME, NO_STRANDED_THREAD
+from repro.core.resolution import ResolutionCoordinator
+from repro.explore import Explorer, run_case, shrink_plan, to_pytest_source
+
+#: Fixed seed and budget of the acceptance criterion (≤ 500 plans).
+SEED = 2026
+BUDGET = 500
+
+
+def _legacy_receive_commit(self, message):
+    """The pre-PR2 Commit handling (the lost-Commit race).
+
+    A Commit for a non-active action was dropped outright, and a Commit
+    for the active action was obeyed even while that action was being
+    aborted — wiping ``LEi`` and with it the record of the enclosing
+    exception the abortion was resolving.
+    """
+    context = self.active_context()
+    if context is None or context.action != message.action:
+        self._trace(f"ignore Commit for {message.action}")
+        return [fx.LogEvent(f"{self.thread_id} ignored Commit for "
+                            f"{message.action}")]
+    self.le.clear()
+    self.handling[message.action] = message.exception
+    self._trace(f"commit {message.exception.name} in {message.action}")
+    return [fx.HandleResolved(message.action, message.exception,
+                              resolver=message.resolver)]
+
+
+@pytest.fixture
+def lost_commit_bug(monkeypatch):
+    """Locally revert the PR 2 fix for the duration of one test."""
+    monkeypatch.setattr(ResolutionCoordinator, "_receive_commit",
+                        _legacy_receive_commit)
+
+
+class TestRediscovery:
+    def test_budget_rediscovers_the_deadlock(self, lost_commit_bug):
+        explorer = Explorer(target="nested_abort", seed=SEED, budget=BUDGET,
+                            stop_on_first_failure=True)
+        report = explorer.run()
+        assert report.failures, \
+            f"no failure found in {BUDGET} plans of seed {SEED}"
+        first = report.failures[0]
+        # Found through the no-stranded-thread oracle, as a true deadlock
+        # (programs never finished), well inside the budget.
+        assert first.index < BUDGET
+        assert not first.completed
+        invariants = {v.invariant for v in first.violations}
+        # The deadlock surfaces through the no-stranded-thread oracle (and,
+        # since the stranded participations were entered but never
+        # concluded, the lost-conclusion half of exactly-one-outcome too).
+        assert NO_STRANDED_THREAD in invariants
+        assert invariants <= {NO_STRANDED_THREAD, EXACTLY_ONE_OUTCOME}
+        assert any("program never finished" in v.detail
+                   for v in first.violations)
+
+    def test_shrinker_reduces_to_at_most_three_directives(self,
+                                                          lost_commit_bug):
+        explorer = Explorer(target="nested_abort", seed=SEED, budget=BUDGET,
+                            stop_on_first_failure=True)
+        report = explorer.run()
+        first = report.failures[0]
+        result = shrink_plan(first.plan, explorer.predicate())
+        assert len(result.reduced) <= 3
+        assert len(result.reduced) <= len(first.plan)
+        assert result.violations, "the reduced plan must still fail"
+        # The reproducer is self-contained: rebuild it from its dict form
+        # and it still triggers the deadlock.
+        from repro.explore import ExplorationPlan
+        rebuilt = ExplorationPlan.from_dict(result.reduced.to_dict())
+        assert run_case("nested_abort", rebuilt).violations
+
+    def test_emitted_pytest_regression_is_executable(self, lost_commit_bug,
+                                                     tmp_path):
+        explorer = Explorer(target="nested_abort", seed=SEED, budget=BUDGET,
+                            stop_on_first_failure=True)
+        first = explorer.run().failures[0]
+        result = shrink_plan(first.plan, explorer.predicate())
+        source = to_pytest_source("nested_abort", result.reduced,
+                                  result.violations)
+        # The generated module compiles and, executed under the reverted
+        # fix, its test fails (it is a regression for the bug).
+        module = {}
+        exec(compile(source, "generated_regression.py", "exec"), module)
+        with pytest.raises(AssertionError, match="invariant violations"):
+            module["test_explored_fault_plan"]()
+
+    def test_shrunk_plan_passes_with_the_fix_in_place(self):
+        # Run the canonical hand-shrunk reproducer (delay the Inner Commit
+        # into the abortion window) against the fixed coordinator: clean.
+        from repro.explore import ExplorationPlan
+        from repro.net.faults import FaultDirective
+        plan = ExplorationPlan(directives=(
+            FaultDirective("delay_type", source="T2", destination="T3",
+                           type_name="CommitMessage", extra=3.0),))
+        result = run_case("nested_abort", plan)
+        assert result.violations == []
+        assert result.completed
+
+
+class TestShrinkerMechanics:
+    def test_refuses_to_shrink_a_passing_plan(self):
+        from repro.explore import ExplorationPlan
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_plan(ExplorationPlan(), lambda plan: [])
+
+    def test_removes_noise_directives(self):
+        from repro.explore import ExplorationPlan
+        from repro.net.faults import FaultDirective
+        culprit = FaultDirective("delay_type", source="T2", destination="T3",
+                                 type_name="CommitMessage", extra=3.0)
+        noise = FaultDirective("delay_link", source="T1", destination="T3",
+                               extra=0.4)
+
+        def predicate(plan):
+            # Fails iff the culprit is present.
+            return (["fail"] if culprit in plan.directives else [])
+
+        plan = ExplorationPlan(directives=(noise, culprit, noise), tie_seed=8)
+        result = shrink_plan(plan, predicate)
+        assert result.reduced.tie_seed is None
+        assert [d.kind for d in result.reduced.directives] == ["delay_type"]
+        assert result.removed_directives == 2
+
+    def test_halves_delay_magnitudes_while_failing(self):
+        from repro.explore import ExplorationPlan
+        from repro.net.faults import FaultDirective
+        directive = FaultDirective("delay_link", source="A", destination="B",
+                                   extra=8.0)
+
+        def predicate(plan):
+            return (["fail"] if plan.directives
+                    and plan.directives[0].extra >= 2.0 else [])
+
+        result = shrink_plan(ExplorationPlan(directives=(directive,)),
+                             predicate)
+        assert result.reduced.directives[0].extra == 2.0
