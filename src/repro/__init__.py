@@ -17,20 +17,27 @@ The package provides:
 * :mod:`repro.objects` — external atomic objects with transactions;
 * :mod:`repro.runtime` — the distributed CA-action run-time system;
 * :mod:`repro.productioncell` — the production-cell case study;
-* :mod:`repro.analysis` — analytic bounds and run metrics;
+* :mod:`repro.analysis` — analytic bounds, run metrics and latency
+  histograms;
+* :mod:`repro.explore` — the systematic fault-space explorer;
+* :mod:`repro.workload` — traffic generation, admission control and
+  capacity measurement over a shared partition pool;
 * :mod:`repro.bench` — experiment harness reproducing the paper's figures.
 """
 
-from . import analysis, core, net, objects, runtime, simkernel
+from . import analysis, core, explore, net, objects, runtime, simkernel, \
+    workload
 
 __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
     "core",
+    "explore",
     "net",
     "objects",
     "runtime",
     "simkernel",
+    "workload",
     "__version__",
 ]

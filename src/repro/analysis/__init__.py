@@ -13,10 +13,12 @@ from .bounds import (
     signalling_messages_worst_case,
     theorem2_worst_case_messages,
 )
+from .histograms import LatencyHistogram
 from .metrics import ActionOutcome, RunMetrics
 
 __all__ = [
     "ActionOutcome",
+    "LatencyHistogram",
     "RunMetrics",
     "TimingParameters",
     "campbell_randell_reference_messages",

@@ -1,0 +1,215 @@
+"""Fixed-bucket log-scale latency histograms.
+
+The workload subsystem measures per-instance latencies over hundreds (or
+millions) of CA-action instances; keeping every sample would make benchmark
+rows unbounded and parallel aggregation awkward.  :class:`LatencyHistogram`
+instead keeps a fixed array of logarithmically spaced buckets:
+
+* recording is O(1) and the memory footprint is constant;
+* percentiles (p50/p90/p99/p999) are read from the cumulative counts with
+  a bounded relative error set by the bucket ``growth`` factor;
+* histograms with identical bucket configuration are **mergeable** by
+  adding counts, so per-shard histograms from parallel engine sweeps
+  aggregate exactly (merge-then-percentile equals percentile-over-union
+  at bucket resolution);
+* :meth:`snapshot`/:meth:`restore` round-trip through plain JSON-friendly
+  dicts, mirroring :meth:`repro.net.network.MessageStatistics.snapshot`.
+
+Everything is plain deterministic arithmetic — no wall clock, no RNG — so
+histograms recorded by the deterministic simulator are byte-identical
+between sequential and process-pool runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+#: The quantiles reported by :meth:`LatencyHistogram.summary`.
+DEFAULT_QUANTILES = (0.50, 0.90, 0.99, 0.999)
+
+
+class LatencyHistogram:
+    """A mergeable, JSON-serializable log-bucket histogram.
+
+    Parameters
+    ----------
+    min_value:
+        Lower edge of the first bucket.  Samples below it are clamped into
+        bucket 0 (they still count exactly in ``count``/``sum``/``min``).
+    growth:
+        Ratio between consecutive bucket edges (> 1).  The default
+        ``2 ** 0.25`` bounds the relative quantile error at ~19%.
+    bucket_count:
+        Number of buckets.  Samples beyond the last edge are clamped into
+        the final bucket.  The default span is ``min_value * growth**128``
+        (about seven decades above ``min_value``).
+    """
+
+    def __init__(self, min_value: float = 1e-3, growth: float = 2 ** 0.25,
+                 bucket_count: int = 128) -> None:
+        if min_value <= 0:
+            raise ValueError("min_value must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must be greater than 1")
+        if bucket_count < 1:
+            raise ValueError("bucket_count must be at least 1")
+        self.min_value = float(min_value)
+        self.growth = float(growth)
+        self.bucket_count = int(bucket_count)
+        self._log_growth = math.log(self.growth)
+        self.buckets: List[int] = [0] * self.bucket_count
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def bucket_index(self, value: float) -> int:
+        """The bucket a sample falls into (clamped at both ends)."""
+        if value < self.min_value:
+            return 0
+        index = int(math.log(value / self.min_value) / self._log_growth)
+        return min(max(index, 0), self.bucket_count - 1)
+
+    def bucket_edge(self, index: int) -> float:
+        """Upper edge of bucket ``index`` (the quantile representative)."""
+        return self.min_value * self.growth ** (index + 1)
+
+    def record(self, value: float) -> None:
+        """Record one sample (negative samples are a caller bug)."""
+        if value < 0:
+            raise ValueError(f"latency samples must be non-negative: {value}")
+        self.buckets[self.bucket_index(value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Record every sample in ``values``."""
+        for value in values:
+            self.record(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> Optional[float]:
+        """Exact mean of the recorded samples (None when empty)."""
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-quantile (bucket upper edge, clamped to
+        the exactly tracked ``min``/``max``); None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return None
+        # Rank of the quantile sample, 1-based, at least 1.
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket in enumerate(self.buckets):
+            cumulative += bucket
+            if cumulative >= rank:
+                edge = self.bucket_edge(index)
+                # min/max are tracked exactly; clamping keeps the estimate
+                # inside the observed range (and makes single-sample and
+                # tail quantiles exact).
+                if self.max is not None:
+                    edge = min(edge, self.max)
+                if self.min is not None:
+                    edge = max(edge, self.min)
+                return edge
+        return self.max  # pragma: no cover - counts always sum to count
+
+    def percentiles(self, quantiles: Sequence[float] = DEFAULT_QUANTILES
+                    ) -> Dict[str, Optional[float]]:
+        """Named quantiles, e.g. ``{"p50": ..., "p99": ...}``."""
+        result: Dict[str, Optional[float]] = {}
+        for q in quantiles:
+            name = "p" + format(q * 100, "g").replace(".", "")
+            result[name] = self.quantile(q)
+        return result
+
+    def summary(self) -> Dict[str, Any]:
+        """Scalar summary for benchmark rows (JSON-serializable)."""
+        summary: Dict[str, Any] = {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        summary.update(self.percentiles())
+        return summary
+
+    # ------------------------------------------------------------------
+    # Serialization and merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy of the full histogram state.
+
+        Self-contained and JSON-serializable; :meth:`restore` and
+        :meth:`merge` consume it.
+        """
+        return {
+            "min_value": self.min_value,
+            "growth": self.growth,
+            "bucket_count": self.bucket_count,
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Reset this histogram to the state captured in ``snapshot``."""
+        self._check_compatible(snapshot)
+        self.buckets = [0] * self.bucket_count
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self.merge(snapshot)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Any]) -> "LatencyHistogram":
+        """Build a histogram from :meth:`snapshot` output."""
+        histogram = cls(min_value=snapshot["min_value"],
+                        growth=snapshot["growth"],
+                        bucket_count=snapshot["bucket_count"])
+        histogram.restore(snapshot)
+        return histogram
+
+    def merge(self, other: "LatencyHistogram | Dict[str, Any]") -> None:
+        """Add another histogram (or snapshot) with the same configuration."""
+        snapshot = other.snapshot() if isinstance(other, LatencyHistogram) \
+            else other
+        self._check_compatible(snapshot)
+        for index, bucket in enumerate(snapshot.get("buckets", ())):
+            self.buckets[index] += bucket
+        self.count += snapshot.get("count", 0)
+        self.sum += snapshot.get("sum", 0.0)
+        for name, pick in (("min", min), ("max", max)):
+            theirs = snapshot.get(name)
+            if theirs is None:
+                continue
+            ours = getattr(self, name)
+            setattr(self, name, theirs if ours is None else pick(ours, theirs))
+
+    def _check_compatible(self, snapshot: Dict[str, Any]) -> None:
+        for field in ("min_value", "growth", "bucket_count"):
+            if snapshot.get(field) != getattr(self, field):
+                raise ValueError(
+                    f"histogram configurations differ on {field}: "
+                    f"{getattr(self, field)} != {snapshot.get(field)}")
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"<LatencyHistogram n={self.count} "
+                f"p50={self.quantile(0.5)} p99={self.quantile(0.99)}>")

@@ -28,6 +28,27 @@ class ActionOutcome:
     def duration(self) -> float:
         return self.finished_at - self.started_at
 
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-dict (JSON-serializable) copy of this outcome."""
+        return {
+            "action": self.action,
+            "outcome": self.outcome,
+            "signalled": self.signalled,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ActionOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output."""
+        return cls(
+            action=str(data["action"]),
+            outcome=str(data["outcome"]),
+            signalled=data.get("signalled"),  # type: ignore[arg-type]
+            started_at=float(data.get("started_at", 0.0)),  # type: ignore[arg-type]
+            finished_at=float(data.get("finished_at", 0.0)),  # type: ignore[arg-type]
+        )
+
 
 class RunMetrics:
     """Aggregated counters for one simulated run."""
@@ -102,6 +123,56 @@ class RunMetrics:
                 for outcome in {o.outcome for o in self.action_outcomes}
             },
         }
+
+    # ------------------------------------------------------------------
+    # Serialization and merging (mirrors MessageStatistics.snapshot())
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A self-contained, JSON-serializable copy of every counter.
+
+        Shaped like :meth:`repro.net.network.MessageStatistics.snapshot`:
+        the value round-trips through :meth:`restore` and adds onto another
+        instance through :meth:`merge`, which is how per-shard metrics from
+        parallel engine sweeps are aggregated into one run summary.
+        """
+        return {
+            "exceptions_raised": self.exceptions_raised,
+            "exceptions_by_name": dict(self.exceptions_by_name),
+            "resolutions": self.resolutions,
+            "resolution_calls": self.resolution_calls,
+            "resolved_by_name": dict(self.resolved_by_name),
+            "handlers_invoked": self.handlers_invoked,
+            "abortions": self.abortions,
+            "suspensions": self.suspensions,
+            "signalled": dict(self.signalled),
+            "action_outcomes": [o.to_dict() for o in self.action_outcomes],
+            "events": list(self.events),
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Reset the metrics to the values captured in ``snapshot``."""
+        self.__init__()
+        self.merge(snapshot)
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Add the counters captured in ``snapshot`` onto this instance.
+
+        Outcome and event lists are concatenated (snapshot order after
+        existing entries), scalar counters and per-name maps are summed.
+        """
+        for counter in ("exceptions_raised", "resolutions", "resolution_calls",
+                        "handlers_invoked", "abortions", "suspensions"):
+            setattr(self, counter,
+                    getattr(self, counter) + snapshot.get(counter, 0))
+        for mapping in ("exceptions_by_name", "resolved_by_name", "signalled"):
+            ours = getattr(self, mapping)
+            for name, count in snapshot.get(mapping, {}).items():  # type: ignore[union-attr]
+                ours[name] += count
+        for outcome in snapshot.get("action_outcomes", ()):  # type: ignore[union-attr]
+            self.action_outcomes.append(
+                outcome if isinstance(outcome, ActionOutcome)
+                else ActionOutcome.from_dict(outcome))
+        self.events.extend(snapshot.get("events", ()))  # type: ignore[arg-type]
 
     def __repr__(self) -> str:
         return (f"<RunMetrics raised={self.exceptions_raised} "

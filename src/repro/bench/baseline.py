@@ -1,16 +1,25 @@
-"""Resolution performance baseline: collect and write ``BENCH_resolution.json``.
+"""Benchmark baselines: write ``BENCH_resolution.json`` / ``BENCH_workload.json``.
 
-The file gives later PRs a perf trajectory for the resolution hot path: the
-graph microbenchmark (compiled index build / statistics / ``resolve()``
-loop, with a naive-scan reference) and the wide-graph all-raise storm
-scenario (simulated totals plus the real wall-clock of the run).
+Two baseline documents give later PRs a perf trajectory:
+
+* **resolution** — the graph microbenchmark (compiled index build /
+  statistics / ``resolve()`` loop, with a naive-scan reference) and the
+  wide-graph all-raise storm scenario (simulated totals plus the real
+  wall-clock of the run);
+* **workload** — the capacity curve (offered-load sweep over the shared
+  partition pool, with the saturation-knee verdict) and the mixed-traffic
+  soak (heterogeneous mix + fault noise, with the invariant-oracle
+  verdict).  All workload rows are deterministic virtual-time quantities,
+  so the file diffs meaningfully between PRs.
 
 Usage::
 
     PYTHONPATH=src python -m repro.bench.baseline [--output PATH] [--parallel]
+    PYTHONPATH=src python -m repro.bench.baseline --suite workload \
+        --output BENCH_workload.json
 
-CI runs the sequential form on every push and uploads the JSON as an
-artifact, so resolution perf regressions are visible per PR.
+CI runs the sequential forms on every push and uploads both JSONs as
+artifacts, so perf and capacity regressions are visible per PR.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import platform
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from ..workload.scenarios import saturation_knee
 from .engine import GridPoint, run_scenario
 
 #: Bump when the row layout changes incompatibly.
@@ -56,19 +66,67 @@ def write_resolution_baseline(path: str,
     return document
 
 
+def collect_workload_baseline(
+        capacity_points: Optional[Sequence[GridPoint]] = None,
+        mixed_points: Optional[Sequence[GridPoint]] = None,
+        parallel: bool = False) -> Dict[str, object]:
+    """Run the workload benchmarks and return the baseline document.
+
+    The document is fully deterministic (virtual-time only), so the
+    committed ``BENCH_workload.json`` changes exactly when behaviour does.
+    """
+    capacity = run_scenario("capacity", points=capacity_points,
+                            parallel=parallel)
+    mixed = run_scenario("mixed_traffic", points=mixed_points,
+                         parallel=parallel)
+    return {
+        "schema": SCHEMA_VERSION,
+        "capacity": capacity,
+        "saturation_knee": saturation_knee(capacity),
+        "mixed_traffic": mixed,
+        "oracle_violations": sum(row["n_violations"] for row in mixed),
+    }
+
+
+def write_workload_baseline(path: str,
+                            capacity_points: Optional[Sequence[GridPoint]] = None,
+                            mixed_points: Optional[Sequence[GridPoint]] = None,
+                            parallel: bool = False) -> Dict[str, object]:
+    """Collect the workload baseline and write it to ``path`` as JSON."""
+    document = collect_workload_baseline(capacity_points, mixed_points,
+                                         parallel=parallel)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Write the resolution perf baseline JSON.")
-    parser.add_argument("--output", default="BENCH_resolution.json",
-                        help="output path (default: BENCH_resolution.json)")
+        description="Write a benchmark baseline JSON.")
+    parser.add_argument("--suite", choices=("resolution", "workload"),
+                        default="resolution",
+                        help="which baseline to collect "
+                             "(default: resolution)")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: BENCH_<suite>.json)")
     parser.add_argument("--parallel", action="store_true",
                         help="fan the grids out over a process pool")
     arguments = parser.parse_args(argv)
-    document = write_resolution_baseline(arguments.output,
-                                         parallel=arguments.parallel)
+    output = arguments.output or f"BENCH_{arguments.suite}.json"
+    if arguments.suite == "workload":
+        document = write_workload_baseline(output,
+                                           parallel=arguments.parallel)
+        knee = document["saturation_knee"]
+        print(f"wrote {output}: {len(document['capacity'])} capacity rows "
+              f"(knee at offered load {knee['knee_offered_load']}), "
+              f"{len(document['mixed_traffic'])} mixed-traffic rows, "
+              f"{document['oracle_violations']} oracle violations")
+        return 0
+    document = write_resolution_baseline(output, parallel=arguments.parallel)
     micro = document["graph_microbench"]
     wide = document["wide_graph"]
-    print(f"wrote {arguments.output}: {len(micro)} microbench rows, "
+    print(f"wrote {output}: {len(micro)} microbench rows, "
           f"{len(wide)} wide-graph rows")
     return 0
 

@@ -45,6 +45,7 @@ from ..analysis.bounds import (
     theorem2_worst_case_messages,
 )
 from ..explore.explorer import explore_chunk
+from ..workload.scenarios import run_capacity_point, run_mixed_traffic
 from .scenarios import (
     EXPERIMENT1_ITERATIONS,
     run_churn,
@@ -393,3 +394,31 @@ def churn_point(n_groups: int, iterations: int = 2, group_size: int = 3,
     return run_churn(n_groups, iterations=iterations, group_size=group_size,
                      t_msg=t_msg, t_resolution=t_resolution,
                      algorithm=algorithm)
+
+
+#: The capacity grid: offered loads bracketing the default pool's nominal
+#: service capacity (8 workers / width 2 / mean service 1.0 → 4 inst/s;
+#: protocol and recovery overhead put the measured knee between 2 and 3).
+CAPACITY_GRID = tuple({"offered_load": load}
+                      for load in (0.5, 1.0, 2.0, 3.0, 4.0, 8.0))
+
+
+@REGISTRY.register("capacity", grid=CAPACITY_GRID,
+                   description="Offered-load sweep over a shared partition "
+                               "pool: throughput/latency capacity curve")
+def capacity_point(offered_load: float, **options) -> Row:
+    """One capacity-curve point (see repro.workload.scenarios)."""
+    return run_capacity_point(offered_load=offered_load, **options)
+
+
+#: The mixed-traffic grid: three seeds of the heterogeneous soak, each a
+#: fresh arrival schedule, job profile set and delay-noise plan.
+MIXED_TRAFFIC_GRID = tuple({"seed": seed} for seed in (2026, 2027, 2028))
+
+
+@REGISTRY.register("mixed_traffic", grid=MIXED_TRAFFIC_GRID,
+                   description="Heterogeneous action mix + fault-plan noise "
+                               "over one pool, checked by invariant oracles")
+def mixed_traffic_point(seed: int, **options) -> Row:
+    """One mixed-traffic soak run (see repro.workload.scenarios)."""
+    return run_mixed_traffic(seed=seed, **options)

@@ -26,10 +26,13 @@ from ..analysis.bounds import (
     signalling_messages_worst_case,
     theorem2_worst_case_messages,
 )
+from ..workload.scenarios import saturation_knee
 from .engine import (
+    CAPACITY_GRID,
     CHURN_GRID,
     EXPLORE_CHUNK_SIZE,
     EXPLORE_SEED,
+    MIXED_TRAFFIC_GRID,
     FIGURE9_BASELINE,
     FIGURE9_GRIDS,
     GRAPH_MICROBENCH_GRID,
@@ -169,6 +172,39 @@ def churn_table(group_counts: Optional[Iterable[int]] = None,
     points = [{"n_groups": n, "iterations": iterations}
               for n in group_counts]
     return run_scenario("churn", points=points, parallel=parallel)
+
+
+def capacity_table(offered_loads: Optional[Iterable[float]] = None,
+                   n_instances: int = 200,
+                   parallel: bool = False,
+                   **options) -> List[Dict[str, object]]:
+    """Capacity curve: one row per offered load over the shared pool.
+
+    Feed the rows to :func:`repro.workload.scenarios.saturation_knee` to
+    locate the saturation knee (the baseline writer does, committing the
+    verdict next to the curve in ``BENCH_workload.json``).
+    """
+    if offered_loads is None:
+        offered_loads = [point["offered_load"] for point in CAPACITY_GRID]
+    points = [{"offered_load": load, "n_instances": n_instances, **options}
+              for load in offered_loads]
+    return run_scenario("capacity", points=points, parallel=parallel)
+
+
+def mixed_traffic_table(seeds: Optional[Iterable[int]] = None,
+                        n_instances: int = 200,
+                        parallel: bool = False,
+                        **options) -> List[Dict[str, object]]:
+    """Mixed-traffic soak rows: heterogeneous mix + noise, oracle-checked.
+
+    Every row's ``violations`` list must be empty; a non-empty list is a
+    protocol bug surfaced by concurrent-instance traffic.
+    """
+    if seeds is None:
+        seeds = [point["seed"] for point in MIXED_TRAFFIC_GRID]
+    points = [{"seed": seed, "n_instances": n_instances, **options}
+              for seed in seeds]
+    return run_scenario("mixed_traffic", points=points, parallel=parallel)
 
 
 def wide_graph_table(thread_counts: Optional[Iterable[int]] = None,

@@ -51,12 +51,19 @@ from ..state import ThreadState
 
 @dataclass(frozen=True)
 class CRForwardMessage(ProtocolMessage):
-    """Re-distribution of a learned exception to the other participants."""
+    """Re-distribution of a learned exception to the other participants.
+
+    ``instance`` stamps the action instance, like the new algorithm's
+    messages: under overlapping instances of one action name a forward
+    delayed past the end of its instance must not enter a later
+    instance's exception census.
+    """
 
     action: str
     forwarder: str
     origin: str
     exception: ExceptionDescriptor
+    instance: str = ""
 
 
 @dataclass(frozen=True)
@@ -66,6 +73,7 @@ class CRResolvedMessage(ProtocolMessage):
     action: str
     thread: str
     exception: ExceptionDescriptor
+    instance: str = ""
 
 
 @dataclass(frozen=True)
@@ -82,6 +90,7 @@ class CRConfirmMessage(ProtocolMessage):
     action: str
     thread: str
     exception: ExceptionDescriptor
+    instance: str = ""
 
 
 class CampbellRandellCoordinator(ResolutionCoordinator):
@@ -108,6 +117,11 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
 
     # ------------------------------------------------------------------
     def receive(self, message: ProtocolMessage) -> List[fx.Effect]:
+        if isinstance(message, (CRForwardMessage, CRResolvedMessage,
+                                CRConfirmMessage)):
+            misdirected = self._guard_round_message(message, kind="CR")
+            if misdirected is not None:
+                return misdirected
         if isinstance(message, CRForwardMessage):
             return self._receive_forward(message)
         if isinstance(message, CRResolvedMessage):
@@ -139,7 +153,8 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         effects: List[fx.Effect] = [
             fx.SendTo(context.others(self.thread_id),
                    CRForwardMessage(message.action, self.thread_id,
-                                    message.thread, message.exception)),
+                                    message.thread, message.exception,
+                                    instance=context.instance)),
         ]
         effects.extend(self._charge_incremental_resolution(message.action))
         return effects
@@ -150,15 +165,18 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
             self.retained.append(message)
             return [fx.LogEvent(f"{self.thread_id} retained CR forward")]
         known_before = set(self.le.exceptions_for(message.action))
-        self._record(message.action, message.origin, message.exception)
+        self._record(message.action, message.origin, message.exception,
+                     instance=getattr(message, "instance", ""))
         effects: List[fx.Effect] = []
         if self.state is ThreadState.NORMAL and context.action == message.action:
             self.state = ThreadState.SUSPENDED
-            self._record(message.action, self.thread_id, None)
+            self._record(message.action, self.thread_id, None,
+                         instance=context.instance)
             effects.append(fx.InterruptRole(message.action, message.exception))
             effects.append(fx.SendTo(context.others(self.thread_id),
                                   SuspendedMessage(message.action,
-                                                   self.thread_id)))
+                                                   self.thread_id,
+                                                   instance=context.instance)))
         if message.exception not in known_before:
             effects.extend(self._charge_incremental_resolution(message.action))
         effects.extend(self._check_resolution())
@@ -187,10 +205,10 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
             return []
         if self.state not in (ThreadState.EXCEPTIONAL, ThreadState.SUSPENDED):
             return []
-        reported = self.le.threads_reported(action)
+        reported = self.le.threads_reported(action, context.instance)
         if reported != set(context.participants):
             return []
-        raised = self.le.exceptions_for(action)
+        raised = self.le.exceptions_for(action, context.instance)
         if not raised:
             return []
         self.resolution_calls += 1
@@ -200,7 +218,8 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         effects: List[fx.Effect] = [
             fx.ChargeTime("resolution", 1),
             fx.SendTo(context.others(self.thread_id),
-                   CRResolvedMessage(action, self.thread_id, resolved)),
+                   CRResolvedMessage(action, self.thread_id, resolved,
+                                     instance=context.instance)),
         ]
         effects.extend(self._maybe_handle(action))
         return effects
@@ -229,7 +248,8 @@ class CampbellRandellCoordinator(ResolutionCoordinator):
         self._trace(f"CR confirm {final.name} in {action}")
         effects: List[fx.Effect] = [
             fx.SendTo(context.others(self.thread_id),
-                   CRConfirmMessage(action, self.thread_id, final)),
+                   CRConfirmMessage(action, self.thread_id, final,
+                                    instance=context.instance)),
         ]
         effects.extend(self._maybe_handle(action))
         return effects

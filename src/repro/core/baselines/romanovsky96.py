@@ -34,11 +34,18 @@ from ..state import ThreadState
 
 @dataclass(frozen=True)
 class AgreementMessage(ProtocolMessage):
-    """Round-2 message: the resolution this thread computed locally."""
+    """Round-2 message: the resolution this thread computed locally.
+
+    ``instance`` stamps the action instance, like the base algorithm's
+    messages: under overlapping instances of one action name (the workload
+    driver's pool) a delayed agreement must not leak into a later
+    instance's round state.
+    """
 
     action: str
     thread: str
     exception: ExceptionDescriptor
+    instance: str = ""
 
 
 @dataclass(frozen=True)
@@ -48,6 +55,7 @@ class ConfirmMessage(ProtocolMessage):
     action: str
     thread: str
     exception: ExceptionDescriptor
+    instance: str = ""
 
 
 class Romanovsky96Coordinator(ResolutionCoordinator):
@@ -68,6 +76,10 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
 
     # ------------------------------------------------------------------
     def receive(self, message: ProtocolMessage) -> List[fx.Effect]:
+        if isinstance(message, (AgreementMessage, ConfirmMessage)):
+            misdirected = self._guard_round_message(message, kind="R96")
+            if misdirected is not None:
+                return misdirected
         if isinstance(message, AgreementMessage):
             return self._receive_agreement(message)
         if isinstance(message, ConfirmMessage):
@@ -87,10 +99,10 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
             return []
         if self.state not in (ThreadState.EXCEPTIONAL, ThreadState.SUSPENDED):
             return []
-        reported = self.le.threads_reported(action)
+        reported = self.le.threads_reported(action, context.instance)
         if reported != set(context.participants):
             return []
-        raised = self.le.exceptions_for(action)
+        raised = self.le.exceptions_for(action, context.instance)
         if not raised:
             return []
         self.resolution_calls += 1
@@ -100,7 +112,8 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
         effects: List[fx.Effect] = [
             fx.ChargeTime("resolution", 1),
             fx.SendTo(context.others(self.thread_id),
-                   AgreementMessage(action, self.thread_id, resolved)),
+                   AgreementMessage(action, self.thread_id, resolved,
+                                    instance=context.instance)),
         ]
         effects.extend(self._maybe_confirm(action))
         return effects
@@ -127,7 +140,8 @@ class Romanovsky96Coordinator(ResolutionCoordinator):
         self._trace(f"R96 confirm {final.name} in {action}")
         effects: List[fx.Effect] = [
             fx.SendTo(context.others(self.thread_id),
-                   ConfirmMessage(action, self.thread_id, final)),
+                   ConfirmMessage(action, self.thread_id, final,
+                                  instance=context.instance)),
         ]
         effects.extend(self._maybe_handle(action))
         return effects

@@ -155,12 +155,17 @@ class RaisedRecord:
 
     Records either an exception raised by ``thread`` within ``action`` or
     (when ``exception`` is None) the fact that ``thread`` has suspended its
-    normal computation.
+    normal computation.  ``instance`` carries the key of the particular
+    action *instance* the record belongs to (empty when the recording
+    coordinator predates instance tracking), so that the resolution guard
+    of a thread serving many overlapping instances of one action name can
+    count only the reports of the instance it is actually in.
     """
 
     action: str
     thread: str
     exception: Optional[ExceptionDescriptor] = None
+    instance: str = ""
 
     @property
     def is_suspension(self) -> bool:

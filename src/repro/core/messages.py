@@ -81,13 +81,18 @@ class ToBeSignalledMessage(ProtocolMessage):
     ``round_number`` distinguishes the optional second round triggered when
     some thread intends to signal µ and every role must first perform its
     undo operations (Section 3.4, "after the second round of message passing
-    no more operations will be executed").
+    no more operations will be executed").  ``instance`` identifies the
+    particular action instance, like the resolution messages' stamp: under
+    overlapping instances of one action name a proposal parked for (or
+    delivered into) the wrong instance's signalling phase would poison its
+    agreement.
     """
 
     action: str
     thread: str
     exception: ExceptionDescriptor
     round_number: int = 1
+    instance: str = ""
 
 
 # ----------------------------------------------------------------------

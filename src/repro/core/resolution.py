@@ -238,12 +238,40 @@ class CoordinatorBase:
             return "other"
         return "current"
 
+    def _guard_round_message(self, message,
+                             kind: str = "round") -> Optional[List[fx.Effect]]:
+        """Instance hygiene for algorithm-specific round messages.
+
+        Returns ``None`` when the message belongs to the current instance
+        and should be processed.  A message stamped for a finished
+        instance is dropped; one stamped for a different, not-yet-finished
+        occurrence of an action this thread is currently in is retained
+        (``_replay_retained`` feeds retained messages back through
+        :meth:`receive` when that occurrence is entered).  The baselines'
+        extra rounds (CR forward/resolved/confirm, R96 agreement/confirm)
+        share this rule so their instance handling cannot diverge.
+        """
+        if self._message_staleness(message) == "stale":
+            self._trace(f"drop stale {kind} message for {message.instance}")
+            return [fx.LogEvent(f"{self.thread_id} dropped stale {kind} "
+                                f"message for {message.instance}")]
+        target = self.sa.find(message.action)
+        if target is not None and \
+                self._message_staleness(message, target) == "other":
+            self.retained.append(message)
+            self._trace(f"retain {kind} message for {message.instance}")
+            return [fx.LogEvent(f"{self.thread_id} retained {kind} message "
+                                f"for {message.instance}")]
+        return None
+
     def _trace(self, text: str) -> None:
         self.trace.append(f"{self.thread_id}: {text}")
 
     def _record(self, action: str, thread: str,
-                exception: Optional[ExceptionDescriptor]) -> RaisedRecord:
-        record = RaisedRecord(action=action, thread=thread, exception=exception)
+                exception: Optional[ExceptionDescriptor],
+                instance: str = "") -> RaisedRecord:
+        record = RaisedRecord(action=action, thread=thread, exception=exception,
+                              instance=instance)
         self.le.add(record)
         return record
 
@@ -272,7 +300,8 @@ class ResolutionCoordinator(CoordinatorBase):
                 f"{self.thread_id} raised {exception} outside any action")
         action = context.action
         self.state = ThreadState.EXCEPTIONAL
-        self._record(action, self.thread_id, exception)
+        self._record(action, self.thread_id, exception,
+                     instance=context.instance)
         self._trace(f"raise {exception.name} in {action}")
 
         effects: List[fx.Effect] = [
@@ -325,7 +354,8 @@ class ResolutionCoordinator(CoordinatorBase):
 
         exception = (message.exception
                      if isinstance(message, ExceptionMessage) else None)
-        record = self._record(target_action, message.thread, exception)
+        record = self._record(target_action, message.thread, exception,
+                              instance=getattr(message, "instance", ""))
         effects: List[fx.Effect] = []
         if exception is not None:
             # "exception information ⇒ uninformed external objects"
@@ -339,7 +369,8 @@ class ResolutionCoordinator(CoordinatorBase):
         # A* equals the active action.
         if self.state is ThreadState.NORMAL:
             self.state = ThreadState.SUSPENDED
-            self._record(target_action, self.thread_id, None)
+            self._record(target_action, self.thread_id, None,
+                         instance=target_context.instance)
             self._trace(f"suspend in {target_action}")
             effects.append(fx.InterruptRole(target_action,
                                          exception if exception is not None
@@ -459,7 +490,8 @@ class ResolutionCoordinator(CoordinatorBase):
         self.pending_abort_target = None
         if raised is not None:
             self.state = ThreadState.EXCEPTIONAL
-            self._record(target, self.thread_id, raised)
+            self._record(target, self.thread_id, raised,
+                         instance=context.instance)
             self._trace(f"abortion handler raised {raised.name} in {target}")
             effects.append(fx.SendTo(context.others(self.thread_id),
                                   ExceptionMessage(target, self.thread_id,
@@ -468,7 +500,8 @@ class ResolutionCoordinator(CoordinatorBase):
             effects.append(fx.InformObjects(target, raised))
         else:
             self.state = ThreadState.SUSPENDED
-            self._record(target, self.thread_id, None)
+            self._record(target, self.thread_id, None,
+                         instance=context.instance)
             self._trace(f"suspended after abortion in {target}")
             effects.append(fx.SendTo(context.others(self.thread_id),
                                   SuspendedMessage(target, self.thread_id,
@@ -502,16 +535,20 @@ class ResolutionCoordinator(CoordinatorBase):
             # Only a thread in state X can be the resolver.
             return []
 
-        reported = self.le.threads_reported(action)
+        # The guard counts only reports of the *instance* this thread is in:
+        # under overlapping instances of one action name (the workload
+        # driver's shared partition pool) a late report of a previous
+        # instance must never complete the current instance's census.
+        reported = self.le.threads_reported(action, context.instance)
         if reported != set(context.participants):
             return []
-        exceptional = self.le.exceptional_threads(action)
+        exceptional = self.le.exceptional_threads(action, context.instance)
         # "Largest identifier" is the paper's numeric ordering: with ids
         # T1…T64 the resolver must be T64, not the lexicographic max T9.
         if not exceptional or max_thread(exceptional) != self.thread_id:
             return []
 
-        raised = self.le.exceptions_for(action)
+        raised = self.le.exceptions_for(action, context.instance)
         self.resolution_calls += 1
         resolved = context.resolve(raised)
         self.le.clear()

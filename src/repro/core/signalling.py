@@ -103,7 +103,8 @@ class SignalCoordinator:
         effects: List[Effect] = [
             SendTo(others, ToBeSignalledMessage(self.context.action,
                                                 self.thread_id, proposal,
-                                                self.round_number)),
+                                                self.round_number,
+                                                instance=self.context.instance)),
         ]
         effects.extend(self._maybe_decide())
         return effects
@@ -113,6 +114,13 @@ class SignalCoordinator:
         if message.action != self.context.action:
             return [LogEvent(f"{self.thread_id} ignored toBeSignalled for "
                              f"{message.action}")]
+        if message.instance and self.context.instance and \
+                message.instance != self.context.instance:
+            # A proposal from a different instance of the same action name
+            # (e.g. delayed past the end of its own instance) must not be
+            # counted into this instance's agreement.
+            return [LogEvent(f"{self.thread_id} ignored toBeSignalled for "
+                             f"instance {message.instance}")]
         if message.round_number != self.round_number:
             # A round-2 message can only arrive after this thread also moved
             # to round 2 (FIFO + the round is entered by everyone before any

@@ -214,22 +214,35 @@ class LocalExceptionList:
         """Empty the list (after a Commit or when handling completes)."""
         self._records = []
 
-    def records_for(self, action: str) -> List[RaisedRecord]:
-        """All records belonging to ``action``."""
-        return [r for r in self._records if r.action == action]
+    def records_for(self, action: str,
+                    instance: Optional[str] = None) -> List[RaisedRecord]:
+        """All records belonging to ``action``.
 
-    def threads_reported(self, action: str) -> Set[str]:
+        When ``instance`` is given (and non-empty), records stamped for a
+        *different* instance of the same action name are excluded;
+        unstamped records match any instance, which keeps the filter
+        backward compatible with coordinators that never stamp.
+        """
+        return [r for r in self._records
+                if r.action == action
+                and (not instance or not r.instance or r.instance == instance)]
+
+    def threads_reported(self, action: str,
+                         instance: Optional[str] = None) -> Set[str]:
         """Threads of ``action`` for which a record (exception or S) exists."""
-        return {r.thread for r in self.records_for(action)}
+        return {r.thread for r in self.records_for(action, instance)}
 
-    def exceptions_for(self, action: str) -> List[ExceptionDescriptor]:
+    def exceptions_for(self, action: str,
+                       instance: Optional[str] = None
+                       ) -> List[ExceptionDescriptor]:
         """The exceptions (not suspensions) recorded for ``action``."""
-        return [r.exception for r in self.records_for(action)
+        return [r.exception for r in self.records_for(action, instance)
                 if r.exception is not None]
 
-    def exceptional_threads(self, action: str) -> Set[str]:
+    def exceptional_threads(self, action: str,
+                            instance: Optional[str] = None) -> Set[str]:
         """Threads that raised an exception (state X) in ``action``."""
-        return {r.thread for r in self.records_for(action)
+        return {r.thread for r in self.records_for(action, instance)
                 if r.exception is not None}
 
     def __len__(self) -> int:

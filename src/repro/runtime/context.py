@@ -45,13 +45,19 @@ class ProgramContext:
         """Yieldable event: let ``duration`` units of virtual time pass."""
         return self._partition.kernel.timeout(duration)
 
-    def perform_action(self, action: str, role: str) -> Generator:
+    def perform_action(self, action: str, role: str,
+                       instance: Optional[str] = None) -> Generator:
         """Perform (the thread's role of) a top-level CA action.
 
         Use as ``report = yield from ctx.perform_action("A", role="r1")``.
         Returns an :class:`~repro.runtime.report.ActionReport`.
+
+        ``instance`` optionally supplies an explicit, globally allocated
+        instance key (all participants of the same joint attempt must pass
+        the same key) — this is how the workload driver overlaps many
+        instances of one action definition over a shared partition pool.
         """
-        return self._partition.execute_action(action, role)
+        return self._partition.execute_action(action, role, instance=instance)
 
     def __repr__(self) -> str:
         return f"<ProgramContext {self.thread_id}>"
@@ -76,6 +82,11 @@ class RoleContext(ProgramContext):
     def role(self) -> str:
         """Name of the role this thread performs in the action."""
         return self._frame.role
+
+    @property
+    def instance(self) -> str:
+        """Key of the particular action instance being executed."""
+        return self._frame.instance_key
 
     @property
     def resolved_exception(self) -> Optional[ExceptionDescriptor]:

@@ -76,7 +76,8 @@ class Dispatcher:
                 f"corrupted toBeSignalled from {payload.thread} "
                 f"for {payload.action}: treated as ƒ")
             payload = ToBeSignalledMessage(payload.action, payload.thread,
-                                           FAILURE, payload.round_number)
+                                           FAILURE, payload.round_number,
+                                           instance=payload.instance)
         if isinstance(payload, EnterActionMessage):
             self._note_entry(payload)
         elif isinstance(payload, ExitReadyMessage):
@@ -152,17 +153,56 @@ class Dispatcher:
         self.mailbox(message.action, message.tag).deliver(message.body)
 
     # ------------------------------------------------------------------
+    # Per-instance bookkeeping release
+    # ------------------------------------------------------------------
+    def release_instance(self, instance: str) -> None:
+        """Drop barrier/mailbox/parked-signal state of a concluded instance.
+
+        Called (via :meth:`DistributedCASystem.release_instance`) when the
+        workload driver retires an instance scope: a long-lived run would
+        otherwise accumulate one entry/exit set, cooperation mailbox and
+        pending-signal slot per instance ever served.  Keys are the
+        instance key itself and any nested ``instance/...`` keys.
+        """
+        def matches(key: str) -> bool:
+            return key == instance or key.startswith(instance + "/")
+
+        for registry in (self._entry_seen, self._entry_events,
+                         self._exit_seen, self._exit_events,
+                         self._pending_signals):
+            for key in [k for k in registry if matches(k)]:
+                del registry[key]
+        for key in [k for k in self._app_mailboxes if matches(k[0])]:
+            del self._app_mailboxes[key]
+
+    # ------------------------------------------------------------------
     # Signalling messages
     # ------------------------------------------------------------------
-    def take_pending_signals(self, action: str) -> List[ToBeSignalledMessage]:
-        """Remove and return signalling messages parked for ``action``."""
-        return self._pending_signals.pop(action, [])
+    def take_pending_signals(self, *keys: str) -> List[ToBeSignalledMessage]:
+        """Remove and return signalling messages parked under any of ``keys``.
+
+        The life-cycle passes both the frame's instance key and its action
+        name: instance-stamped proposals park under the instance key while
+        unstamped (legacy) ones park under the name.
+        """
+        pending: List[ToBeSignalledMessage] = []
+        for key in keys:
+            pending.extend(self._pending_signals.pop(key, []))
+        return pending
 
     def _route_signalling(self, message: ToBeSignalledMessage):
         partition = self.partition
-        frame = partition.find_frame(message.action)
+        key = message.instance or message.action
+        frame = partition.find_frame(key)
         if frame is None or frame.signal_coordinator is None:
-            self._pending_signals[message.action].append(message)
+            if message.instance and \
+                    message.instance in partition.coordinator.finished_instances:
+                # The instance already ended here; parking the proposal
+                # would keep it (and its key) forever.
+                partition.log.append(
+                    f"dropped stale toBeSignalled for {message.instance}")
+                return
+            self._pending_signals[key].append(message)
             return
         effects = frame.signal_coordinator.receive(message)
         yield from partition.execute_effects(effects)

@@ -55,9 +55,11 @@ class ActionLifecycle:
     # ------------------------------------------------------------------
     # Entry points (called from the contexts via the partition)
     # ------------------------------------------------------------------
-    def execute_action(self, action: str, role: str):
+    def execute_action(self, action: str, role: str,
+                       instance: Optional[str] = None):
         """Perform a top-level action (generator, used via ``yield from``)."""
-        report = yield from self._run_action(action, role, parent_frame=None)
+        report = yield from self._run_action(action, role, parent_frame=None,
+                                             instance=instance)
         return report
 
     def execute_nested(self, parent_frame: ActionFrame, action: str, role: str):
@@ -77,11 +79,22 @@ class ActionLifecycle:
     # The life-cycle proper
     # ------------------------------------------------------------------
     def _run_action(self, action: str, role: str,
-                    parent_frame: Optional[ActionFrame]):
+                    parent_frame: Optional[ActionFrame],
+                    instance: Optional[str] = None):
         partition = self.partition
         system = partition.system
         definition = system.registry.get(action)
-        binding = system.binding(action)
+        if instance:
+            # An externally allocated instance key (the workload driver's
+            # dispatch): every participant receives the same key with its
+            # job, so no local occurrence counting is needed — or possible,
+            # since different pool members serve different subsets of the
+            # action's instances.
+            occurrence, instance_key = 0, instance
+        else:
+            occurrence, instance_key = partition.frames.next_instance_key(
+                action, parent_frame)
+        binding = system.binding(action, instance_key)
         if role not in binding:
             raise ValueError(f"role {role!r} of {action!r} is not bound")
         if binding[role] != partition.name:
@@ -90,9 +103,6 @@ class ActionLifecycle:
                 f"not to {partition.name!r}")
         participants = tuple(sorted(set(binding.values()),
                                     key=thread_order_key))
-
-        occurrence, instance_key = partition.frames.next_instance_key(
-            action, parent_frame)
 
         # --- entry synchronisation -----------------------------------
         yield from self._entry_barrier(action, instance_key, role, participants)
@@ -368,8 +378,11 @@ class ActionLifecycle:
         frame.signal_event = partition.kernel.event()
         frame.signal_coordinator = SignalCoordinator(partition.name,
                                                      frame.context)
-        # Replay signalling messages that arrived before this phase started.
-        pending = partition.dispatcher.take_pending_signals(frame.action)
+        # Replay signalling messages that arrived before this phase started
+        # (instance-stamped ones park under the instance key, legacy ones
+        # under the action name).
+        pending = partition.dispatcher.take_pending_signals(
+            frame.instance_key, frame.action)
         try:
             effects = frame.signal_coordinator.propose(proposal)
             yield from partition.execute_effects(effects)

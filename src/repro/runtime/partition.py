@@ -100,9 +100,16 @@ class Partition:
         """Interpret coordinator effects (generator, used via ``yield from``)."""
         return self.interpreter.execute(effects)
 
-    def execute_action(self, action: str, role: str):
-        """Perform a top-level action (generator, used via ``yield from``)."""
-        return self.lifecycle.execute_action(action, role)
+    def execute_action(self, action: str, role: str,
+                       instance: Optional[str] = None):
+        """Perform a top-level action (generator, used via ``yield from``).
+
+        ``instance`` optionally names the action instance explicitly (the
+        workload driver allocates one key per dispatched job so that every
+        participant of the instance — wherever it runs in the pool — agrees
+        on the same key without counting local occurrences).
+        """
+        return self.lifecycle.execute_action(action, role, instance=instance)
 
     def execute_nested(self, parent_frame: ActionFrame, action: str, role: str):
         """Perform a nested action from within ``parent_frame``."""
@@ -117,7 +124,7 @@ class Partition:
     # ------------------------------------------------------------------
     def send_application_message(self, frame: ActionFrame, role: str,
                                  tag: str, body: Any) -> None:
-        binding = self.system.binding(frame.action)
+        binding = self.system.binding(frame.action, frame.instance_key)
         if role not in binding:
             raise ValueError(f"action {frame.action} has no role {role!r}")
         destination = binding[role]

@@ -57,6 +57,11 @@ class DistributedCASystem:
         self.metrics = RunMetrics()
         self.partitions: Dict[str, Partition] = {}
         self._bindings: Dict[str, Dict[str, str]] = {}
+        #: Instance-scoped bindings: scope (top-level instance key) ->
+        #: action name -> role -> thread.  Installed by the workload driver
+        #: so that many instances of one action definition can run
+        #: concurrently on different subsets of a shared partition pool.
+        self._instance_bindings: Dict[str, Dict[str, Dict[str, str]]] = {}
         self._instance_transactions: Dict[str, Transaction] = {}
         self._programs: List = []
         #: Observers of life-cycle events, called as ``probe(event, **data)``.
@@ -116,13 +121,77 @@ class DistributedCASystem:
                     f"binding for {action!r} names unknown thread {thread!r}")
         self._bindings[action] = dict(roles_to_threads)
 
-    def binding(self, action: str) -> Dict[str, str]:
-        """The role→thread binding of ``action``."""
+    def bind_instance(self, instance: str, action: str,
+                      roles_to_threads: Dict[str, str]) -> None:
+        """Bind the roles of ``action`` for one particular *instance*.
+
+        ``instance`` is the instance key of the outermost action of the
+        instance's nesting scope (nested instance keys extend it with
+        ``/...`` segments and resolve through the same scope).  The binding
+        is validated exactly like :meth:`bind` but only applies to that
+        scope, so several instances of the same action definition can run
+        concurrently on different threads of a shared pool.  Release the
+        scope with :meth:`release_instance` once the instance concluded.
+        """
+        if not instance:
+            raise SystemConfigurationError("instance key must be non-empty")
+        definition = self.registry.get(action)
+        missing_roles = set(definition.role_names) - set(roles_to_threads)
+        if missing_roles:
+            raise SystemConfigurationError(
+                f"instance binding for {action!r} misses roles "
+                f"{sorted(missing_roles)}")
+        unknown_roles = set(roles_to_threads) - set(definition.role_names)
+        if unknown_roles:
+            raise SystemConfigurationError(
+                f"instance binding for {action!r} names unknown roles "
+                f"{sorted(unknown_roles)}")
+        for thread in roles_to_threads.values():
+            if thread not in self.partitions:
+                raise SystemConfigurationError(
+                    f"instance binding for {action!r} names unknown thread "
+                    f"{thread!r}")
+        scope = instance.split("/", 1)[0]
+        self._instance_bindings.setdefault(scope, {})[action] = \
+            dict(roles_to_threads)
+
+    def binding(self, action: str, instance: str = "") -> Dict[str, str]:
+        """The role→thread binding of ``action``.
+
+        With a non-empty ``instance`` key, an instance-scoped binding (see
+        :meth:`bind_instance`) takes precedence over the action-level one;
+        the scope is the key's outermost segment, so nested instances
+        resolve through their top-level instance's bindings.
+        """
+        if instance:
+            scoped = self._instance_bindings.get(instance.split("/", 1)[0])
+            if scoped is not None and action in scoped:
+                return scoped[action]
         try:
             return self._bindings[action]
         except KeyError:
             raise SystemConfigurationError(
                 f"action {action!r} has no role binding") from None
+
+    def release_instance(self, instance: str) -> None:
+        """Drop per-instance state of a concluded instance scope.
+
+        Releases the scope's role bindings, its (finished) transactions
+        and every partition's dispatcher bookkeeping (entry/exit barrier
+        sets, cooperation mailboxes, parked signalling proposals) — a
+        long-lived workload would otherwise accumulate all of those per
+        instance ever served.  The coordinators' ``finished_instances``
+        sets deliberately survive: they are what lets a *late* message of
+        the released instance be recognised as stale and dropped.
+        """
+        scope = instance.split("/", 1)[0]
+        self._instance_bindings.pop(scope, None)
+        prefix = scope + "/"
+        for key in [k for k in self._instance_transactions
+                    if k == scope or k.startswith(prefix)]:
+            del self._instance_transactions[key]
+        for partition in self.partitions.values():
+            partition.dispatcher.release_instance(scope)
 
     def create_object(self, name: str, initial_state=None, invariant=None):
         """Create and register an external atomic object."""

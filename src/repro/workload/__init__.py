@@ -1,0 +1,48 @@
+"""repro.workload — traffic generation and capacity measurement.
+
+The paper measures one coordinated-recovery episode at a time; this
+subsystem drives *many overlapping CA-action instances* through one
+simulated system, the way a deployed service would see them:
+
+* :mod:`~repro.workload.arrivals` — seeded arrival processes (open-loop
+  Poisson, deterministic trace replay, closed-loop clients);
+* :mod:`~repro.workload.admission` — admission control (max-in-flight,
+  bounded FIFO queue, drop/retry backpressure);
+* :mod:`~repro.workload.actions` — parameterised traffic action
+  definitions and the weighted action mix;
+* :mod:`~repro.workload.driver` — the :class:`WorkloadDriver`, which
+  places each admitted instance on free workers of a shared partition
+  pool under an instance-scoped role binding and measures per-instance
+  latency into mergeable log-bucket histograms;
+* :mod:`~repro.workload.scenarios` — the ``capacity`` (offered-load sweep
+  → throughput/latency curve and saturation knee) and ``mixed_traffic``
+  (heterogeneous mix + fault noise, checked against the invariant
+  oracles) engine scenarios.
+"""
+
+from .actions import ActionMix, JobProfile, TrafficActionSpec, \
+    build_traffic_action
+from .admission import AdmissionController, AdmissionStats
+from .arrivals import (
+    ArrivalProcess,
+    ClosedLoopClients,
+    OpenLoopPoisson,
+    TraceReplay,
+)
+from .driver import Job, WorkloadDriver, WorkloadReport
+
+__all__ = [
+    "ActionMix",
+    "AdmissionController",
+    "AdmissionStats",
+    "ArrivalProcess",
+    "ClosedLoopClients",
+    "Job",
+    "JobProfile",
+    "OpenLoopPoisson",
+    "TraceReplay",
+    "TrafficActionSpec",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "build_traffic_action",
+]

@@ -1,0 +1,164 @@
+"""Admission control: bounding how much concurrent work the pool accepts.
+
+The driver consults one :class:`AdmissionController` per run.  It enforces
+
+* **max-in-flight** — at most ``max_in_flight`` instances dispatched and
+  not yet concluded (``None`` means unlimited: the partition pool itself
+  is then the only concurrency bound);
+* **bounded queueing** — up to ``queue_capacity`` admitted jobs may wait
+  (FIFO) for an in-flight slot and enough free workers;
+* **backpressure policy** — what happens to a job that finds both the
+  slots and the queue full: ``"drop"`` rejects it immediately, ``"retry"``
+  re-offers it after ``retry_delay`` virtual time, up to ``max_retries``
+  times, and drops it only when its retries are exhausted.
+
+The controller is pure bookkeeping over virtual time (no wall clock, no
+randomness), so admission decisions are deterministic and identical in
+sequential and process-pool sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .driver import Job
+
+#: Decisions returned by :meth:`AdmissionController.offer`.
+DISPATCH = "dispatch"
+QUEUE = "queue"
+RETRY = "retry"
+DROP = "drop"
+
+POLICIES = ("drop", "retry")
+
+
+class AdmissionStats:
+    """Counters of one run's admission decisions (JSON-serializable)."""
+
+    def __init__(self) -> None:
+        self.arrived = 0
+        self.dispatched = 0
+        self.queued = 0
+        self.retried = 0
+        self.dropped = 0
+        self.completed = 0
+        self.max_queue_length = 0
+        self.max_in_flight = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy of every counter."""
+        return {
+            "arrived": self.arrived,
+            "dispatched": self.dispatched,
+            "queued": self.queued,
+            "retried": self.retried,
+            "dropped": self.dropped,
+            "completed": self.completed,
+            "max_queue_length": self.max_queue_length,
+            "max_in_flight": self.max_in_flight,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<AdmissionStats arrived={self.arrived} "
+                f"dispatched={self.dispatched} dropped={self.dropped}>")
+
+
+class AdmissionController:
+    """Max-in-flight + bounded-FIFO-queue admission with drop/retry."""
+
+    def __init__(self, max_in_flight: Optional[int] = None,
+                 queue_capacity: int = 0, policy: str = "drop",
+                 retry_delay: float = 1.0, max_retries: int = 2) -> None:
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1 (or None)")
+        if queue_capacity < 0:
+            raise ValueError("queue_capacity must be non-negative")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; "
+                             f"choose from {POLICIES}")
+        if retry_delay < 0:
+            raise ValueError("retry_delay must be non-negative")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.max_in_flight = max_in_flight
+        self.queue_capacity = queue_capacity
+        self.policy = policy
+        self.retry_delay = retry_delay
+        self.max_retries = max_retries
+        self.in_flight = 0
+        self.queue: Deque["Job"] = deque()
+        self.stats = AdmissionStats()
+
+    # ------------------------------------------------------------------
+    def has_slot(self) -> bool:
+        """True while another instance may be in flight."""
+        return self.max_in_flight is None or self.in_flight < self.max_in_flight
+
+    def offer(self, job: "Job", placeable: bool) -> str:
+        """Decide the fate of an offered job.
+
+        ``placeable`` is the driver's report of whether enough pool workers
+        are free right now.  First offers count as arrivals; re-offers (the
+        retry policy's) do not.  A ``"queue"`` decision has already
+        enqueued the job when this returns.
+        """
+        if job.attempts == 0:
+            self.stats.arrived += 1
+        job.attempts += 1
+        if not self.queue and self.has_slot() and placeable:
+            return DISPATCH
+        if len(self.queue) < self.queue_capacity:
+            self.queue.append(job)
+            self.stats.queued += 1
+            self.stats.max_queue_length = max(self.stats.max_queue_length,
+                                              len(self.queue))
+            return QUEUE
+        if self.policy == "retry" and job.attempts <= self.max_retries:
+            self.stats.retried += 1
+            return RETRY
+        self.stats.dropped += 1
+        return DROP
+
+    def pop_placeable(self, placeable: Callable[["Job"], bool]
+                      ) -> Optional["Job"]:
+        """Dequeue the next job that can start now, if any.
+
+        FIFO with head-of-line blocking: a wide job at the head waits for
+        enough workers even while a narrower job behind it could start —
+        deliberate, so admission order is predictable and starvation-free.
+        """
+        if not self.queue or not self.has_slot():
+            return None
+        if not placeable(self.queue[0]):
+            return None
+        return self.queue.popleft()
+
+    # ------------------------------------------------------------------
+    def job_dispatched(self, job: "Job") -> None:
+        """Record a dispatch (driver callback)."""
+        self.in_flight += 1
+        self.stats.dispatched += 1
+        self.stats.max_in_flight = max(self.stats.max_in_flight,
+                                       self.in_flight)
+
+    def job_finished(self, job: "Job") -> None:
+        """Record an instance conclusion (driver callback)."""
+        self.in_flight -= 1
+        self.stats.completed += 1
+
+    def describe(self) -> Dict[str, Any]:
+        """The controller's configuration (for reports)."""
+        return {
+            "max_in_flight": self.max_in_flight,
+            "queue_capacity": self.queue_capacity,
+            "policy": self.policy,
+            "retry_delay": self.retry_delay,
+            "max_retries": self.max_retries,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<AdmissionController in_flight={self.in_flight}"
+                f"/{self.max_in_flight} queue={len(self.queue)}"
+                f"/{self.queue_capacity} policy={self.policy}>")

@@ -1,0 +1,150 @@
+"""Arrival processes: when (and what) traffic reaches the workload driver.
+
+An arrival process turns a seed into a reproducible schedule of job
+submissions.  Three shapes cover the classic load-testing spectrum:
+
+* :class:`OpenLoopPoisson` — memoryless open-loop arrivals at a fixed
+  offered rate; the canonical capacity-curve driver, because arrivals keep
+  coming whether or not the system keeps up (so saturation shows up as
+  queueing/drops rather than as a silently throttled source);
+* :class:`TraceReplay` — deterministic replay of explicit arrival times
+  (recorded traces, adversarial bursts, regression cases);
+* :class:`ClosedLoopClients` — N clients that each wait for their previous
+  job to finish, think for a while, and submit the next one; throughput is
+  self-limiting, which is the right model for interactive users.
+
+Every stochastic draw comes from a named
+:class:`~repro.simkernel.rng.SeededStreams` sub-stream of the driver's
+seed, so a given ``(seed, arrival process)`` pair produces the same
+schedule in any process — the property the engine's byte-identical
+parallel sweeps rely on.
+
+An arrival process is consumed by
+:meth:`~repro.workload.driver.WorkloadDriver.run`: it contributes one or
+more kernel-process generators that call ``driver.submit(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .driver import WorkloadDriver
+
+
+class ArrivalProcess:
+    """Base class: a named source of job submissions."""
+
+    def processes(self, driver: "WorkloadDriver") -> List:
+        """Kernel-process generators the driver spawns for this source."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description (used in reports)."""
+        return type(self).__name__
+
+
+class OpenLoopPoisson(ArrivalProcess):
+    """Open-loop Poisson arrivals: ``count`` jobs at offered rate ``rate``.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate``, drawn from
+    the driver's ``"arrivals"`` stream.  ``action`` optionally pins every
+    job to one action definition; by default the driver's mix picks.
+    """
+
+    def __init__(self, rate: float, count: int,
+                 action: Optional[str] = None) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        self.rate = float(rate)
+        self.count = int(count)
+        self.action = action
+
+    def processes(self, driver: "WorkloadDriver") -> List:
+        def source():
+            stream = driver.streams.stream("arrivals")
+            for _ in range(self.count):
+                yield driver.kernel.timeout(stream.expovariate(self.rate))
+                driver.submit(self.action)
+        return [source()]
+
+    def describe(self) -> str:
+        return f"poisson(rate={self.rate:g}, count={self.count})"
+
+
+class TraceReplay(ArrivalProcess):
+    """Deterministic replay of explicit arrival times.
+
+    ``trace`` is a sequence of arrival times (non-negative, any order —
+    they are sorted) or of ``(time, action)`` pairs pinning individual
+    arrivals to action definitions.
+    """
+
+    def __init__(self, trace: Iterable) -> None:
+        entries = []
+        for entry in trace:
+            if isinstance(entry, (tuple, list)):
+                when, action = entry
+            else:
+                when, action = entry, None
+            when = float(when)
+            if when < 0:
+                raise ValueError("arrival times must be non-negative")
+            entries.append((when, action))
+        if not entries:
+            raise ValueError("trace must contain at least one arrival")
+        self.trace: Sequence = sorted(entries, key=lambda e: e[0])
+
+    def processes(self, driver: "WorkloadDriver") -> List:
+        def source():
+            for when, action in self.trace:
+                gap = when - driver.kernel.now
+                if gap > 0:
+                    yield driver.kernel.timeout(gap)
+                driver.submit(action)
+        return [source()]
+
+    def describe(self) -> str:
+        return f"trace(n={len(self.trace)})"
+
+
+class ClosedLoopClients(ArrivalProcess):
+    """``n_clients`` closed-loop clients with exponential think times.
+
+    Each client submits a job, waits until it completes (or is dropped),
+    thinks for an exponential time with mean ``think_time`` (drawn from a
+    per-client stream, so client schedules are independent), and repeats —
+    ``jobs_per_client`` times.  The offered load adapts to the system's
+    speed, so a closed-loop sweep varies ``n_clients`` instead of a rate.
+    """
+
+    def __init__(self, n_clients: int, think_time: float,
+                 jobs_per_client: int, action: Optional[str] = None) -> None:
+        if n_clients < 1:
+            raise ValueError("need at least one client")
+        if think_time < 0:
+            raise ValueError("think_time must be non-negative")
+        if jobs_per_client < 1:
+            raise ValueError("jobs_per_client must be at least 1")
+        self.n_clients = int(n_clients)
+        self.think_time = float(think_time)
+        self.jobs_per_client = int(jobs_per_client)
+        self.action = action
+
+    def processes(self, driver: "WorkloadDriver") -> List:
+        def client(index: int):
+            stream = driver.streams.stream(f"think:{index}")
+            for _ in range(self.jobs_per_client):
+                job = driver.submit(self.action)
+                yield job.completion
+                if self.think_time > 0:
+                    yield driver.kernel.timeout(
+                        stream.expovariate(1.0 / self.think_time))
+        return [client(index) for index in range(self.n_clients)]
+
+    def describe(self) -> str:
+        return (f"closed(clients={self.n_clients}, "
+                f"think={self.think_time:g}, "
+                f"jobs={self.jobs_per_client})")

@@ -127,3 +127,126 @@ class TestRunMetrics:
         summary = metrics.summary()
         assert summary["outcomes"]["success"] == 1
         assert summary["outcomes"]["failed"] == 1
+
+
+class TestBoundsEdgeCases:
+    """The least-tested corners of analysis/bounds.py."""
+
+    def test_n2_boundary_values(self):
+        assert messages_single_exception(2) == 3
+        assert messages_all_exceptions(2) == 3
+        assert theorem2_worst_case_messages(2, 1) == 3
+        assert romanovsky96_messages(2) == 6
+        assert signalling_messages_simple(2) == 2
+        assert signalling_messages_worst_case(2) == 4
+        assert campbell_randell_resolution_calls(2) == 0
+
+    def test_theorem2_and_references_reject_small_n(self):
+        for function in (theorem2_worst_case_messages,
+                         campbell_randell_reference_messages):
+            with pytest.raises(ValueError):
+                function(1, 1)
+        with pytest.raises(ValueError):
+            campbell_randell_resolution_calls(1)
+        with pytest.raises(ValueError):
+            signalling_messages_worst_case(1)
+
+    def test_graph_level_size_edges(self):
+        # Level below zero or beyond n-1: empty by definition.
+        assert exception_graph_level_size(5, -1) == 0
+        assert exception_graph_level_size(5, 5) == 0
+        # A single primitive has exactly its own level 0.
+        assert exception_graph_level_size(1, 0) == 1
+        assert exception_graph_level_size(1, 1) == 0
+        with pytest.raises(ValueError):
+            exception_graph_level_size(0, 0)
+
+    def test_graph_level_sizes_sum_to_the_powerset(self):
+        # Sum over all levels = 2^n - 1 nonempty subsets (untruncated graph).
+        for n in (1, 3, 6):
+            total = sum(exception_graph_level_size(n, level)
+                        for level in range(n))
+            assert total == 2 ** n - 1
+
+    def test_lemma1_zero_everything_is_zero(self):
+        assert lemma1_completion_bound(
+            TimingParameters(0, 0, 0, 0, max_nesting=0)) == 0.0
+
+
+class TestRunMetricsSummaryEdgeCases:
+    def test_summary_with_no_outcomes(self):
+        summary = RunMetrics().summary()
+        assert summary["outcomes"] == {}
+        assert summary["exceptions_raised"] == 0
+        assert summary["signalled"] == {}
+
+    def test_summary_with_mixed_outcome_kinds(self):
+        metrics = RunMetrics()
+        for outcome in ("success", "recovered", "undone", "failed",
+                        "signalled", "aborted_by_enclosing", "success"):
+            metrics.record_outcome(ActionOutcome("A", outcome))
+        summary = metrics.summary()
+        assert summary["outcomes"] == {
+            "success": 2, "recovered": 1, "undone": 1, "failed": 1,
+            "signalled": 1, "aborted_by_enclosing": 1,
+        }
+
+    def test_outcomes_for_unknown_action_is_empty(self):
+        assert RunMetrics().outcomes_for("nope") == []
+
+
+class TestRunMetricsSnapshot:
+    """snapshot()/restore()/merge(), mirroring MessageStatistics."""
+
+    @staticmethod
+    def populated():
+        metrics = RunMetrics()
+        metrics.record_raise("T1", "A", "fault", 1.0)
+        metrics.record_resolution("T2", "A", "fault", 1.5)
+        metrics.record_handler("T1", "A", "fault", 1.6)
+        metrics.record_abortion("T2", "B", 1.7)
+        metrics.record_suspension("T3", "A", 1.8)
+        metrics.record_signal("T1", "A", "eps", 2.0)
+        metrics.record_outcome(ActionOutcome("A", "recovered", None, 0.0, 2.5))
+        return metrics
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+        json.dumps(self.populated().snapshot())
+
+    def test_round_trip_restores_everything(self):
+        original = self.populated()
+        rebuilt = RunMetrics()
+        rebuilt.restore(original.snapshot())
+        assert rebuilt.snapshot() == original.snapshot()
+        assert rebuilt.summary() == original.summary()
+        assert rebuilt.outcomes_for("A")[0].duration == 2.5
+
+    def test_restore_discards_previous_state(self):
+        metrics = self.populated()
+        metrics.restore(RunMetrics().snapshot())
+        assert metrics.snapshot() == RunMetrics().snapshot()
+
+    def test_merge_aggregates_per_shard_metrics(self):
+        shard_a = self.populated()
+        shard_b = self.populated()
+        shard_b.record_raise("T9", "C", "other", 9.0)
+        union = RunMetrics()
+        union.merge(shard_a.snapshot())
+        union.merge(shard_b.snapshot())
+        assert union.exceptions_raised == 3
+        assert union.exceptions_by_name == {"fault": 2, "other": 1}
+        assert union.resolutions == 2
+        assert union.abortions == 2
+        assert union.signalled == {"eps": 2}
+        assert len(union.action_outcomes) == 2
+        assert len(union.events) == len(shard_a.events) + len(shard_b.events)
+
+    def test_merge_accepts_live_outcome_objects(self):
+        metrics = RunMetrics()
+        metrics.merge({"action_outcomes": [ActionOutcome("A", "success")]})
+        assert metrics.action_outcomes[0].action == "A"
+
+    def test_action_outcome_dict_round_trip(self):
+        outcome = ActionOutcome("A", "signalled", "eps", 1.0, 3.5)
+        assert ActionOutcome.from_dict(outcome.to_dict()) == outcome

@@ -1,0 +1,132 @@
+"""Tests for the log-bucket latency histogram."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatencyHistogram
+
+
+class TestRecording:
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean is None
+        assert histogram.quantile(0.5) is None
+        assert histogram.summary()["p999"] is None
+        assert len(histogram) == 0
+
+    def test_exact_scalars(self):
+        histogram = LatencyHistogram()
+        histogram.record_many([1.0, 2.0, 3.0])
+        assert histogram.count == 3
+        assert histogram.sum == 6.0
+        assert histogram.mean == 2.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-0.1)
+
+    def test_underflow_and_overflow_clamp(self):
+        histogram = LatencyHistogram(min_value=1.0, growth=2.0,
+                                     bucket_count=4)
+        histogram.record(0.0)       # below min_value -> bucket 0
+        histogram.record(1e9)       # beyond the last edge -> last bucket
+        assert histogram.buckets[0] == 1
+        assert histogram.buckets[-1] == 1
+        assert histogram.count == 2
+        assert histogram.min == 0.0 and histogram.max == 1e9
+
+    def test_single_sample_quantiles_are_exact(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.7)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.7
+
+    def test_quantile_bounds_validated(self):
+        histogram = LatencyHistogram()
+        histogram.record(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_value": 0.0}, {"growth": 1.0}, {"bucket_count": 0},
+    ])
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            LatencyHistogram(**kwargs)
+
+
+class TestQuantileAccuracy:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_quantile_within_one_bucket_of_truth(self, samples):
+        import math
+        histogram = LatencyHistogram()
+        histogram.record_many(samples)
+        ordered = sorted(samples)
+        for q in (0.5, 0.9, 0.99):
+            rank = max(1, math.ceil(q * len(ordered)))
+            truth = ordered[rank - 1]
+            estimate = histogram.quantile(q)
+            # The estimate is a bucket upper edge clamped to [min, max]: it
+            # stays within one growth factor of the true order statistic.
+            assert estimate <= truth * histogram.growth * (1 + 1e-9)
+            assert estimate >= truth / histogram.growth * (1 - 1e-9)
+
+    def test_percentile_names(self):
+        histogram = LatencyHistogram()
+        histogram.record(1.0)
+        assert set(histogram.percentiles()) == {"p50", "p90", "p99", "p999"}
+
+
+class TestMergeAndSnapshot:
+    def test_snapshot_restore_round_trip(self):
+        histogram = LatencyHistogram()
+        histogram.record_many([0.01, 0.5, 2.0, 40.0])
+        snapshot = histogram.snapshot()
+        json.dumps(snapshot)  # JSON-serializable
+        rebuilt = LatencyHistogram.from_snapshot(snapshot)
+        assert rebuilt.snapshot() == snapshot
+        assert rebuilt.quantile(0.5) == histogram.quantile(0.5)
+
+    def test_merge_equals_union(self):
+        union = LatencyHistogram()
+        shard_a, shard_b = LatencyHistogram(), LatencyHistogram()
+        for value in (0.1, 0.2, 0.4, 0.8):
+            shard_a.record(value)
+            union.record(value)
+        for value in (1.6, 3.2, 6.4):
+            shard_b.record(value)
+            union.record(value)
+        shard_a.merge(shard_b)
+        assert shard_a.snapshot() == union.snapshot()
+
+    def test_merge_accepts_snapshots(self):
+        shard = LatencyHistogram()
+        shard.record(1.0)
+        target = LatencyHistogram()
+        target.merge(shard.snapshot())
+        assert target.count == 1 and target.max == 1.0
+
+    def test_merge_into_empty_and_from_empty(self):
+        empty = LatencyHistogram()
+        loaded = LatencyHistogram()
+        loaded.record(2.0)
+        empty.merge(loaded)
+        assert empty.count == 1 and empty.min == 2.0
+        loaded.merge(LatencyHistogram())
+        assert loaded.count == 1 and loaded.min == 2.0
+
+    def test_incompatible_configurations_rejected(self):
+        histogram = LatencyHistogram(min_value=1e-3)
+        other = LatencyHistogram(min_value=1e-2)
+        with pytest.raises(ValueError):
+            histogram.merge(other)
+        with pytest.raises(ValueError):
+            histogram.restore(other.snapshot())

@@ -1,0 +1,157 @@
+"""Unit tests for the admission controller (no kernel involved)."""
+
+import pytest
+
+from repro.workload.admission import (
+    DISPATCH,
+    DROP,
+    QUEUE,
+    RETRY,
+    AdmissionController,
+)
+
+
+class FakeJob:
+    def __init__(self, width=2):
+        self.width = width
+        self.attempts = 0
+
+
+class TestOffer:
+    def test_dispatches_when_slot_and_workers_free(self):
+        controller = AdmissionController(max_in_flight=2, queue_capacity=4)
+        job = FakeJob()
+        assert controller.offer(job, placeable=True) == DISPATCH
+        assert job.attempts == 1
+        assert controller.stats.arrived == 1
+
+    def test_queues_when_not_placeable(self):
+        controller = AdmissionController(max_in_flight=2, queue_capacity=4)
+        job = FakeJob()
+        assert controller.offer(job, placeable=False) == QUEUE
+        assert list(controller.queue) == [job]
+        assert controller.stats.queued == 1
+
+    def test_queues_when_in_flight_limit_reached(self):
+        controller = AdmissionController(max_in_flight=1, queue_capacity=4)
+        first = FakeJob()
+        assert controller.offer(first, placeable=True) == DISPATCH
+        controller.job_dispatched(first)
+        assert controller.offer(FakeJob(), placeable=True) == QUEUE
+
+    def test_unlimited_in_flight(self):
+        controller = AdmissionController(max_in_flight=None)
+        for _ in range(100):
+            job = FakeJob()
+            assert controller.offer(job, placeable=True) == DISPATCH
+            controller.job_dispatched(job)
+        assert controller.stats.max_in_flight == 100
+
+    def test_drops_when_queue_full(self):
+        controller = AdmissionController(max_in_flight=1, queue_capacity=1)
+        busy = FakeJob()
+        controller.offer(busy, placeable=True)
+        controller.job_dispatched(busy)
+        assert controller.offer(FakeJob(), placeable=True) == QUEUE
+        assert controller.offer(FakeJob(), placeable=True) == DROP
+        assert controller.stats.dropped == 1
+
+    def test_zero_capacity_queue_drops_immediately(self):
+        controller = AdmissionController(max_in_flight=1, queue_capacity=0)
+        busy = FakeJob()
+        controller.offer(busy, placeable=True)
+        controller.job_dispatched(busy)
+        assert controller.offer(FakeJob(), placeable=True) == DROP
+
+    def test_new_arrival_does_not_jump_the_queue(self):
+        # Even with a free slot, a non-empty queue keeps FIFO order.
+        controller = AdmissionController(max_in_flight=4, queue_capacity=4)
+        queued = FakeJob(width=3)
+        assert controller.offer(queued, placeable=False) == QUEUE
+        assert controller.offer(FakeJob(width=1), placeable=True) == QUEUE
+
+    def test_retry_policy_then_exhaustion(self):
+        controller = AdmissionController(max_in_flight=1, queue_capacity=0,
+                                         policy="retry", max_retries=2)
+        busy = FakeJob()
+        controller.offer(busy, placeable=True)
+        controller.job_dispatched(busy)
+        job = FakeJob()
+        assert controller.offer(job, placeable=True) == RETRY
+        assert controller.offer(job, placeable=True) == RETRY
+        assert controller.offer(job, placeable=True) == DROP
+        assert controller.stats.retried == 2
+        assert controller.stats.dropped == 1
+        # Re-offers are not new arrivals.
+        assert controller.stats.arrived == 2
+
+    def test_retry_job_can_still_dispatch_later(self):
+        controller = AdmissionController(max_in_flight=1, queue_capacity=0,
+                                         policy="retry", max_retries=3)
+        busy = FakeJob()
+        controller.offer(busy, placeable=True)
+        controller.job_dispatched(busy)
+        job = FakeJob()
+        assert controller.offer(job, placeable=True) == RETRY
+        controller.job_finished(busy)
+        assert controller.offer(job, placeable=True) == DISPATCH
+
+
+class TestPopPlaceable:
+    def test_fifo_with_head_of_line_blocking(self):
+        controller = AdmissionController(max_in_flight=8, queue_capacity=8)
+        wide = FakeJob(width=4)
+        narrow = FakeJob(width=1)
+        controller.offer(wide, placeable=False)
+        controller.offer(narrow, placeable=False)
+        # Only 2 workers free: the wide head blocks the narrow job too.
+        assert controller.pop_placeable(lambda j: j.width <= 2) is None
+        # 4 workers free: the head goes first.
+        assert controller.pop_placeable(lambda j: j.width <= 4) is wide
+        assert controller.pop_placeable(lambda j: j.width <= 4) is narrow
+        assert controller.pop_placeable(lambda j: True) is None
+
+    def test_respects_in_flight_limit(self):
+        controller = AdmissionController(max_in_flight=1, queue_capacity=8)
+        busy = FakeJob()
+        controller.offer(busy, placeable=True)
+        controller.job_dispatched(busy)
+        controller.offer(FakeJob(), placeable=True)
+        assert controller.pop_placeable(lambda j: True) is None
+        controller.job_finished(busy)
+        assert controller.pop_placeable(lambda j: True) is not None
+
+
+class TestValidationAndStats:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_in_flight": 0},
+        {"queue_capacity": -1},
+        {"policy": "explode"},
+        {"retry_delay": -0.1},
+        {"max_retries": -1},
+    ])
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)
+
+    def test_stats_snapshot_is_plain_and_complete(self):
+        controller = AdmissionController(max_in_flight=2, queue_capacity=2)
+        job = FakeJob()
+        controller.offer(job, placeable=True)
+        controller.job_dispatched(job)
+        controller.job_finished(job)
+        snapshot = controller.stats.snapshot()
+        assert snapshot == {
+            "arrived": 1, "dispatched": 1, "queued": 0, "retried": 0,
+            "dropped": 0, "completed": 1, "max_queue_length": 0,
+            "max_in_flight": 1,
+        }
+
+    def test_describe_reports_configuration(self):
+        controller = AdmissionController(max_in_flight=3, queue_capacity=5,
+                                         policy="retry", retry_delay=0.25,
+                                         max_retries=7)
+        assert controller.describe() == {
+            "max_in_flight": 3, "queue_capacity": 5, "policy": "retry",
+            "retry_delay": 0.25, "max_retries": 7,
+        }
