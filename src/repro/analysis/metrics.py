@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class ActionOutcome:
     """The final outcome of one executed CA action instance."""
 

@@ -1,6 +1,7 @@
-"""Benchmark baselines: write ``BENCH_resolution.json`` / ``BENCH_workload.json``.
+"""Benchmark baselines: ``BENCH_resolution.json`` / ``BENCH_workload.json`` /
+``BENCH_kernel.json``.
 
-Two baseline documents give later PRs a perf trajectory:
+Three baseline documents give later PRs a perf trajectory:
 
 * **resolution** — the graph microbenchmark (compiled index build /
   statistics / ``resolve()`` loop, with a naive-scan reference) and the
@@ -11,14 +12,22 @@ Two baseline documents give later PRs a perf trajectory:
   soak (heterogeneous mix + fault noise, with the invariant-oracle
   verdict).  All workload rows are deterministic virtual-time quantities,
   so the file diffs meaningfully between PRs.
+* **kernel** — the kernel/runtime microbenchmarks (bare-kernel event
+  throughput, network message delivery rate, end-to-end capacity
+  instances per wall-clock second at three pool scales; see
+  :mod:`repro.bench.kernelbench`).  These rows are wall-clock, so they
+  vary by machine — compare runs from the same host (CI uploads one per
+  push).
 
 Usage::
 
     PYTHONPATH=src python -m repro.bench.baseline [--output PATH] [--parallel]
     PYTHONPATH=src python -m repro.bench.baseline --suite workload \
         --output BENCH_workload.json
+    PYTHONPATH=src python -m repro.bench.baseline --suite kernel \
+        --output BENCH_kernel.json
 
-CI runs the sequential forms on every push and uploads both JSONs as
+CI runs the sequential forms on every push and uploads the JSONs as
 artifacts, so perf and capacity regressions are visible per PR.
 """
 
@@ -32,6 +41,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..workload.scenarios import saturation_knee
 from .engine import GridPoint, run_scenario
+from .kernelbench import collect_kernel_baseline
 
 #: Bump when the row layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -101,10 +111,21 @@ def write_workload_baseline(path: str,
     return document
 
 
+def write_kernel_baseline(path: str) -> Dict[str, object]:
+    """Collect the kernel microbenchmark baseline and write it to ``path``."""
+    document = dict(collect_kernel_baseline())
+    document["schema"] = SCHEMA_VERSION
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Write a benchmark baseline JSON.")
-    parser.add_argument("--suite", choices=("resolution", "workload"),
+    parser.add_argument("--suite",
+                        choices=("resolution", "workload", "kernel"),
                         default="resolution",
                         help="which baseline to collect "
                              "(default: resolution)")
@@ -114,6 +135,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fan the grids out over a process pool")
     arguments = parser.parse_args(argv)
     output = arguments.output or f"BENCH_{arguments.suite}.json"
+    if arguments.suite == "kernel":
+        document = write_kernel_baseline(output)
+        events = document["event_throughput"]
+        messages = document["message_delivery"]
+        capacity = document["capacity"]
+        print(f"wrote {output}: "
+              f"{events['events_per_second']:,.0f} events/s, "
+              f"{messages['messages_per_second']:,.0f} messages/s, "
+              f"capacity "
+              + ", ".join(f"{row['config']} "
+                          f"{row['instances_per_second']:,.0f} inst/s"
+                          for row in capacity))
+        return 0
     if arguments.suite == "workload":
         document = write_workload_baseline(output,
                                            parallel=arguments.parallel)

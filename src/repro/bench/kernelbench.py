@@ -1,0 +1,181 @@
+"""Kernel/runtime microbenchmarks: the ``--suite kernel`` baseline.
+
+Three wall-clock measurements bracket the layers the hot-path optimisation
+pass touched (all simulated *behaviour* is pinned separately by the
+golden-trace conformance suite — these benchmarks only measure speed):
+
+* **event throughput** — a bare :class:`~repro.simkernel.kernel.Kernel`
+  driving a timeout-yielding process: pure schedule/step/resume cost, no
+  network or runtime;
+* **message delivery rate** — two nodes on a zero-fault network, one
+  sender, one draining receiver: the per-message envelope/statistics/
+  FIFO-clamp/delivery path on top of the kernel;
+* **capacity instances/sec** — the end-to-end ``capacity`` workload
+  scenario at three pool scales (the default 8-worker pool of the
+  committed capacity curve, and wider 32-/64-worker pools where the
+  per-instance bookkeeping dominates), reported as completed action
+  instances per wall-clock second.
+
+Each measurement is the best of ``repeats`` runs, which is the standard
+way to suppress scheduler/allocator noise in short benchmarks.  The
+committed ``BENCH_kernel.json`` gives later PRs the same perf trajectory
+for the kernel that ``BENCH_resolution.json`` gives for graph resolution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..simkernel.kernel import Kernel
+from .engine import GridPoint, run_scenario
+
+#: Default sizes: large enough for stable timings, small enough that the
+#: whole suite (with repeats) stays in CI-smoke territory.
+EVENT_COUNT = 100_000
+MESSAGE_COUNT = 20_000
+REPEATS = 3
+
+#: The capacity configurations measured by the kernel suite.  ``default8``
+#: is the committed capacity curve's saturated point; the wider pools are
+#: where the pre-optimisation per-instance bookkeeping (instance release
+#: sweeps, binding resolution, barrier registries) grew with pool size.
+CAPACITY_CONFIGS: Dict[str, Dict[str, Any]] = {
+    "default8": {"offered_load": 4.0},
+    "pool32": {"offered_load": 16.0, "pool_size": 32, "n_instances": 400},
+    "pool64": {"offered_load": 32.0, "pool_size": 64, "n_instances": 600,
+               "queue_capacity": 128},
+}
+
+
+def _best_of(repeats: int, run: Callable[[], Any]) -> float:
+    """Best wall-clock of ``repeats`` runs of ``run`` (seconds)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Event throughput (bare kernel)
+# ----------------------------------------------------------------------
+def _timeout_loop(kernel: Kernel, count: int):
+    for _ in range(count):
+        yield kernel.timeout(1.0)
+
+
+def bench_event_throughput(n_events: int = EVENT_COUNT,
+                           repeats: int = REPEATS) -> Dict[str, Any]:
+    """Schedule/step/resume cost of the bare kernel, in events/sec.
+
+    One loop iteration is two kernel events (the timeout firing and the
+    process rescheduling), so the reported rate counts ``2 ×`` iterations.
+    """
+    iterations = max(1, n_events // 2)
+
+    def run() -> None:
+        kernel = Kernel()
+        kernel.process(_timeout_loop(kernel, iterations))
+        kernel.run()
+
+    seconds = _best_of(repeats, run)
+    events = 2 * iterations
+    return {
+        "events": events,
+        "wall_seconds": seconds,
+        "events_per_second": events / seconds if seconds > 0 else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Message delivery rate (network on top of the kernel)
+# ----------------------------------------------------------------------
+def _sender(network, count: int):
+    kernel = network.kernel
+    for i in range(count):
+        network.send("src", "dst", i)
+        yield kernel.timeout(0.001)
+
+
+def _receiver(network, count: int):
+    inbox = network.node("dst").inbox
+    for _ in range(count):
+        yield inbox.get()
+
+
+def bench_message_delivery(n_messages: int = MESSAGE_COUNT,
+                           repeats: int = REPEATS) -> Dict[str, Any]:
+    """Per-message cost of the network delivery path, in messages/sec."""
+    from ..net.latency import ConstantLatency
+    from ..net.network import Network
+
+    def run() -> None:
+        kernel = Kernel()
+        network = Network(kernel, latency=ConstantLatency(0.01))
+        network.add_node("src")
+        network.add_node("dst")
+        kernel.process(_sender(network, n_messages))
+        kernel.process(_receiver(network, n_messages))
+        kernel.run()
+
+    seconds = _best_of(repeats, run)
+    return {
+        "messages": n_messages,
+        "wall_seconds": seconds,
+        "messages_per_second": n_messages / seconds if seconds > 0 else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# End-to-end capacity wall-clock
+# ----------------------------------------------------------------------
+def bench_capacity(configs: Optional[Dict[str, Dict[str, Any]]] = None,
+                   repeats: int = REPEATS) -> List[Dict[str, Any]]:
+    """End-to-end ``capacity`` scenario wall-clock at several pool scales.
+
+    Every run goes through :func:`~repro.bench.engine.run_scenario`, i.e.
+    the exact code path the conformance suite pins, so the measured wall
+    clock belongs to behaviour that is provably unchanged.
+    """
+    rows: List[Dict[str, Any]] = []
+    for name, parameters in (configs or CAPACITY_CONFIGS).items():
+        point: GridPoint = dict(parameters)
+        captured: List[Dict[str, Any]] = []
+
+        def run() -> None:
+            captured[:] = run_scenario("capacity", points=[point])
+
+        seconds = _best_of(repeats, run)
+        result = captured[0]
+        completed = int(result["completed"])
+        rows.append({
+            "config": name,
+            "offered_load": point.get("offered_load"),
+            "pool_size": result["pool_size"],
+            "jobs": result["jobs"],
+            "completed": completed,
+            "throughput_virtual": result["throughput"],
+            "wall_seconds": seconds,
+            "instances_per_second": (completed / seconds
+                                     if seconds > 0 else 0.0),
+        })
+    return rows
+
+
+def collect_kernel_baseline(
+        n_events: int = EVENT_COUNT,
+        n_messages: int = MESSAGE_COUNT,
+        capacity_configs: Optional[Dict[str, Dict[str, Any]]] = None,
+        repeats: int = REPEATS) -> Dict[str, object]:
+    """Run the three kernel benchmarks and return the baseline document."""
+    import platform
+
+    return {
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "event_throughput": bench_event_throughput(n_events, repeats),
+        "message_delivery": bench_message_delivery(n_messages, repeats),
+        "capacity": bench_capacity(capacity_configs, repeats),
+    }

@@ -20,12 +20,12 @@ from .exceptions import ExceptionDescriptor
 from .messages import ProtocolMessage
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Effect:
     """Base class for all effects (marker type)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendTo(Effect):
     """Send ``message`` to every thread named in ``recipients``."""
 
@@ -36,7 +36,7 @@ class SendTo(Effect):
         object.__setattr__(self, "recipients", tuple(self.recipients))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InformObjects(Effect):
     """Inform the external objects used within ``action`` of ``exception``."""
 
@@ -44,7 +44,7 @@ class InformObjects(Effect):
     exception: ExceptionDescriptor
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbortNested(Effect):
     """Abort the nested actions in ``actions`` (innermost first).
 
@@ -62,7 +62,7 @@ class AbortNested(Effect):
         object.__setattr__(self, "actions", tuple(self.actions))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HandleResolved(Effect):
     """Invoke this thread's handler for the resolving exception."""
 
@@ -71,7 +71,7 @@ class HandleResolved(Effect):
     resolver: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InterruptRole(Effect):
     """Interrupt the role's normal computation (ATC analogue).
 
@@ -84,7 +84,7 @@ class InterruptRole(Effect):
     reason: ExceptionDescriptor
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChargeTime(Effect):
     """Ask the runtime to let virtual time pass before the next effect.
 
@@ -98,7 +98,7 @@ class ChargeTime(Effect):
     count: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogEvent(Effect):
     """Diagnostic trace entry (never affects behaviour)."""
 

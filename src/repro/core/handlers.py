@@ -15,6 +15,7 @@ runtime detects this and drives the generator.
 
 from __future__ import annotations
 
+import functools
 import inspect
 from dataclasses import dataclass, field
 from enum import Enum
@@ -28,6 +29,9 @@ from .exceptions import (
     UNDO,
 )
 
+#: Code-object flag marking a generator function (inspect.CO_GENERATOR).
+_CO_GENERATOR = inspect.CO_GENERATOR
+
 
 class HandlerStatus(Enum):
     """How a handler (or a role's primary attempt) finished."""
@@ -38,7 +42,7 @@ class HandlerStatus(Enum):
     FAILED = "failed"            # the handler itself failed (leads to ƒ)
 
 
-@dataclass
+@dataclass(slots=True)
 class HandlerResult:
     """Outcome of running a handler.
 
@@ -135,7 +139,19 @@ def default_abort_handler(_context: object) -> HandlerResult:
 
 
 def is_generator_handler(handler: Handler) -> bool:
-    """True if ``handler`` is a generator function (consumes virtual time)."""
+    """True if ``handler`` is a generator function (consumes virtual time).
+
+    The runtime asks this on every body/handler invocation, so the common
+    case (a plain function or method) reads the generator flag off the
+    code object directly — O(1), no caching, and therefore no retention
+    of per-run closures.  Anything without a code object (callable
+    instances, odd wrappers) falls back to :mod:`inspect`.
+    """
+    while isinstance(handler, functools.partial):
+        handler = handler.func
+    code = getattr(handler, "__code__", None)
+    if code is not None:
+        return bool(code.co_flags & _CO_GENERATOR)
     return inspect.isgeneratorfunction(handler)
 
 

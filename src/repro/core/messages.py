@@ -26,7 +26,7 @@ from typing import Optional, Tuple
 from .exceptions import ExceptionDescriptor
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProtocolMessage:
     """Base class for all coordination messages (marker type)."""
 
@@ -34,7 +34,7 @@ class ProtocolMessage:
 # ----------------------------------------------------------------------
 # Resolution algorithm messages (Section 3.3)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExceptionMessage(ProtocolMessage):
     """``Exception(A, Ti, E)``: ``thread`` raised ``exception`` in ``action``.
 
@@ -52,7 +52,7 @@ class ExceptionMessage(ProtocolMessage):
     instance: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SuspendedMessage(ProtocolMessage):
     """``Suspended(A, Ti, S)``: ``thread`` halted normal computation in ``action``."""
 
@@ -61,7 +61,7 @@ class SuspendedMessage(ProtocolMessage):
     instance: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitMessage(ProtocolMessage):
     """``Commit(A, E)``: the resolver fixed ``exception`` as the resolving exception."""
 
@@ -74,7 +74,7 @@ class CommitMessage(ProtocolMessage):
 # ----------------------------------------------------------------------
 # Signalling algorithm message (Section 3.4)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ToBeSignalledMessage(ProtocolMessage):
     """``toBeSignalled(Ti, ε)``: ``thread`` intends to signal ``exception``.
 
@@ -98,7 +98,7 @@ class ToBeSignalledMessage(ProtocolMessage):
 # ----------------------------------------------------------------------
 # Runtime coordination messages (not counted as protocol messages)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EnterActionMessage:
     """A thread announces that it has reached the entry point of an action.
 
@@ -115,7 +115,7 @@ class EnterActionMessage:
     instance: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExitReadyMessage:
     """A thread is ready to leave the action (synchronous exit protocol)."""
 
@@ -125,7 +125,7 @@ class ExitReadyMessage:
     instance: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExitConfirmMessage:
     """The exit coordinator confirms all threads may leave the action."""
 
@@ -133,7 +133,7 @@ class ExitConfirmMessage:
     outcome: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ApplicationMessage:
     """Cooperation traffic between roles inside an action (user payload)."""
 

@@ -29,6 +29,13 @@ class ThreadState(Enum):
 
 _DIGIT_RUNS = re.compile(r"(\d+)")
 
+#: Memo for :func:`thread_order_key`: the key is a pure function of the
+#: identifier and the protocols compute it on every election/ordering, so
+#: one regex split per distinct identifier is enough.  Cleared when it
+#: grows past a bound so pathological workloads cannot leak memory.
+_ORDER_KEY_CACHE: Dict[str, Tuple[Tuple[Union[str, int], ...], str]] = {}
+_ORDER_KEY_CACHE_LIMIT = 16384
+
 
 def thread_order_key(thread_id: str) -> Tuple[Tuple[Union[str, int], ...], str]:
     """Natural-order sort key for thread identifiers.
@@ -46,9 +53,14 @@ def thread_order_key(thread_id: str) -> Tuple[Tuple[Union[str, int], ...], str]:
     election, participant ordering, designated committer — must use this
     one key so all nodes agree.
     """
-    chunks = tuple(int(chunk) if chunk.isdigit() else chunk
-                   for chunk in _DIGIT_RUNS.split(thread_id))
-    return (chunks, thread_id)
+    key = _ORDER_KEY_CACHE.get(thread_id)
+    if key is None:
+        if len(_ORDER_KEY_CACHE) >= _ORDER_KEY_CACHE_LIMIT:
+            _ORDER_KEY_CACHE.clear()
+        chunks = tuple(int(chunk) if chunk.isdigit() else chunk
+                       for chunk in _DIGIT_RUNS.split(thread_id))
+        key = _ORDER_KEY_CACHE[thread_id] = (chunks, thread_id)
+    return key
 
 
 def max_thread(thread_ids: Iterable[str]) -> str:
@@ -61,7 +73,7 @@ def min_thread(thread_ids: Iterable[str]) -> str:
     return min(thread_ids, key=thread_order_key)
 
 
-@dataclass
+@dataclass(slots=True)
 class ActionContext:
     """One element of the stack SAi: the exception context of one action.
 
@@ -80,6 +92,13 @@ class ActionContext:
     #: it can be told apart from messages of earlier/later instances of
     #: the same action name.
     instance: str = ""
+    #: Single-entry memo for :meth:`others`: a context is overwhelmingly
+    #: queried by the one thread that owns it.  compare=False keeps
+    #: context equality independent of query history.
+    _others_me: Optional[str] = field(default=None, init=False, repr=False,
+                                      compare=False)
+    _others_value: Tuple[str, ...] = field(default=(), init=False,
+                                           repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.participants:
@@ -89,7 +108,12 @@ class ActionContext:
 
     def others(self, me: str) -> Tuple[str, ...]:
         """All participants except ``me``."""
-        return tuple(p for p in self.participants if p != me)
+        if me == self._others_me:
+            return self._others_value
+        value = tuple(p for p in self.participants if p != me)
+        self._others_me = me
+        self._others_value = value
+        return value
 
     @property
     def compiled_graph(self) -> CompiledGraphIndex:

@@ -130,13 +130,9 @@ class FaultPlan:
     def __init__(self, streams: Optional[SeededStreams] = None,
                  drop_probability: float = 0.0,
                  corrupt_probability: float = 0.0) -> None:
-        if not 0.0 <= drop_probability <= 1.0:
-            raise ValueError("drop_probability must be in [0, 1]")
-        if not 0.0 <= corrupt_probability <= 1.0:
-            raise ValueError("corrupt_probability must be in [0, 1]")
         self._streams = streams or SeededStreams(0)
-        self.drop_probability = drop_probability
-        self.corrupt_probability = corrupt_probability
+        self._drop_probability = 0.0
+        self._corrupt_probability = 0.0
         self._drop_nth: Dict[Tuple[str, str], Set[int]] = {}
         self._corrupt_nth: Dict[Tuple[str, str], Set[int]] = {}
         self._extra_delay: Dict[Tuple[str, str], float] = {}
@@ -150,6 +146,52 @@ class FaultPlan:
         #: The surgical directives this plan was built from, in application
         #: order (probabilistic parameters are serialized separately).
         self.directives: List[FaultDirective] = []
+        #: True while the plan cannot affect any message, letting
+        #: :meth:`apply` take a constant-time fast path.  Every mutator
+        #: (including the probability property setters) refreshes it, so
+        #: faults added mid-run deactivate it.
+        self._passive = True
+        self.drop_probability = drop_probability
+        self.corrupt_probability = corrupt_probability
+        self._refresh_passive()
+
+    @property
+    def drop_probability(self) -> float:
+        """Per-message drop probability (assignable at any time)."""
+        return self._drop_probability
+
+    @drop_probability.setter
+    def drop_probability(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self._drop_probability = value
+        self._refresh_passive()
+
+    @property
+    def corrupt_probability(self) -> float:
+        """Per-message corruption probability (assignable at any time)."""
+        return self._corrupt_probability
+
+    @corrupt_probability.setter
+    def corrupt_probability(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("corrupt_probability must be in [0, 1]")
+        self._corrupt_probability = value
+        self._refresh_passive()
+
+    def _refresh_passive(self) -> None:
+        """Recompute the fast-path flag after any plan mutation.
+
+        Subclasses (tests build surgical plans by overriding ``apply`` or
+        the crash queries) are never passive: only an exact
+        :class:`FaultPlan` with no probabilities, directives or crashes is
+        guaranteed to leave every message untouched.
+        """
+        self._passive = type(self) is FaultPlan and not (
+            self.drop_probability or self.corrupt_probability
+            or self._drop_nth or self._corrupt_nth or self._extra_delay
+            or self._type_delay or self._nth_delay
+            or self._crashed_nodes or self._crash_times)
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -161,6 +203,7 @@ class FaultPlan:
         self._drop_nth.setdefault((source, destination), set()).add(n)
         self.directives.append(FaultDirective(
             "drop_nth", source=source, destination=destination, n=n))
+        self._refresh_passive()
 
     def corrupt_nth_message(self, source: str, destination: str, n: int) -> None:
         """Corrupt the ``n``-th (1-based) message on the given link."""
@@ -169,6 +212,7 @@ class FaultPlan:
         self._corrupt_nth.setdefault((source, destination), set()).add(n)
         self.directives.append(FaultDirective(
             "corrupt_nth", source=source, destination=destination, n=n))
+        self._refresh_passive()
 
     def add_link_delay(self, source: str, destination: str, extra: float) -> None:
         """Add a fixed extra delay to every message on the given link."""
@@ -177,6 +221,7 @@ class FaultPlan:
         self._extra_delay[(source, destination)] = extra
         self.directives.append(FaultDirective(
             "delay_link", source=source, destination=destination, extra=extra))
+        self._refresh_passive()
 
     def delay_message_type(self, source: str, destination: str,
                            type_name: str, extra: float) -> None:
@@ -196,6 +241,7 @@ class FaultPlan:
         self.directives.append(FaultDirective(
             "delay_type", source=source, destination=destination,
             type_name=type_name, extra=extra))
+        self._refresh_passive()
 
     def delay_nth_message(self, source: str, destination: str, n: int,
                           extra: float) -> None:
@@ -208,6 +254,7 @@ class FaultPlan:
         self.directives.append(FaultDirective(
             "delay_nth", source=source, destination=destination, n=n,
             extra=extra))
+        self._refresh_passive()
 
     def crash_node(self, node: str, at_time: Optional[float] = None) -> None:
         """Mark a node as crashed (optionally from ``at_time`` onwards).
@@ -220,6 +267,7 @@ class FaultPlan:
             self._crash_times[node] = at_time
         self.directives.append(FaultDirective("crash", node=node,
                                               at_time=at_time))
+        self._refresh_passive()
 
     def restore_node(self, node: str) -> None:
         """Undo a crash (used by recovery-oriented tests).
@@ -232,6 +280,7 @@ class FaultPlan:
         self._crashed_nodes.discard(node)
         self._crash_times.pop(node, None)
         self.directives.append(FaultDirective("restore", node=node))
+        self._refresh_passive()
 
     def apply_directive(self, directive: FaultDirective) -> None:
         """Apply one :class:`FaultDirective` to this plan."""
@@ -307,6 +356,18 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # Queries used by the network
     # ------------------------------------------------------------------
+    def count_link(self, link: Tuple[str, str]) -> int:
+        """Advance and return the 1-based message ordinal of ``link``.
+
+        The single owner of the per-link ordinals that the surgical
+        ``*_nth`` directives key on: :meth:`apply` calls it for every
+        message, and the network's inline passive fast path calls it
+        directly, so the bookkeeping cannot diverge between the two.
+        """
+        count = self._link_counts.get(link, 0) + 1
+        self._link_counts[link] = count
+        return count
+
     def is_crashed(self, node: str, now: float) -> bool:
         """True if ``node`` is considered crashed at virtual time ``now``."""
         if node in self._crashed_nodes:
@@ -321,8 +382,14 @@ class FaultPlan:
         ``envelope.corrupted``.  Updates the fault statistics.
         """
         link = (envelope.source, envelope.destination)
-        count = self._link_counts.get(link, 0) + 1
-        self._link_counts[link] = count
+        count = self.count_link(link)
+
+        if self._passive:
+            # The plan has no probabilities, directives or crashes that
+            # could touch this (or any) message.  The link count above is
+            # still maintained so a directive added mid-run sees the true
+            # message ordinals.
+            return True, 0.0
 
         if self.is_crashed(envelope.source, now) or self.is_crashed(
                 envelope.destination, now):

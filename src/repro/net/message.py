@@ -8,15 +8,18 @@ routing and timing metadata used by metrics and by fault injection.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 _sequence = itertools.count(1)
+_next_sequence = _sequence.__next__
 
 
-@dataclass
 class Envelope:
     """A single message in flight between two nodes.
+
+    A hand-written ``__slots__`` class (not a dataclass): one envelope is
+    allocated per message sent, which makes its constructor part of the
+    network's hot path.
 
     Attributes
     ----------
@@ -39,13 +42,21 @@ class Envelope:
         the receiver (the signalling algorithm treats it as ``ƒ``).
     """
 
-    source: str
-    destination: str
-    payload: Any
-    send_time: float = 0.0
-    deliver_time: Optional[float] = None
-    sequence: int = field(default_factory=lambda: next(_sequence))
-    corrupted: bool = False
+    __slots__ = ("source", "destination", "payload", "send_time",
+                 "deliver_time", "sequence", "corrupted")
+
+    def __init__(self, source: str, destination: str, payload: Any,
+                 send_time: float = 0.0,
+                 deliver_time: Optional[float] = None,
+                 sequence: Optional[int] = None,
+                 corrupted: bool = False) -> None:
+        self.source = source
+        self.destination = destination
+        self.payload = payload
+        self.send_time = send_time
+        self.deliver_time = deliver_time
+        self.sequence = _next_sequence() if sequence is None else sequence
+        self.corrupted = corrupted
 
     @property
     def latency(self) -> Optional[float]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..simkernel.events import Timeout
 from ..simkernel.kernel import Kernel
 from .faults import FaultPlan
 from .latency import ConstantLatency, LatencyModel
@@ -45,6 +46,10 @@ class MessageStatistics:
         self.by_type: Dict[str, int] = defaultdict(int)
         self.by_link: Dict[tuple, int] = defaultdict(int)
 
+    # NB: :meth:`Network.send` updates these counters inline (one method
+    # call per message was measurable); the record_* methods below are the
+    # reference implementation for external producers — keep the two in
+    # sync when changing the accounting.
     def record_sent(self, envelope: Envelope) -> None:
         self.sent += 1
         self.by_type[type(envelope.payload).__name__] += 1
@@ -209,49 +214,71 @@ class Network:
         """Send ``payload`` from ``source`` to ``destination``.
 
         Returns the envelope (already stamped with the scheduled delivery
-        time unless it was dropped).
+        time unless it was dropped).  This is the network's hot path — one
+        call per message — so the per-message statistics are recorded
+        inline and the kernel internals are reached directly.
         """
-        if source not in self.nodes:
+        nodes = self.nodes
+        if source not in nodes:
             raise UnknownNodeError(source)
-        if destination not in self.nodes:
+        if destination not in nodes:
             raise UnknownNodeError(destination)
 
-        envelope = Envelope(source=source, destination=destination,
-                            payload=payload, send_time=self.kernel.now)
-        self.stats.record_sent(envelope)
+        kernel = self.kernel
+        now = kernel._now
+        envelope = Envelope(source, destination, payload, now)
+        stats = self.stats
+        stats.sent += 1
+        stats.by_type[type(payload).__name__] += 1
+        link = (source, destination)
+        stats.by_link[link] += 1
         self.trace.append(envelope)
 
-        deliver, extra_delay = self.faults.apply(envelope, self.kernel.now)
-        if not deliver:
-            self.stats.record_dropped(envelope)
-            return envelope
+        faults = self.faults
+        if faults._passive:
+            # FaultPlan.apply's fast path, minus the call: a passive plan
+            # can touch no message, but the link ordinals advance through
+            # the plan's own accessor so mid-run directives stay exact.
+            faults.count_link(link)
+            extra_delay = 0.0
+        else:
+            deliver, extra_delay = faults.apply(envelope, now)
+            if not deliver:
+                stats.dropped += 1
+                return envelope
 
-        delay = self.latency.sample(source, destination) + extra_delay
-        deliver_at = self.kernel.now + delay
+        # NB: sample and extra delay are summed *before* adding ``now`` —
+        # float addition is not associative, and the conformance digests
+        # pin the exact historical association.
+        deliver_at = now + (self.latency.sample(source, destination)
+                            + extra_delay)
         # FIFO clamp: never deliver before a previously sent message on the
         # same directed link.
-        link = (source, destination)
-        deliver_at = max(deliver_at, self._link_clock.get(link, 0.0))
-        if self.kernel.tie_jitter_active and \
-                deliver_at == self._link_clock.get(link):
-            # Under seeded tie perturbation, same-timestamp deliveries on
-            # one link could be reordered, which would break Assumption 2.
-            # Keep per-link delivery times strictly increasing so schedule
-            # exploration never leaves the FIFO envelope.
-            deliver_at += self.FIFO_EPSILON
+        last = self._link_clock.get(link)
+        if last is not None:
+            if deliver_at < last:
+                deliver_at = last
+            if deliver_at == last and kernel._tie_random is not None:
+                # Under seeded tie perturbation, same-timestamp deliveries
+                # on one link could be reordered, which would break
+                # Assumption 2.  Keep per-link delivery times strictly
+                # increasing so schedule exploration never leaves the FIFO
+                # envelope.
+                deliver_at += self.FIFO_EPSILON
+        elif deliver_at < 0.0:
+            deliver_at = 0.0
         self._link_clock[link] = deliver_at
         envelope.deliver_time = deliver_at
 
         def _deliver(_event, env=envelope):
-            target = self.nodes.get(env.destination)
+            target = nodes.get(env.destination)
             if target is None or not target.alive:
-                self.stats.record_dropped(env)
+                stats.dropped += 1
                 return
-            self.stats.record_delivered(env)
+            stats.delivered += 1
             target.deliver(env)
 
-        timeout = self.kernel.timeout(deliver_at - self.kernel.now)
-        timeout.callbacks.append(_deliver)
+        Timeout(kernel, deliver_at - now).callbacks.append(_deliver)
         return envelope
 
     def broadcast(self, source: str, destinations: Iterable[str],

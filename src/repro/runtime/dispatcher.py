@@ -47,20 +47,49 @@ class Dispatcher:
         #: Signalling messages that arrived before the local phase started.
         self._pending_signals: Dict[str, List[ToBeSignalledMessage]] = \
             defaultdict(list)
+        #: The instance-keyed registries swept by :meth:`release_instance`
+        #: (bound once; the sweep runs per concluded instance).
+        self._instance_registries = (
+            self._entry_seen, self._entry_events,
+            self._exit_seen, self._exit_events, self._pending_signals)
+        #: Top-level scopes this dispatcher holds *any* state for.  Lets
+        #: :meth:`release_instance` — called on every dispatcher of the
+        #: system for every concluded instance — return after one set
+        #: lookup on the (pool_size - width) dispatchers that never saw
+        #: the instance, instead of scanning six registries each.
+        self._active_scopes: Set[str] = set()
 
     # ------------------------------------------------------------------
     # The dispatch process
     # ------------------------------------------------------------------
     def loop(self):
         """The dispatcher process body: drain the inbox forever."""
-        partition = self.partition
+        inbox = self.partition.node.inbox
+        dispatch_sync = self.dispatch_sync
         while True:
-            envelope = yield partition.node.inbox.get()
-            yield from self.dispatch(envelope.payload,
-                                     corrupted=envelope.corrupted)
+            envelope = yield inbox.get()
+            pending = dispatch_sync(envelope.payload, envelope.corrupted)
+            if pending is not None:
+                yield from pending
 
     def dispatch(self, payload, corrupted: bool = False):
         """Route one received payload (generator, used via ``yield from``).
+
+        Compatibility wrapper over :meth:`dispatch_sync` for callers that
+        drive dispatching as a generator.
+        """
+        pending = self.dispatch_sync(payload, corrupted)
+        if pending is not None:
+            yield from pending
+
+    def dispatch_sync(self, payload, corrupted: bool = False):
+        """Route one received payload without generator overhead.
+
+        Barrier announcements and application messages — the bulk of all
+        traffic — are handled synchronously and return ``None``; the
+        protocol paths return a generator the caller must drive (their
+        effects can consume virtual time).  Splitting the two spares the
+        dispatcher a generator allocation per routed message.
 
         A corrupted signalling message is not trusted: per Section 3.4 "the
         corrupted message … can be simply treated as a failure exception",
@@ -71,48 +100,72 @@ class Dispatcher:
         delivered as-is.)
         """
         partition = self.partition
-        if corrupted and isinstance(payload, ToBeSignalledMessage):
-            partition.log.append(
-                f"corrupted toBeSignalled from {payload.thread} "
-                f"for {payload.action}: treated as ƒ")
-            payload = ToBeSignalledMessage(payload.action, payload.thread,
-                                           FAILURE, payload.round_number,
-                                           instance=payload.instance)
         if isinstance(payload, EnterActionMessage):
             self._note_entry(payload)
-        elif isinstance(payload, ExitReadyMessage):
+            return None
+        if isinstance(payload, ExitReadyMessage):
             self._note_exit(payload)
-        elif isinstance(payload, ApplicationMessage):
-            self._route_application(payload)
-        elif isinstance(payload, ToBeSignalledMessage):
-            yield from self._route_signalling(payload)
-        elif isinstance(payload, ProtocolMessage):
+            return None
+        if isinstance(payload, ApplicationMessage):
+            self.mailbox(payload.action, payload.tag).deliver(payload.body)
+            return None
+        if isinstance(payload, ToBeSignalledMessage):
+            if corrupted:
+                partition.log.append(
+                    f"corrupted toBeSignalled from {payload.thread} "
+                    f"for {payload.action}: treated as ƒ")
+                payload = ToBeSignalledMessage(payload.action, payload.thread,
+                                               FAILURE, payload.round_number,
+                                               instance=payload.instance)
+            return self._route_signalling(payload)
+        if isinstance(payload, ProtocolMessage):
             effects = partition.coordinator.receive(payload)
-            yield from partition.execute_effects(effects)
-        else:
-            partition.log.append(f"unhandled payload {payload!r}")
+            if not effects:
+                return None
+            return partition.execute_effects(effects)
+        partition.log.append(f"unhandled payload {payload!r}")
+        return None
 
     # ------------------------------------------------------------------
     # Barrier bookkeeping (consumed by the life-cycle's entry/exit waits)
     # ------------------------------------------------------------------
     def entry_complete(self, key: str, needed: Set[str]) -> bool:
         """True if every thread in ``needed`` announced entry of ``key``."""
-        return needed <= self._entry_seen[key]
+        seen = self._entry_seen.get(key)
+        return seen is not None and needed <= seen
 
     def exit_complete(self, key: str, needed: Set[str]) -> bool:
         """True if every thread in ``needed`` announced exit of ``key``."""
-        return needed <= self._exit_seen[key]
+        seen = self._exit_seen.get(key)
+        return seen is not None and needed <= seen
+
+    def _touch_scope(self, key: str) -> None:
+        """Record that instance-keyed state exists for ``key``'s scope.
+
+        The first touch of a scope also registers this dispatcher in the
+        system-wide scope index, so releasing an instance visits exactly
+        the dispatchers that hold state for it (not the whole pool).
+        """
+        # find() instead of split(): almost every key is a bare top-level
+        # scope, and this runs once per routed announcement.
+        cut = key.find("/")
+        scope = key if cut < 0 else key[:cut]
+        if scope not in self._active_scopes:
+            self._active_scopes.add(scope)
+            self.partition.system.note_scope_dispatcher(scope, self)
 
     def register_entry_wait(self, key: str, needed: Set[str]) -> Event:
         """Create the event triggered when the entry barrier completes."""
         event = self.partition.kernel.event()
         self._entry_events[key] = (needed, event)
+        self._touch_scope(key)
         return event
 
     def register_exit_wait(self, key: str, needed: Set[str]) -> Event:
         """Create the event triggered when the exit barrier completes."""
         event = self.partition.kernel.event()
         self._exit_events[key] = (needed, event)
+        self._touch_scope(key)
         return event
 
     def clear_entry_wait(self, key: str) -> None:
@@ -123,6 +176,7 @@ class Dispatcher:
 
     def _note_entry(self, message: EnterActionMessage) -> None:
         key = message.instance
+        self._touch_scope(key)
         self._entry_seen[key].add(message.thread)
         waiting = self._entry_events.get(key)
         if waiting is not None:
@@ -132,6 +186,7 @@ class Dispatcher:
 
     def _note_exit(self, message: ExitReadyMessage) -> None:
         key = message.instance
+        self._touch_scope(key)
         self._exit_seen[key].add(message.thread)
         waiting = self._exit_events.get(key)
         if waiting is not None:
@@ -145,12 +200,11 @@ class Dispatcher:
     def mailbox(self, instance_key: str, tag: str) -> Mailbox:
         """The cooperation mailbox for ``(instance_key, tag)`` (create lazily)."""
         key = (instance_key, tag)
-        if key not in self._app_mailboxes:
-            self._app_mailboxes[key] = Mailbox(self.partition.kernel)
-        return self._app_mailboxes[key]
-
-    def _route_application(self, message: ApplicationMessage) -> None:
-        self.mailbox(message.action, message.tag).deliver(message.body)
+        box = self._app_mailboxes.get(key)
+        if box is None:
+            box = self._app_mailboxes[key] = Mailbox(self.partition.kernel)
+            self._touch_scope(instance_key)
+        return box
 
     # ------------------------------------------------------------------
     # Per-instance bookkeeping release
@@ -164,16 +218,28 @@ class Dispatcher:
         pending-signal slot per instance ever served.  Keys are the
         instance key itself and any nested ``instance/...`` keys.
         """
-        def matches(key: str) -> bool:
-            return key == instance or key.startswith(instance + "/")
-
-        for registry in (self._entry_seen, self._entry_events,
-                         self._exit_seen, self._exit_events,
-                         self._pending_signals):
-            for key in [k for k in registry if matches(k)]:
+        cut = instance.find("/")
+        scope = instance if cut < 0 else instance[:cut]
+        if scope not in self._active_scopes:
+            # This dispatcher never saw the instance (the usual case on a
+            # wide pool): nothing to sweep.
+            return
+        if instance == scope:
+            self._active_scopes.discard(scope)
+        prefix = instance + "/"
+        for registry in self._instance_registries:
+            if not registry:
+                continue
+            stale = [k for k in registry
+                     if k == instance or k.startswith(prefix)]
+            for key in stale:
                 del registry[key]
-        for key in [k for k in self._app_mailboxes if matches(k[0])]:
-            del self._app_mailboxes[key]
+        mailboxes = self._app_mailboxes
+        if mailboxes:
+            stale = [k for k in mailboxes
+                     if k[0] == instance or k[0].startswith(prefix)]
+            for key in stale:
+                del mailboxes[key]
 
     # ------------------------------------------------------------------
     # Signalling messages
@@ -202,6 +268,7 @@ class Dispatcher:
                 partition.log.append(
                     f"dropped stale toBeSignalled for {message.instance}")
                 return
+            self._touch_scope(key)
             self._pending_signals[key].append(message)
             return
         effects = frame.signal_coordinator.receive(message)

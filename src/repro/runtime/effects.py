@@ -92,11 +92,12 @@ class PartitionEffectInterpreter(fx.EffectInterpreter):
         # Probed per *delivery*, not per conclusion, so a duplicated or
         # divergent Commit shows up in the agreement oracle even when the
         # life-cycle only consumes one resolution.
-        partition.system.probe("resolved", thread=partition.name,
-                               action=frame.action,
-                               instance=frame.instance_key,
-                               exception=effect.exception,
-                               resolver=effect.resolver)
+        if partition.system.probes:
+            partition.system.probe("resolved", thread=partition.name,
+                                   action=frame.action,
+                                   instance=frame.instance_key,
+                                   exception=effect.exception,
+                                   resolver=effect.resolver)
         if effect.resolver == partition.name:
             partition.system.metrics.record_resolution(
                 partition.name, effect.action, effect.exception.name,

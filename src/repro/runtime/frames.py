@@ -30,7 +30,7 @@ class AbortedByEnclosing(Exception):
         self.report = report
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingAbort:
     """Recorded abort request: which nested actions, down to which action."""
 
@@ -46,7 +46,7 @@ class PendingAbort:
         return self.actions[-1] if self.actions else self.resume_action
 
 
-@dataclass
+@dataclass(slots=True)
 class ActionFrame:
     """Per-thread runtime state of one action instance being executed."""
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple, TYPE_CHECKING
 
+from ..analysis.metrics import ActionOutcome
 from ..core.action import CAActionDefinition
 from ..core.exceptions import (
     ExceptionDescriptor,
@@ -25,7 +26,7 @@ from ..core.handlers import HandlerResult, HandlerStatus, is_generator_handler
 from ..core.handlers import normalise_result
 from ..core.messages import EnterActionMessage, ExitReadyMessage
 from ..core.signalling import SignalCoordinator
-from ..core.state import ActionContext, min_thread, thread_order_key
+from ..core.state import ActionContext, min_thread
 from ..objects.transaction import TransactionStatus
 from ..simkernel.events import Interrupt
 from .context import RoleContext
@@ -57,10 +58,14 @@ class ActionLifecycle:
     # ------------------------------------------------------------------
     def execute_action(self, action: str, role: str,
                        instance: Optional[str] = None):
-        """Perform a top-level action (generator, used via ``yield from``)."""
-        report = yield from self._run_action(action, role, parent_frame=None,
-                                             instance=instance)
-        return report
+        """Perform a top-level action (returns the life-cycle generator).
+
+        Returned (not delegated with ``yield from``) so the caller drives
+        :meth:`_run_action` directly — one less generator frame on every
+        resumption of the executing thread.
+        """
+        return self._run_action(action, role, parent_frame=None,
+                                instance=instance)
 
     def execute_nested(self, parent_frame: ActionFrame, action: str, role: str):
         """Perform a nested action from within ``parent_frame``."""
@@ -94,15 +99,13 @@ class ActionLifecycle:
         else:
             occurrence, instance_key = partition.frames.next_instance_key(
                 action, parent_frame)
-        binding = system.binding(action, instance_key)
+        binding, participants = system.resolved_binding(action, instance_key)
         if role not in binding:
             raise ValueError(f"role {role!r} of {action!r} is not bound")
         if binding[role] != partition.name:
             raise ValueError(
                 f"role {role!r} of {action!r} is bound to {binding[role]!r}, "
                 f"not to {partition.name!r}")
-        participants = tuple(sorted(set(binding.values()),
-                                    key=thread_order_key))
 
         # --- entry synchronisation -----------------------------------
         yield from self._entry_barrier(action, instance_key, role, participants)
@@ -120,84 +123,101 @@ class ActionLifecycle:
             resolution_event=partition.kernel.event(),
         )
         partition.frames.push(frame)
-        system.probe("entered", thread=partition.name, action=action,
-                     instance=instance_key)
+        if system.probes:
+            system.probe("entered", thread=partition.name, action=action,
+                         instance=instance_key)
         try:
             effects = partition.coordinator.enter_action(context)
-            yield from partition.execute_effects(effects)
-            report = yield from self._run_action_body(frame, definition)
+            if effects:
+                yield from partition.execute_effects(effects)
+
+            # --- the action body, inlined ------------------------------
+            # (formerly a separate _run_action_body generator; inlining
+            # removes one delegation frame from every resumption of the
+            # executing thread — barriers, resolution waits, handlers and
+            # service delays all resume through here).  Early "return
+            # report" exits became assignments guarded by ``report is
+            # None`` so the try/finally around the whole body is kept.
+            role_definition = definition.role(frame.role)
+            role_context = RoleContext(partition, frame)
+            result: Any = None
+            report: Optional[ActionReport] = None
+
+            # --- primary attempt --------------------------------------
+            if not frame.exception_mode:
+                partition.status = "primary"
+                try:
+                    body = role_definition.body
+                    if body is not None:
+                        # call_user, inlined: skip the wrapper generator
+                        # on the per-instance hot path.
+                        if is_generator_handler(body):
+                            result = yield from body(role_context)
+                        else:
+                            result = body(role_context)
+                except RaisedException as raised:
+                    yield from self._local_raise(frame, raised.descriptor)
+                except AbortedByEnclosing:
+                    frame.exception_mode = True
+                except Interrupt:
+                    partition.interrupt_requested = False
+                    frame.exception_mode = True
+                finally:
+                    if partition.status == "primary":
+                        partition.status = "idle"
+
+            # --- abortion demanded by the enclosing action ------------
+            if partition.pending_abort is not None and \
+                    partition.pending_abort.covers(frame.action):
+                report = yield from self._run_abortion(frame, role_definition,
+                                                       role_context)
+
+            # --- no exception anywhere: synchronous exit --------------
+            elif not frame.exception_mode:
+                exited = yield from self._exit_barrier(frame)
+                if exited and not frame.exception_mode:
+                    self._commit_if_designated(frame)
+                    partition.coordinator.leave_action(frame.action,
+                                                       success=True)
+                    report = ActionReport(frame.action, frame.role,
+                                          partition.name,
+                                          ActionStatus.SUCCESS, result=result,
+                                          started_at=frame.started_at)
+
+            # --- exception path: resolution, handler, signalling ------
+            if report is None:
+                resolved = yield from self._await_resolution(frame)
+                if partition.pending_abort is not None and \
+                        partition.pending_abort.covers(frame.action):
+                    report = yield from self._run_abortion(
+                        frame, role_definition, role_context)
+                else:
+                    handler_result = yield from self._run_handler(
+                        frame, role_definition, role_context, resolved)
+                    if partition.pending_abort is not None and \
+                            partition.pending_abort.covers(frame.action):
+                        # An enclosing exception interrupted the handler
+                        # ("handling" is abort-interruptible): the nested
+                        # action must abort instead of entering the
+                        # signalling phase, where the abort could no longer
+                        # reach it and peers would wait on its proposal
+                        # forever.
+                        report = yield from self._run_abortion(
+                            frame, role_definition, role_context)
+                    else:
+                        decided = yield from self._run_signalling(
+                            frame, handler_result)
+                        report = self._conclude(frame, resolved, decided,
+                                                result)
         finally:
             partition.frames.remove(frame)
         report.finished_at = partition.kernel.now
         system.metrics.record_outcome(self._to_outcome(report))
-        system.probe("concluded", thread=partition.name, action=action,
-                     instance=instance_key, status=report.status,
-                     resolved=report.resolved, signalled=report.signalled)
+        if system.probes:
+            system.probe("concluded", thread=partition.name, action=action,
+                         instance=instance_key, status=report.status,
+                         resolved=report.resolved, signalled=report.signalled)
         return report
-
-    def _run_action_body(self, frame: ActionFrame,
-                         definition: CAActionDefinition) -> Any:
-        partition = self.partition
-        role_definition = definition.role(frame.role)
-        role_context = RoleContext(partition, frame)
-        result: Any = None
-
-        # --- primary attempt ------------------------------------------
-        if not frame.exception_mode:
-            partition.status = "primary"
-            try:
-                if role_definition.body is not None:
-                    result = yield from call_user(role_definition.body,
-                                                  role_context)
-            except RaisedException as raised:
-                yield from self._local_raise(frame, raised.descriptor)
-            except AbortedByEnclosing:
-                frame.exception_mode = True
-            except Interrupt:
-                partition.interrupt_requested = False
-                frame.exception_mode = True
-            finally:
-                if partition.status == "primary":
-                    partition.status = "idle"
-
-        # --- abortion demanded by the enclosing action ----------------
-        if partition.pending_abort is not None and \
-                partition.pending_abort.covers(frame.action):
-            report = yield from self._run_abortion(frame, role_definition,
-                                                   role_context)
-            return report
-
-        # --- no exception anywhere: synchronous exit ------------------
-        if not frame.exception_mode:
-            exited = yield from self._exit_barrier(frame)
-            if exited and not frame.exception_mode:
-                self._commit_if_designated(frame)
-                partition.coordinator.leave_action(frame.action, success=True)
-                return ActionReport(frame.action, frame.role, partition.name,
-                                    ActionStatus.SUCCESS, result=result,
-                                    started_at=frame.started_at)
-
-        # --- exception path: resolution, handler, signalling ----------
-        resolved = yield from self._await_resolution(frame)
-        if partition.pending_abort is not None and \
-                partition.pending_abort.covers(frame.action):
-            report = yield from self._run_abortion(frame, role_definition,
-                                                   role_context)
-            return report
-
-        handler_result = yield from self._run_handler(frame, role_definition,
-                                                      role_context, resolved)
-        if partition.pending_abort is not None and \
-                partition.pending_abort.covers(frame.action):
-            # An enclosing exception interrupted the handler ("handling" is
-            # abort-interruptible): the nested action must abort instead of
-            # entering the signalling phase, where the abort could no longer
-            # reach it and peers would wait on its proposal forever.
-            report = yield from self._run_abortion(frame, role_definition,
-                                                   role_context)
-            return report
-        decided = yield from self._run_signalling(frame, handler_result)
-        return self._conclude(frame, resolved, decided, result)
 
     # ------------------------------------------------------------------
     # Phases
@@ -272,7 +292,8 @@ class ActionLifecycle:
                                               exception.name,
                                               partition.kernel.now)
         effects = partition.coordinator.raise_exception(exception)
-        yield from partition.execute_effects(effects)
+        if effects:
+            yield from partition.execute_effects(effects)
 
     def _await_resolution(self, frame: ActionFrame) -> Any:
         partition = self.partition
@@ -307,7 +328,12 @@ class ActionLifecycle:
                                                 partition.kernel.now)
         handler = role_definition.handlers.lookup(resolved)
         try:
-            value = yield from call_user(handler, role_context)
+            if handler is None:
+                value = None
+            elif is_generator_handler(handler):
+                value = yield from handler(role_context)
+            else:
+                value = handler(role_context)
             handler_result = normalise_result(value)
         except RaisedException as raised:
             # A handler raising a declared interface exception means SIGNAL;
@@ -357,10 +383,12 @@ class ActionLifecycle:
         if is_outermost:
             resume = partition.pending_abort.resume_action
             partition.pending_abort = None
-            partition.system.probe("abortion_completed",
-                                   thread=partition.name, action=frame.action,
-                                   instance=frame.instance_key,
-                                   resume_action=resume, signalled=signalled)
+            if partition.system.probes:
+                partition.system.probe(
+                    "abortion_completed",
+                    thread=partition.name, action=frame.action,
+                    instance=frame.instance_key,
+                    resume_action=resume, signalled=signalled)
             # Only the exception of the outermost aborted action's handler is
             # allowed to be raised in the containing action.
             effects = partition.coordinator.abortion_completed(resume, signalled)
@@ -449,7 +477,6 @@ class ActionLifecycle:
             frame.transaction.abort()
 
     def _to_outcome(self, report: ActionReport):
-        from ..analysis.metrics import ActionOutcome
         return ActionOutcome(
             action=report.action,
             outcome=report.status.value,

@@ -20,7 +20,7 @@ class ActionStatus(Enum):
     ABORTED_BY_ENCLOSING = "aborted"   # aborted because of the enclosing action
 
 
-@dataclass
+@dataclass(slots=True)
 class ActionReport:
     """Per-thread summary of one executed action instance.
 

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from ..analysis.metrics import RunMetrics
 from ..core.action import ActionRegistry, CAActionDefinition
+from ..core.state import thread_order_key
 from ..net.faults import FaultPlan
 from ..net.latency import ConstantLatency, LatencyModel
 from ..net.network import Network
@@ -63,6 +64,23 @@ class DistributedCASystem:
         #: concurrently on different subsets of a shared partition pool.
         self._instance_bindings: Dict[str, Dict[str, Dict[str, str]]] = {}
         self._instance_transactions: Dict[str, Transaction] = {}
+        #: Scope index over :attr:`_instance_transactions`:
+        #: top-level scope -> keys created for it, so
+        #: :meth:`release_instance` deletes exactly an instance's own
+        #: transactions instead of scanning every in-flight one.
+        self._transactions_by_scope: Dict[str, List[str]] = {}
+        #: Scope index over the partitions' dispatchers: top-level scope ->
+        #: dispatchers holding any state for it (each registers itself on
+        #: first touch, see :meth:`Dispatcher._touch_scope`), so
+        #: :meth:`release_instance` sweeps exactly the participants.
+        self._scope_dispatchers: Dict[str, List] = {}
+        #: Resolution cache for the dispatcher/life-cycle hot path:
+        #: ``scope -> action -> (binding, ordered participants)``.  Scope
+        #: is the instance key's outermost segment ("" for instance-less
+        #: lookups).  Entries are invalidated by :meth:`bind`,
+        #: :meth:`bind_instance` and :meth:`release_instance`, so the
+        #: cache never outlives the binding it was derived from.
+        self._resolved_bindings: Dict[str, Dict[str, tuple]] = {}
         self._programs: List = []
         #: Observers of life-cycle events, called as ``probe(event, **data)``.
         #: The fault-space explorer's InvariantMonitor registers here; the
@@ -120,6 +138,10 @@ class DistributedCASystem:
                 raise SystemConfigurationError(
                     f"binding for {action!r} names unknown thread {thread!r}")
         self._bindings[action] = dict(roles_to_threads)
+        # Scoped lookups fall back to the action-level binding, so every
+        # cached resolution of this action may now be stale.
+        for scoped in self._resolved_bindings.values():
+            scoped.pop(action, None)
 
     def bind_instance(self, instance: str, action: str,
                       roles_to_threads: Dict[str, str]) -> None:
@@ -154,6 +176,9 @@ class DistributedCASystem:
         scope = instance.split("/", 1)[0]
         self._instance_bindings.setdefault(scope, {})[action] = \
             dict(roles_to_threads)
+        scoped = self._resolved_bindings.get(scope)
+        if scoped is not None:
+            scoped.pop(action, None)
 
     def binding(self, action: str, instance: str = "") -> Dict[str, str]:
         """The role→thread binding of ``action``.
@@ -173,6 +198,29 @@ class DistributedCASystem:
             raise SystemConfigurationError(
                 f"action {action!r} has no role binding") from None
 
+    def resolved_binding(self, action: str, instance: str = "",
+                         ) -> "tuple[Dict[str, str], tuple]":
+        """The binding of ``action`` plus its ordered participant tuple.
+
+        Resolution is exactly :meth:`binding` followed by the protocols'
+        canonical participant ordering (distinct bound threads, natural
+        thread order), memoized per ``(action, scope)`` — the life-cycle
+        performs it once per executed action instance, which makes it one
+        of the runtime's hottest lookups under traffic.
+        """
+        cut = instance.find("/")
+        scope = instance if cut < 0 else instance[:cut]
+        scoped = self._resolved_bindings.get(scope)
+        if scoped is None:
+            scoped = self._resolved_bindings[scope] = {}
+        cached = scoped.get(action)
+        if cached is None:
+            binding = self.binding(action, instance)
+            participants = tuple(sorted(set(binding.values()),
+                                        key=thread_order_key))
+            cached = scoped[action] = (binding, participants)
+        return cached
+
     def release_instance(self, instance: str) -> None:
         """Drop per-instance state of a concluded instance scope.
 
@@ -186,12 +234,20 @@ class DistributedCASystem:
         """
         scope = instance.split("/", 1)[0]
         self._instance_bindings.pop(scope, None)
-        prefix = scope + "/"
-        for key in [k for k in self._instance_transactions
-                    if k == scope or k.startswith(prefix)]:
-            del self._instance_transactions[key]
-        for partition in self.partitions.values():
-            partition.dispatcher.release_instance(scope)
+        self._resolved_bindings.pop(scope, None)
+        for key in self._transactions_by_scope.pop(scope, ()):
+            self._instance_transactions.pop(key, None)
+        for dispatcher in self._scope_dispatchers.pop(scope, ()):
+            dispatcher.release_instance(scope)
+
+    def note_scope_dispatcher(self, scope: str, dispatcher) -> None:
+        """Register ``dispatcher`` as holding state for ``scope``.
+
+        Called by each dispatcher on its first touch of a scope; the index
+        lets :meth:`release_instance` visit only the dispatchers that
+        actually participated in the instance.
+        """
+        self._scope_dispatchers.setdefault(scope, []).append(dispatcher)
 
     def create_object(self, name: str, initial_state=None, invariant=None):
         """Create and register an external atomic object."""
@@ -231,10 +287,13 @@ class DistributedCASystem:
     def transaction_for(self, instance_key: str,
                         definition: CAActionDefinition) -> Transaction:
         """The shared transaction of one action instance (created on first use)."""
-        if instance_key not in self._instance_transactions:
-            self._instance_transactions[instance_key] = \
+        transaction = self._instance_transactions.get(instance_key)
+        if transaction is None:
+            transaction = self._instance_transactions[instance_key] = \
                 self.transactions.begin(definition.name)
-        return self._instance_transactions[instance_key]
+            self._transactions_by_scope.setdefault(
+                instance_key.split("/", 1)[0], []).append(instance_key)
+        return transaction
 
     def __repr__(self) -> str:
         return (f"<DistributedCASystem threads={sorted(self.partitions)} "

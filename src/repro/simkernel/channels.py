@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional, TYPE_CHECKING
 
-from .events import Event
+from .events import Event, PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Kernel
@@ -26,8 +26,15 @@ if TYPE_CHECKING:  # pragma: no cover
 class StorePut(Event):
     """Event representing a pending put request."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.kernel)
+        # Flattened Event initialisation: puts/gets are per-message events.
+        self.kernel = store.kernel
+        self.callbacks = []
+        self.defused = False
+        self._value = PENDING
+        self._ok = None
         self.item = item
         store._put_queue.append(self)
         store._trigger()
@@ -36,8 +43,20 @@ class StorePut(Event):
 class StoreGet(Event):
     """Event representing a pending get request."""
 
+    __slots__ = ()
+
     def __init__(self, store: "Store") -> None:
-        super().__init__(store.kernel)
+        self.kernel = store.kernel
+        self.callbacks = []
+        self.defused = False
+        self._value = PENDING
+        self._ok = None
+        items = store.items
+        if items and not store._get_queue and not store._put_queue:
+            # Fast path: an item is buffered and nobody is ahead of us —
+            # identical outcome to _trigger() serving this get.
+            self.succeed(items.popleft())
+            return
         store._get_queue.append(self)
         store._trigger()
 
@@ -53,6 +72,8 @@ class Store:
         Maximum number of buffered items; ``put`` blocks when full.
         Defaults to unbounded.
     """
+
+    __slots__ = ("kernel", "capacity", "items", "_put_queue", "_get_queue")
 
     def __init__(self, kernel: "Kernel", capacity: float = float("inf")) -> None:
         if capacity <= 0:
@@ -105,8 +126,17 @@ class Mailbox(Store):
     (delivery never blocks the sender).
     """
 
+    __slots__ = ()
+
     def deliver(self, item: Any) -> None:
         """Append ``item`` immediately, waking one waiting getter if any."""
+        # Fast path for the overwhelmingly common delivery shape: a getter
+        # is already waiting, nothing is buffered and no puts are pending,
+        # so the item goes straight to the getter (identical succeed order
+        # to the general path, without touching the buffer).
+        if self._get_queue and not self.items and not self._put_queue:
+            self._get_queue.popleft().succeed(item)
+            return
         self.items.append(item)
         self._trigger()
 
@@ -126,6 +156,8 @@ class CyclicBuffer(Mailbox):
     message so that tests can assert the buffer was sized adequately (the
     algorithms assume no message loss).
     """
+
+    __slots__ = ("overwritten",)
 
     def __init__(self, kernel: "Kernel", capacity: int = 1024) -> None:
         super().__init__(kernel, capacity=capacity)

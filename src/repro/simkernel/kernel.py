@@ -27,6 +27,11 @@ from typing import Any, Callable, Generator, Iterable, List, Optional, Union
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout
 from .process import Process
 
+# Bound once at import: the hot loop pays a module-global lookup instead of
+# an attribute chain per event.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class EmptySchedule(Exception):
     """Raised by :meth:`Kernel.step` when no events remain."""
@@ -57,9 +62,15 @@ class Kernel:
         self._now = float(initial_time)
         self._queue: List[tuple] = []
         self._eid = count()
+        #: Bound method caches for :meth:`schedule` (the single hottest
+        #: call in a run): event-id draw and, when tie perturbation is on,
+        #: the seeded tie-key draw (``None`` keeps the constant 0.0 key).
+        self._next_eid = self._eid.__next__
         self._active_process: Optional[Process] = None
         self._tie_rng = (random.Random(tie_seed) if tie_seed is not None
                          else None)
+        self._tie_random = (self._tie_rng.random
+                            if self._tie_rng is not None else None)
         self.tie_seed = tie_seed
         #: Optional step hook called as ``tracer(when, priority, eid, event)``
         #: just before each event's callbacks run (used by the fault-space
@@ -122,28 +133,33 @@ class Kernel:
         # The tie key is 0.0 without a tie seed, reducing the ordering to
         # (time, priority, insertion); with one, it is drawn in scheduling
         # order from the seeded stream, so it is itself reproducible.
-        tie = self._tie_rng.random() if self._tie_rng is not None else 0.0
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, tie, next(self._eid),
-                        event))
+        tie_random = self._tie_random
+        _heappush(self._queue,
+                  (self._now + delay, priority,
+                   0.0 if tie_random is None else tie_random(),
+                   self._next_eid(), event))
 
     def step(self) -> None:
         """Process the next scheduled event.
+
+        The body is duplicated inside :meth:`run`'s inner loop (with the
+        queue and tracer bound to locals); keep the two in sync.
 
         Raises
         ------
         EmptySchedule
             If no events remain.
         """
-        try:
-            when, priority, _tie, eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        if not queue:
+            raise EmptySchedule()
+        when, priority, _tie, eid, event = _heappop(queue)
 
         self._now = when
         if self.tracer is not None:
             self.tracer(when, priority, eid, event)
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
 
@@ -187,9 +203,24 @@ class Kernel:
             stop_event._value = None
             stop_event.callbacks.append(self._stop_callback)
 
+        # The loop is :meth:`step`'s body inlined with ``queue`` bound to a
+        # local (the tracer is re-read per event so it can be attached or
+        # detached mid-run); keep the two in sync.
+        queue = self._queue
         try:
             while True:
-                self.step()
+                if not queue:
+                    raise EmptySchedule()
+                when, priority, _tie, eid, event = _heappop(queue)
+                self._now = when
+                if self.tracer is not None:
+                    self.tracer(when, priority, eid, event)
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
         except StopSimulation as stop:
             return stop.args[0] if stop.args else None
         except EmptySchedule:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
-from .events import Event, Initialize, Interrupt, NORMAL, URGENT
+from .events import Event, Initialize, Interrupt, NORMAL, PENDING, URGENT
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Kernel
@@ -35,6 +35,8 @@ class Process(Event):
         Optional human-readable name used in reprs and error messages.
     """
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(self, kernel: "Kernel", generator: Generator,
                  name: Optional[str] = None) -> None:
         if not hasattr(generator, "throw"):
@@ -56,7 +58,7 @@ class Process(Event):
     @property
     def is_alive(self) -> bool:
         """True while the wrapped generator has not terminated."""
-        return self._value is events_pending()
+        return self._value is PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw an :class:`Interrupt` into the process.
@@ -95,33 +97,35 @@ class Process(Event):
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Resume the generator with the outcome of ``event``."""
-        self.kernel._active_process = self
+        kernel = self.kernel
+        kernel._active_process = self
         self._target = None
+        generator = self._generator
 
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The exception has a waiter (us), so mark it defused.
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 # Process finished successfully.
                 self._ok = True
                 self._value = stop.value
-                self.kernel.schedule(self, priority=NORMAL)
+                kernel.schedule(self, priority=NORMAL)
                 break
             except StopProcess as stop:
                 self._ok = True
                 self._value = stop.args[0] if stop.args else None
-                self.kernel.schedule(self, priority=NORMAL)
+                kernel.schedule(self, priority=NORMAL)
                 break
             except BaseException as error:
                 # Process failed: propagate to waiters (or the kernel).
                 self._ok = False
                 self._value = error
-                self.kernel.schedule(self, priority=NORMAL)
+                kernel.schedule(self, priority=NORMAL)
                 break
 
             # The generator yielded a new event to wait for.
@@ -130,7 +134,7 @@ class Process(Event):
                     f"process {self.name!r} yielded a non-event: {next_event!r}")
                 self._ok = False
                 self._value = error
-                self.kernel.schedule(self, priority=NORMAL)
+                kernel.schedule(self, priority=NORMAL)
                 break
 
             if next_event.callbacks is not None:
@@ -143,10 +147,9 @@ class Process(Event):
             # with its (stored) outcome.
             event = next_event
 
-        self.kernel._active_process = None
+        kernel._active_process = None
 
 
 def events_pending() -> Any:
-    """Return the module-level PENDING sentinel (import indirection)."""
-    from .events import PENDING
+    """Return the module-level PENDING sentinel (kept for API compatibility)."""
     return PENDING

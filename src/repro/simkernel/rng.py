@@ -26,15 +26,30 @@ class SeededStreams:
         self.seed = int(seed)
         self._streams: Dict[str, random.Random] = {}
 
+    def derived_seed(self, name: str) -> int:
+        """The stable per-name seed (independent of PYTHONHASHSEED)."""
+        derived = self.seed
+        for ch in name:
+            derived = (derived * 1000003 + ord(ch)) % (2 ** 63)
+        return derived
+
     def stream(self, name: str) -> random.Random:
         """Return (creating if needed) the stream called ``name``."""
-        if name not in self._streams:
-            # A stable derivation that does not depend on PYTHONHASHSEED.
-            derived = self.seed
-            for ch in name:
-                derived = (derived * 1000003 + ord(ch)) % (2 ** 63)
-            self._streams[name] = random.Random(derived)
-        return self._streams[name]
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = self._streams[name] = \
+                random.Random(self.derived_seed(name))
+        return stream
+
+    def fresh_stream(self, name: str) -> random.Random:
+        """A new generator in ``stream(name)``'s initial state, uncached.
+
+        For one-shot derivations (one uniquely named stream per job or
+        plan): the draws are identical to a first use of :meth:`stream`,
+        but nothing is retained, so a million-job soak does not grow the
+        stream registry by a million entries.
+        """
+        return random.Random(self.derived_seed(name))
 
     def uniform(self, name: str, low: float, high: float) -> float:
         """Draw a uniform sample from the named stream."""

@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .driver import WorkloadDriver
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobProfile:
     """The pre-drawn per-instance behaviour of one job."""
 
@@ -41,7 +41,7 @@ class JobProfile:
     raiser: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TrafficActionSpec:
     """Description of one load-generating CA-action definition.
 
@@ -93,7 +93,7 @@ class TrafficActionSpec:
 
     def draw_profile(self, streams: SeededStreams, index: int) -> JobProfile:
         """Draw job ``index``'s profile — pure in ``(seed, name, index)``."""
-        stream = streams.stream(f"job:{self.name}:{index}")
+        stream = streams.fresh_stream(f"job:{self.name}:{index}")
         service = tuple(stream.expovariate(1.0 / self.mean_service)
                         for _ in range(self.width))
         raiser: Optional[int] = None

@@ -30,6 +30,7 @@ arrival process)`` triple reproduces the run byte for byte.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -48,7 +49,7 @@ from .arrivals import ArrivalProcess
 _STOP = object()
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """One submitted action instance, from arrival to conclusion."""
 
@@ -85,7 +86,7 @@ class Job:
         return self.dispatched_at - self.arrived_at
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkloadReport:
     """Aggregated result of one driver run (all fields JSON-friendly)."""
 
@@ -280,8 +281,12 @@ class WorkloadDriver:
         per_action = self.latency_by_action.setdefault(job.action,
                                                        LatencyHistogram())
         per_action.record(job.latency or 0.0)
-        self._free = sorted(self._free + list(job.workers),
-                            key=thread_order_key)
+        # The free list is kept sorted at all times (placement takes its
+        # prefix), so returning workers is two ordered insertions, not a
+        # rebuild-and-sort of the whole pool.  thread_order_key is a total
+        # order, so the result is identical to re-sorting.
+        for worker in job.workers:
+            insort(self._free, worker, key=thread_order_key)
         self.admission.job_finished(job)
         if self.release_instances:
             self.system.release_instance(job.instance)

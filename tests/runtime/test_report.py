@@ -1,0 +1,49 @@
+"""Direct unit tests for action outcome reports (runtime/report.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import NO_EXCEPTION, internal
+from repro.runtime.report import ActionReport, ActionStatus
+
+
+class TestActionStatus:
+    def test_values_cover_the_paper_outcomes(self):
+        assert {status.value for status in ActionStatus} == {
+            "success", "recovered", "signalled", "undone", "failed",
+            "aborted"}
+
+
+class TestActionReport:
+    def make(self, status, **kwargs):
+        return ActionReport("A", "r1", "T1", status, **kwargs)
+
+    def test_ok_for_clean_outcomes_only(self):
+        assert self.make(ActionStatus.SUCCESS).ok
+        assert self.make(ActionStatus.RECOVERED).ok
+        for status in (ActionStatus.SIGNALLED, ActionStatus.UNDONE,
+                       ActionStatus.FAILED,
+                       ActionStatus.ABORTED_BY_ENCLOSING):
+            assert not self.make(status).ok
+
+    def test_duration(self):
+        report = self.make(ActionStatus.SUCCESS, started_at=1.5,
+                           finished_at=4.0)
+        assert report.duration == pytest.approx(2.5)
+
+    def test_defaults(self):
+        report = self.make(ActionStatus.SUCCESS)
+        assert report.signalled == NO_EXCEPTION
+        assert report.resolved is None
+        assert report.result is None
+        assert report.duration == 0.0
+
+    def test_repr_mentions_signalled_exception_only_when_present(self):
+        clean = self.make(ActionStatus.SUCCESS)
+        assert "signalled" not in repr(clean)
+        epsilon = internal("epsilon")
+        signalled = self.make(ActionStatus.SIGNALLED, signalled=epsilon)
+        text = repr(signalled)
+        assert "signalled=epsilon" in text
+        assert "A/r1@T1" in text
