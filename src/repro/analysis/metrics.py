@@ -51,9 +51,19 @@ class ActionOutcome:
 
 
 class RunMetrics:
-    """Aggregated counters for one simulated run."""
+    """Aggregated counters for one simulated run.
+
+    ``keep_details`` (default ``True``) controls whether the unbounded
+    per-event records — the human-readable ``events`` log and the
+    ``action_outcomes`` list — are retained.  A million-instance shard
+    of a :class:`~repro.workload.sharding.ShardedPool` sets it to
+    ``False``: every counter (including the per-name maps) still counts
+    exactly and still merges, only the per-event lists stay empty, so
+    memory stays flat no matter how many instances a shard serves.
+    """
 
     def __init__(self) -> None:
+        self.keep_details: bool = True
         self.exceptions_raised: int = 0
         self.exceptions_by_name: Dict[str, int] = defaultdict(int)
         self.resolutions: int = 0
@@ -71,37 +81,45 @@ class RunMetrics:
                      now: float) -> None:
         self.exceptions_raised += 1
         self.exceptions_by_name[exception] += 1
-        self.events.append(f"{now:.3f} {thread} raised {exception} in {action}")
+        if self.keep_details:
+            self.events.append(
+                f"{now:.3f} {thread} raised {exception} in {action}")
 
     def record_suspension(self, thread: str, action: str, now: float) -> None:
         self.suspensions += 1
-        self.events.append(f"{now:.3f} {thread} suspended in {action}")
+        if self.keep_details:
+            self.events.append(f"{now:.3f} {thread} suspended in {action}")
 
     def record_resolution(self, resolver: str, action: str, exception: str,
                           now: float) -> None:
         self.resolutions += 1
         self.resolved_by_name[exception] += 1
-        self.events.append(
-            f"{now:.3f} {resolver} resolved {exception} in {action}")
+        if self.keep_details:
+            self.events.append(
+                f"{now:.3f} {resolver} resolved {exception} in {action}")
 
     def record_handler(self, thread: str, action: str, exception: str,
                        now: float) -> None:
         self.handlers_invoked += 1
-        self.events.append(
-            f"{now:.3f} {thread} handling {exception} in {action}")
+        if self.keep_details:
+            self.events.append(
+                f"{now:.3f} {thread} handling {exception} in {action}")
 
     def record_abortion(self, thread: str, action: str, now: float) -> None:
         self.abortions += 1
-        self.events.append(f"{now:.3f} {thread} aborted {action}")
+        if self.keep_details:
+            self.events.append(f"{now:.3f} {thread} aborted {action}")
 
     def record_signal(self, thread: str, action: str, exception: str,
                       now: float) -> None:
         self.signalled[exception] += 1
-        self.events.append(
-            f"{now:.3f} {thread} signalled {exception} from {action}")
+        if self.keep_details:
+            self.events.append(
+                f"{now:.3f} {thread} signalled {exception} from {action}")
 
     def record_outcome(self, outcome: ActionOutcome) -> None:
-        self.action_outcomes.append(outcome)
+        if self.keep_details:
+            self.action_outcomes.append(outcome)
 
     # ------------------------------------------------------------------
     def outcomes_for(self, action: str) -> List[ActionOutcome]:
@@ -122,6 +140,25 @@ class RunMetrics:
                              if o.outcome == outcome)
                 for outcome in {o.outcome for o in self.action_outcomes}
             },
+        }
+
+    def counters(self) -> Dict[str, object]:
+        """The scalar and per-name counters only (no per-event lists).
+
+        The JSON-friendly aggregate a merged sharded-capacity row embeds:
+        exact under ``keep_details=False`` and identical to the matching
+        subset of :meth:`snapshot`.
+        """
+        return {
+            "exceptions_raised": self.exceptions_raised,
+            "exceptions_by_name": dict(self.exceptions_by_name),
+            "resolutions": self.resolutions,
+            "resolution_calls": self.resolution_calls,
+            "resolved_by_name": dict(self.resolved_by_name),
+            "handlers_invoked": self.handlers_invoked,
+            "abortions": self.abortions,
+            "suspensions": self.suspensions,
+            "signalled": dict(self.signalled),
         }
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ path; anything else silently degrades to the sequential fallback.
 from __future__ import annotations
 
 import gc
+import logging
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -47,6 +48,7 @@ from ..analysis.bounds import (
 )
 from ..explore.explorer import explore_chunk
 from ..workload.scenarios import run_capacity_point, run_mixed_traffic
+from ..workload.sharding import run_scale_point
 from .scenarios import (
     EXPERIMENT1_ITERATIONS,
     run_churn,
@@ -56,6 +58,8 @@ from .scenarios import (
     run_graph_microbench,
     run_wide_graph,
 )
+
+logger = logging.getLogger(__name__)
 
 #: One grid point: keyword arguments for a scenario runner.
 GridPoint = Mapping[str, object]
@@ -143,10 +147,20 @@ def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
                              (points if points is not None else scenario.grid)]
     if not grid:
         return []
-    if parallel and len(grid) > 1 and _shippable(scenario.runner):
-        rows = _run_pool(scenario, grid, max_workers)
-        if rows is not None:
-            return rows
+    if parallel and len(grid) > 1:
+        if not _shippable(scenario.runner):
+            logger.warning(
+                "scenario %r: runner is not picklable; running the %d-point "
+                "grid sequentially instead of on a process pool",
+                name, len(grid))
+        else:
+            rows = _run_pool(scenario, grid, max_workers)
+            if rows is not None:
+                return rows
+            logger.warning(
+                "scenario %r: process pool unavailable or broken; falling "
+                "back to the sequential (byte-identical) path for the "
+                "%d-point grid", name, len(grid))
     # Pause the cyclic collector for the sweep: every grid point builds a
     # short-lived system whose processes/events form reference cycles, and
     # letting generational GC trigger mid-run costs measurably more than
@@ -178,8 +192,10 @@ def _run_pool(scenario: Scenario, grid: Sequence[GridPoint],
     workers = max_workers or min(len(grid), 8)
     try:
         pool = ProcessPoolExecutor(max_workers=workers)
-    except OSError:
+    except OSError as error:
         # Restricted environments (no fork/semaphores): sequential fallback.
+        logger.warning("scenario %r: cannot create a %d-worker process pool "
+                       "(%s)", scenario.name, workers, error)
         return None
     try:
         with pool:
@@ -188,7 +204,9 @@ def _run_pool(scenario: Scenario, grid: Sequence[GridPoint],
             # A runner's own exception propagates to the caller here — only
             # a broken pool (workers killed at spawn) triggers the fallback.
             return [future.result() for future in futures]
-    except BrokenProcessPool:
+    except BrokenProcessPool as error:
+        logger.warning("scenario %r: process pool broke mid-sweep (%s)",
+                       scenario.name, error)
         return None
 
 
@@ -436,3 +454,30 @@ MIXED_TRAFFIC_GRID = tuple({"seed": seed} for seed in (2026, 2027, 2028))
 def mixed_traffic_point(seed: int, **options) -> Row:
     """One mixed-traffic soak run (see repro.workload.scenarios)."""
     return run_mixed_traffic(seed=seed, **options)
+
+
+#: The scale grid: a small sharded-capacity sweep (cheap enough for tests
+#: and conformance; the committed ``BENCH_scale.json`` sweeps 10^4 → 10^6
+#: through ``repro.bench.baseline --suite scale``).  ``pool_size`` is per
+#: shard, so aggregate capacity scales with ``n_shards`` while the
+#: offered load and instance count stay deployment totals.
+SCALE_SEED = 2026
+SCALE_GRID = (
+    {"n_instances": 1000, "n_shards": 1, "offered_load": 6.0,
+     "pool_size": 8, "seed": SCALE_SEED},
+    {"n_instances": 1000, "n_shards": 2, "offered_load": 6.0,
+     "pool_size": 8, "seed": SCALE_SEED},
+    {"n_instances": 1000, "n_shards": 2, "offered_load": 6.0,
+     "pool_size": 8, "seed": SCALE_SEED, "global_max_in_flight": 8},
+)
+
+
+@REGISTRY.register("scale", grid=SCALE_GRID,
+                   description="Sharded partition pools: capacity workload "
+                               "split across per-shard kernels with merged "
+                               "telemetry and global admission leases")
+def scale_point(n_instances: int, n_shards: int, offered_load: float,
+                **options) -> Row:
+    """One sharded capacity point (see repro.workload.sharding)."""
+    return run_scale_point(n_instances=n_instances, n_shards=n_shards,
+                           offered_load=offered_load, **options)

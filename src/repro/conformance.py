@@ -51,9 +51,18 @@ from .bench.engine import GridPoint, REGISTRY, run_scenario
 #: invalidates every fixture, so regenerate them in the same commit).
 SCHEMA_VERSION = 1
 
-#: Row keys excluded from canonical documents: wall-clock measurements are
-#: the only scenario outputs that legitimately differ between runs.
-VOLATILE_KEYS = frozenset({"wall_seconds"})
+#: Row keys excluded from canonical documents: wall-clock measurements and
+#: executor identity are the only scenario outputs that legitimately differ
+#: between runs (``scale`` rows carry wall-clock rates plus the worker
+#: count/executor that produced them; the merged virtual-time content is
+#: identical for any executor and stays in the digest).
+VOLATILE_KEYS = frozenset({
+    "wall_seconds",
+    "instances_per_second",
+    "submitted_per_second",
+    "executor",
+    "workers",
+})
 
 #: The resolution algorithms a conformance case can pin: the paper's new
 #: algorithm and the two baselines it is compared against.
@@ -148,6 +157,21 @@ def _build_cases() -> Dict[str, ConformanceCase]:
              "start": start, "stop": start + 25}
             for start in range(0, 100, 25))),),
         note="100 seeded fault plans, canonical trace digests per chunk"))
+
+    #: A small sharded-capacity case: 2 shards × 500 instances, run
+    #: sequentially (the reference execution — process-pool runs are
+    #: byte-identical, which tests/workload/test_sharding.py enforces).
+    #: Pins the shard-plan derivation, the global-admission lease split
+    #: and the merge semantics, so they cannot drift silently.
+    add(ConformanceCase(
+        "scale_small",
+        (("scale", (
+            {"n_instances": 1000, "n_shards": 2, "offered_load": 6.0,
+             "pool_size": 8, "seed": 2026},
+            {"n_instances": 1000, "n_shards": 2, "offered_load": 6.0,
+             "pool_size": 8, "seed": 2026, "global_max_in_flight": 8},
+        )),),
+        note="sharded capacity: shard-plan determinism + merged telemetry"))
     return cases
 
 

@@ -17,7 +17,13 @@ simulated system, the way a deployed service would see them:
 * :mod:`~repro.workload.scenarios` — the ``capacity`` (offered-load sweep
   → throughput/latency curve and saturation knee) and ``mixed_traffic``
   (heterogeneous mix + fault noise, checked against the invariant
-  oracles) engine scenarios.
+  oracles) engine scenarios;
+* :mod:`~repro.workload.sharding` — the :class:`ShardedPool`, which
+  partitions a capacity workload across N independent shards (each its
+  own kernel + system + driver, optionally in worker processes) under
+  deterministic :class:`ShardPlan` seeds and per-shard admission leases
+  from a :class:`GlobalAdmissionController`, and merges the per-shard
+  telemetry exactly.
 """
 
 from .actions import ActionMix, JobProfile, TrafficActionSpec, \
@@ -30,6 +36,16 @@ from .arrivals import (
     TraceReplay,
 )
 from .driver import Job, WorkloadDriver, WorkloadReport
+from .sharding import (
+    GlobalAdmissionController,
+    ShardPlan,
+    ShardSpec,
+    ShardedPool,
+    merge_shard_snapshots,
+    merged_snapshot_digest,
+    run_scale_point,
+    shard_seed,
+)
 
 __all__ = [
     "ActionMix",
@@ -37,12 +53,20 @@ __all__ = [
     "AdmissionStats",
     "ArrivalProcess",
     "ClosedLoopClients",
+    "GlobalAdmissionController",
     "Job",
     "JobProfile",
     "OpenLoopPoisson",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardedPool",
     "TraceReplay",
     "TrafficActionSpec",
     "WorkloadDriver",
     "WorkloadReport",
     "build_traffic_action",
+    "merge_shard_snapshots",
+    "merged_snapshot_digest",
+    "run_scale_point",
+    "shard_seed",
 ]

@@ -47,6 +47,11 @@ class AdmissionStats:
         self.max_queue_length = 0
         self.max_in_flight = 0
 
+    #: The pure tallies (summed by :meth:`merge`); the remaining two
+    #: snapshot fields are high-water marks (maxed by :meth:`merge`).
+    TALLIES = ("arrived", "dispatched", "queued", "retried", "dropped",
+               "completed")
+
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy of every counter."""
         return {
@@ -59,6 +64,24 @@ class AdmissionStats:
             "max_queue_length": self.max_queue_length,
             "max_in_flight": self.max_in_flight,
         }
+
+    def merge(self, snapshot: Dict[str, int]) -> None:
+        """Add the counters captured in ``snapshot`` onto this instance.
+
+        Used to aggregate per-shard admission counters from a
+        :class:`~repro.workload.sharding.ShardedPool` run into one
+        deployment-wide view.  Tallies (arrivals, dispatches, queue
+        entries, retries, drops, completions) sum exactly; the two
+        high-water marks take the **max** — shards run on independent
+        virtual clocks, so their peaks cannot soundly be added (the
+        sharded pool reports the sum-of-peaks upper bound separately as
+        the merged ``max_concurrency``).
+        """
+        for name in self.TALLIES:
+            setattr(self, name, getattr(self, name) + snapshot.get(name, 0))
+        for name in ("max_queue_length", "max_in_flight"):
+            setattr(self, name, max(getattr(self, name),
+                                    snapshot.get(name, 0)))
 
     def __repr__(self) -> str:
         return (f"<AdmissionStats arrived={self.arrived} "

@@ -392,6 +392,33 @@ class WorkloadDriver:
             metrics=self.system.metrics.snapshot(),
         )
 
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """The run's mergeable telemetry as one plain, picklable dict.
+
+        Everything a shard of a :class:`~repro.workload.sharding.
+        ShardedPool` ships back to the orchestrating process: scalar
+        counters plus :meth:`~repro.analysis.histograms.LatencyHistogram.
+        snapshot` payloads for the latency and wait histograms — no live
+        objects, so the value crosses process boundaries and merges
+        identically wherever the shard ran.
+        """
+        report = self.report()
+        return {
+            "jobs": report.jobs,
+            "completed": report.completed,
+            "dropped": report.dropped,
+            "total_time": report.total_time,
+            "throughput": report.throughput,
+            "max_concurrency": report.max_concurrency,
+            "mean_concurrency": report.mean_concurrency,
+            "latency": report.latency,
+            "wait": report.wait,
+            "latency_histogram": report.latency_histogram,
+            "wait_histogram": self.wait_histogram.snapshot(),
+            "admission": report.admission,
+            "outcome_counts": report.outcome_counts,
+        }
+
     def __repr__(self) -> str:
         return (f"<WorkloadDriver pool={len(self.pool)} "
                 f"jobs={len(self.jobs)} in_flight={self.admission.in_flight}>")

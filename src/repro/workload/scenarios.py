@@ -113,6 +113,21 @@ def saturation_knee(rows: Sequence[Mapping[str, Any]],
     is saturated even on a noisy, non-monotone curve (a point that
     happens to keep up again beyond the first failure does not move the
     knee outward).
+
+    The ``verdict`` field says how to read the result:
+
+    * ``"knee"`` — the sweep bracketed the capacity: at least one load
+      keeps up and at least one later load saturates.
+      ``knee_offered_load`` is the measured knee.
+    * ``"never_saturated"`` — every load keeps up (including a
+      single-row sweep whose one point keeps up).
+      ``knee_offered_load`` is the highest load tried: a **lower
+      bound** on capacity, not a measured knee; sweep higher loads to
+      find it.
+    * ``"all_saturated"`` — no load keeps up (including a single-row
+      sweep whose one point is saturated).  ``knee_offered_load`` is
+      ``None``: capacity lies below the lowest load tried; sweep lower
+      loads to find it.
     """
     if not rows:
         raise ValueError("need at least one capacity row")
@@ -124,8 +139,15 @@ def saturation_knee(rows: Sequence[Mapping[str, Any]],
         knee = row
     saturated = [row["offered_load"] for row in ordered
                  if knee is None or row["offered_load"] > knee["offered_load"]]
+    if knee is None:
+        verdict = "all_saturated"
+    elif saturated:
+        verdict = "knee"
+    else:
+        verdict = "never_saturated"
     return {
         "tolerance": tolerance,
+        "verdict": verdict,
         "knee_offered_load": None if knee is None else knee["offered_load"],
         "knee_throughput": None if knee is None else knee["throughput"],
         "knee_latency_p99": None if knee is None else knee["latency_p99"],

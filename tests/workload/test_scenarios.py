@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.bench import capacity_table, mixed_traffic_table, run_scenario
 from repro.workload.scenarios import (
     run_capacity_point,
@@ -43,6 +45,7 @@ class TestSaturationKnee:
             {"offered_load": 4.0, "throughput": 2.6, "latency_p99": 9.0},
         ]
         knee = saturation_knee(rows)
+        assert knee["verdict"] == "knee"
         assert knee["knee_offered_load"] == 2.0
         assert knee["knee_latency_p99"] == 3.0
         assert knee["saturated_loads"] == [4.0]
@@ -50,8 +53,50 @@ class TestSaturationKnee:
     def test_nothing_keeps_up(self):
         rows = [{"offered_load": 4.0, "throughput": 1.0, "latency_p99": 9.0}]
         knee = saturation_knee(rows)
+        assert knee["verdict"] == "all_saturated"
         assert knee["knee_offered_load"] is None
         assert knee["saturated_loads"] == [4.0]
+
+    def test_single_keeping_up_row_is_a_lower_bound_not_a_knee(self):
+        # One row that keeps up: the sweep never saturated, so the
+        # reported load is a lower bound on capacity, flagged as such.
+        rows = [{"offered_load": 1.0, "throughput": 1.0, "latency_p99": 2.0}]
+        knee = saturation_knee(rows)
+        assert knee["verdict"] == "never_saturated"
+        assert knee["knee_offered_load"] == 1.0
+        assert knee["saturated_loads"] == []
+
+    def test_never_saturated_sweep(self):
+        rows = [
+            {"offered_load": 1.0, "throughput": 1.0, "latency_p99": 2.0},
+            {"offered_load": 2.0, "throughput": 2.0, "latency_p99": 2.1},
+            {"offered_load": 4.0, "throughput": 3.9, "latency_p99": 2.4},
+        ]
+        knee = saturation_knee(rows)
+        assert knee["verdict"] == "never_saturated"
+        assert knee["knee_offered_load"] == 4.0
+        assert knee["saturated_loads"] == []
+
+    def test_all_saturated_sweep(self):
+        rows = [
+            {"offered_load": 2.0, "throughput": 1.0, "latency_p99": 8.0},
+            {"offered_load": 4.0, "throughput": 1.1, "latency_p99": 9.0},
+        ]
+        knee = saturation_knee(rows)
+        assert knee["verdict"] == "all_saturated"
+        assert knee["knee_offered_load"] is None
+        assert knee["saturated_loads"] == [2.0, 4.0]
+
+    def test_bracketed_sweep_has_knee_verdict(self):
+        rows = [
+            {"offered_load": 1.0, "throughput": 1.0, "latency_p99": 2.0},
+            {"offered_load": 4.0, "throughput": 2.6, "latency_p99": 9.0},
+        ]
+        assert saturation_knee(rows)["verdict"] == "knee"
+
+    def test_empty_sweep_is_an_error(self):
+        with pytest.raises(ValueError):
+            saturation_knee([])
 
     def test_order_independent(self):
         rows = [
