@@ -62,6 +62,36 @@ SCALE_SEED = 2026
 SCALE_POOL_SIZE = 16
 
 
+def registry_listing() -> List[str]:
+    """Every registered scenario and traffic action, one block per entry.
+
+    Shared by ``python -m repro.bench.baseline --list`` and
+    ``python -m repro.conformance --list`` so both CLIs show the same
+    registry view: name, grid size, description and the declared
+    parameters a grid point (or a field override) is validated against.
+    """
+    from ..workload.registry import ACTIONS
+    from .engine import REGISTRY
+
+    lines: List[str] = [f"Scenarios ({len(REGISTRY)}):"]
+    for name in REGISTRY.names():
+        scenario = REGISTRY.get(name)
+        lines.append(f"  {name}  [{len(scenario.grid)} grid point(s)]")
+        if scenario.description:
+            lines.append(f"      {scenario.description}")
+        lines.append(f"      params: {scenario.describe_params()}")
+    lines.append("")
+    lines.append(f"Traffic actions ({len(ACTIONS)}):")
+    for name in ACTIONS.names():
+        spec = ACTIONS.get(name)
+        lines.append(f"  {name}  [{type(spec).__name__}: "
+                     f"width={spec.width}, mean_service={spec.mean_service}, "
+                     f"raise_probability={spec.raise_probability}, "
+                     f"weight={spec.weight}]")
+        lines.append(f"      params: {ACTIONS.describe_params(name)}")
+    return lines
+
+
 def collect_resolution_baseline(
         wide_points: Optional[Sequence[GridPoint]] = None,
         micro_points: Optional[Sequence[GridPoint]] = None,
@@ -100,23 +130,39 @@ def write_resolution_baseline(path: str,
 def collect_workload_baseline(
         capacity_points: Optional[Sequence[GridPoint]] = None,
         mixed_points: Optional[Sequence[GridPoint]] = None,
+        transactional_points: Optional[Sequence[GridPoint]] = None,
+        cell_points: Optional[Sequence[GridPoint]] = None,
         parallel: bool = False,
         max_workers: Optional[int] = None) -> Dict[str, object]:
     """Run the workload benchmarks and return the baseline document.
 
     The document is fully deterministic (virtual-time only), so the
     committed ``BENCH_workload.json`` changes exactly when behaviour does.
+    ``oracle_violations`` keeps its original meaning (mixed-traffic rows
+    only); the transactional and production-cell sections carry their own
+    violation totals.
     """
     capacity = run_scenario("capacity", points=capacity_points,
                             parallel=parallel, max_workers=max_workers)
     mixed = run_scenario("mixed_traffic", points=mixed_points,
                          parallel=parallel, max_workers=max_workers)
+    transactional = run_scenario("transactional",
+                                 points=transactional_points,
+                                 parallel=parallel, max_workers=max_workers)
+    cell = run_scenario("production_cell", points=cell_points,
+                        parallel=parallel, max_workers=max_workers)
     return {
         "schema": SCHEMA_VERSION,
         "capacity": capacity,
         "saturation_knee": saturation_knee(capacity),
         "mixed_traffic": mixed,
         "oracle_violations": sum(row["n_violations"] for row in mixed),
+        "transactional": transactional,
+        "transactional_violations":
+            sum(row["n_violations"] for row in transactional),
+        "production_cell": cell,
+        "production_cell_violations":
+            sum(row["n_violations"] for row in cell),
     }
 
 
@@ -285,7 +331,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--small", action="store_true",
                         help="scale suite only: the CI-smoke variant "
                              "(10^4 instances, 2 shards, no 10^6 point)")
+    parser.add_argument("--list", action="store_true",
+                        help="list every registered scenario and traffic "
+                             "action (grid size, description, declared "
+                             "params) and exit")
     arguments = parser.parse_args(argv)
+    if arguments.list:
+        for line in registry_listing():
+            print(line)
+        return 0
     output = arguments.output or f"BENCH_{arguments.suite}.json"
     max_workers = arguments.workers or None
     if arguments.suite == "kernel":
@@ -324,10 +378,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                                            parallel=arguments.parallel,
                                            max_workers=max_workers)
         knee = document["saturation_knee"]
+        violations = (document["oracle_violations"]
+                      + document["transactional_violations"]
+                      + document["production_cell_violations"])
         print(f"wrote {output}: {len(document['capacity'])} capacity rows "
               f"(knee at offered load {knee['knee_offered_load']}), "
               f"{len(document['mixed_traffic'])} mixed-traffic rows, "
-              f"{document['oracle_violations']} oracle violations")
+              f"{len(document['transactional'])} transactional rows, "
+              f"{len(document['production_cell'])} production-cell rows, "
+              f"{violations} oracle violations")
         return 0
     document = write_resolution_baseline(output, parallel=arguments.parallel,
                                          max_workers=max_workers)

@@ -38,17 +38,28 @@ import logging
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.bounds import (
     messages_all_exceptions,
     messages_single_exception,
     theorem2_worst_case_messages,
 )
+from ..core.registry import (
+    ParamError,
+    ParamSpec,
+    ParamValidationError,
+    Registry,
+    format_params,
+    params_from_callable,
+    validate_params,
+)
 from ..explore.explorer import explore_chunk
+from ..productioncell.workload import run_production_cell_point
 from ..workload.scenarios import run_capacity_point, run_mixed_traffic
 from ..workload.sharding import run_scale_point
+from ..workload.transactional import run_transactional_point
 from .scenarios import (
     EXPERIMENT1_ITERATIONS,
     run_churn,
@@ -69,23 +80,48 @@ Row = Dict[str, object]
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named, sweepable workload."""
+    """A named, sweepable workload.
+
+    ``params`` holds the runner's declared parameters (derived from its
+    signature when the scenario is added to a registry); ``accepts_extra``
+    is true for runners taking ``**options``, whose unknown keys forward
+    to a lower-level function and therefore pass validation.
+    """
 
     name: str
     runner: Callable[..., Row]
     grid: Tuple[GridPoint, ...]
     description: str = ""
+    params: Optional[Tuple[ParamSpec, ...]] = None
+    accepts_extra: bool = False
 
     def run_point(self, point: GridPoint) -> Row:
         """Execute one grid point in-process."""
         return self.runner(**point)
 
+    def validate_point(self, point: GridPoint) -> List[ParamError]:
+        """Check one grid point against the runner's declared params."""
+        if self.params is None:
+            return []
+        return validate_params(f"scenario {self.name!r}", self.params,
+                               self.accepts_extra, point)
 
-class ScenarioRegistry:
+    def validate_grid(self, grid: Sequence[GridPoint]) -> List[ParamError]:
+        """Check every point of ``grid``; empty list means all valid."""
+        errors: List[ParamError] = []
+        for point in grid:
+            errors.extend(self.validate_point(point))
+        return errors
+
+    def describe_params(self) -> str:
+        """One-line rendering of the declared params (``--list`` output)."""
+        return format_params(self.params or (), self.accepts_extra)
+
+
+class ScenarioRegistry(Registry[Scenario]):
     """Name → :class:`Scenario` mapping with a decorator-based API."""
 
-    def __init__(self) -> None:
-        self._scenarios: Dict[str, Scenario] = {}
+    kind = "scenario"
 
     def register(self, name: str, grid: Sequence[GridPoint] = (),
                  description: str = ""):
@@ -100,26 +136,21 @@ class ScenarioRegistry:
         return decorate
 
     def add(self, scenario: Scenario) -> Scenario:
-        if scenario.name in self._scenarios:
-            raise ValueError(f"scenario {scenario.name!r} already registered")
-        self._scenarios[scenario.name] = scenario
-        return scenario
+        """Register ``scenario``, deriving and checking its declared params.
 
-    def get(self, name: str) -> Scenario:
-        try:
-            return self._scenarios[name]
-        except KeyError:
-            raise KeyError(f"unknown scenario {name!r}; "
-                           f"registered: {sorted(self._scenarios)}") from None
-
-    def names(self) -> List[str]:
-        return sorted(self._scenarios)
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._scenarios
-
-    def __iter__(self) -> Iterator[Scenario]:
-        return iter(self._scenarios.values())
+        The runner's signature becomes the scenario's parameter
+        declaration (unless the caller supplied one), and the default
+        grid is validated against it immediately — a plugin with a
+        mistyped grid fails at registration, not mid-sweep.
+        """
+        if scenario.params is None:
+            params, accepts_extra = params_from_callable(scenario.runner)
+            scenario = replace(scenario, params=params,
+                               accepts_extra=accepts_extra)
+        errors = scenario.validate_grid(scenario.grid)
+        if errors:
+            raise ParamValidationError(errors)
+        return super().add(scenario)
 
 
 #: The process-wide default registry (the paper's figures plus the new
@@ -147,6 +178,9 @@ def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
                              (points if points is not None else scenario.grid)]
     if not grid:
         return []
+    errors = scenario.validate_grid(grid)
+    if errors:
+        raise ParamValidationError(errors)
     if parallel and len(grid) > 1:
         if not _shippable(scenario.runner):
             logger.warning(
@@ -454,6 +488,39 @@ MIXED_TRAFFIC_GRID = tuple({"seed": seed} for seed in (2026, 2027, 2028))
 def mixed_traffic_point(seed: int, **options) -> Row:
     """One mixed-traffic soak run (see repro.workload.scenarios)."""
     return run_mixed_traffic(seed=seed, **options)
+
+
+#: The transactional grid: offered loads over the default pool and the
+#: default shared-account set (strict 2PL serialises conflicting
+#: instances, so the measured knee sits below the capacity sweep's).
+TRANSACTIONAL_GRID = tuple({"offered_load": load}
+                           for load in (1.0, 2.0, 4.0))
+
+
+@REGISTRY.register("transactional",
+                   grid=TRANSACTIONAL_GRID,
+                   description="Transactional CA workload: atomic objects, "
+                               "strict 2PL locks and recovery under "
+                               "concurrent instances, with the "
+                               "no-lost-update / locks-released oracles")
+def transactional_point(offered_load: float, **options) -> Row:
+    """One transactional workload point (see repro.workload.transactional)."""
+    return run_transactional_point(offered_load=offered_load, **options)
+
+
+#: The production-cell grid: three seeds of the open-loop case study,
+#: each a fresh fault schedule and blank-arrival trace.
+PRODUCTION_CELL_GRID = tuple({"seed": seed} for seed in (2026, 2027, 2028))
+
+
+@REGISTRY.register("production_cell",
+                   grid=PRODUCTION_CELL_GRID,
+                   description="Production-cell case study under open-loop "
+                               "traffic with seeded device faults, checked "
+                               "by the invariant oracles")
+def production_cell_point(seed: int, **options) -> Row:
+    """One open-loop production-cell run (see repro.productioncell.workload)."""
+    return run_production_cell_point(seed=seed, **options)
 
 
 #: The scale grid: a small sharded-capacity sweep (cheap enough for tests

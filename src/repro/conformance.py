@@ -30,8 +30,11 @@ Checking without pytest (CI uses both)::
 
     PYTHONPATH=src python -m repro.conformance --check
 
-``--check`` also enforces the repository hygiene guard: no tracked
-``__pycache__`` directories or ``*.pyc`` files (PR 3 removed 51 of them).
+``--check`` also enforces two hygiene guards: no tracked ``__pycache__``
+directories or ``*.pyc`` files (PR 3 removed 51 of them), and no
+*ungated* scenario — every name in the scenario registry must appear in
+a conformance case or carry an explicit :data:`COVERAGE_EXEMPT` entry
+with a reason.
 """
 
 from __future__ import annotations
@@ -43,7 +46,7 @@ import os
 import subprocess
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .bench.engine import GridPoint, REGISTRY, run_scenario
 
@@ -90,13 +93,15 @@ def _with_algorithm(grid: Sequence[GridPoint], algorithm: str,
 
 
 def _build_cases() -> Dict[str, ConformanceCase]:
-    """The full case catalogue (eight scenarios × three algorithms)."""
+    """The full case catalogue (every gated scenario × three algorithms)."""
     from .bench.engine import (
         CAPACITY_GRID,
         CHURN_GRID,
         EXPLORE_SEED,
         LARGE_N_GRID,
         MIXED_TRAFFIC_GRID,
+        PRODUCTION_CELL_GRID,
+        TRANSACTIONAL_GRID,
         WIDE_GRAPH_GRID,
         _DEFAULT_FIGURE9_GRID,
     )
@@ -136,6 +141,18 @@ def _build_cases() -> Dict[str, ConformanceCase]:
             (("mixed_traffic", _with_algorithm(MIXED_TRAFFIC_GRID,
                                                algorithm)),),
             note="heterogeneous mix + delay noise, oracle-checked"))
+        add(ConformanceCase(
+            f"transactional_{slug}",
+            (("transactional", _with_algorithm(TRANSACTIONAL_GRID,
+                                               algorithm)),),
+            note="transactional CA workload: locks, aborts, deadlock "
+                 "recovery, no-lost-update oracle"))
+        add(ConformanceCase(
+            f"production_cell_{slug}",
+            (("production_cell", _with_algorithm(PRODUCTION_CELL_GRID,
+                                                 algorithm)),),
+            note="production cell under seeded open-loop traffic and "
+                 "fault schedules"))
 
     #: Figure 12 runs ours and Campbell-Randell inside each row, so it is a
     #: single case rather than one per algorithm.
@@ -178,10 +195,36 @@ def _build_cases() -> Dict[str, ConformanceCase]:
 #: The process-wide case catalogue.
 CASES: Dict[str, ConformanceCase] = _build_cases()
 
+#: Registered scenarios deliberately *not* pinned by a fixture.  Every
+#: entry needs a reason: ``graph_microbench`` rows are wall-clock rate
+#: measurements, so their content is volatile by design and a digest over
+#: them would be meaningless.  Any other registered scenario without a
+#: case is a gap — the coverage guard below fails on it.
+COVERAGE_EXEMPT: Mapping[str, str] = {
+    "graph_microbench": "rows are wall-clock rate measurements",
+}
+
 
 def case_names() -> List[str]:
     """Every case name, in catalogue (generation) order."""
     return list(CASES)
+
+
+def covered_scenarios() -> Set[str]:
+    """Every scenario name some conformance case runs."""
+    return {scenario for case in CASES.values()
+            for scenario, _grid in case.runs}
+
+
+def uncovered_scenarios() -> List[str]:
+    """Registered scenarios with neither a fixture case nor an exemption.
+
+    The guard that keeps the plugin registry honest: registering a new
+    scenario without either committing a conformance fixture for it or
+    adding an explicit entry to :data:`COVERAGE_EXEMPT` is an error.
+    """
+    return sorted(set(REGISTRY.names())
+                  - covered_scenarios() - set(COVERAGE_EXEMPT))
 
 
 # ----------------------------------------------------------------------
@@ -307,6 +350,11 @@ def check(names: Optional[Sequence[str]] = None,
     everything conforms).
     """
     problems: List[str] = []
+    for scenario in uncovered_scenarios():
+        problems.append(
+            f"scenario {scenario!r} is registered but has no conformance "
+            f"case; add one (and commit its fixture) or list it in "
+            f"COVERAGE_EXEMPT with a reason")
     for name in names or case_names():
         committed = load_fixture(name, root)
         if committed is None:
@@ -375,6 +423,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             case = CASES[name]
             scenarios = ", ".join(scenario for scenario, _ in case.runs)
             print(f"{name:24s} {scenarios:28s} {case.note}")
+        print()
+        covered = covered_scenarios()
+        print("Scenario coverage:")
+        for scenario in REGISTRY.names():
+            if scenario in covered:
+                status = "gated"
+            elif scenario in COVERAGE_EXEMPT:
+                status = f"exempt ({COVERAGE_EXEMPT[scenario]})"
+            else:
+                status = "UNGATED — add a case or an exemption"
+            print(f"  {scenario:20s} {status}")
+        print()
+        from .bench.baseline import registry_listing
+        for line in registry_listing():
+            print(line)
         return 0
 
     names = arguments.case or case_names()

@@ -38,9 +38,12 @@ NO_STRANDED_THREAD = "no_stranded_thread"
 ABORTION_ATOMIC = "abortion_atomic"
 DIFFERENTIAL_AGREEMENT = "differential_agreement"
 NO_CRASH = "no_crash"
+NO_LOST_UPDATE = "no_lost_update"
+LOCKS_RELEASED = "locks_released"
 
 INVARIANTS = (AGREEMENT, EXACTLY_ONE_OUTCOME, NO_STRANDED_THREAD,
-              ABORTION_ATOMIC, DIFFERENTIAL_AGREEMENT, NO_CRASH)
+              ABORTION_ATOMIC, DIFFERENTIAL_AGREEMENT, NO_CRASH,
+              NO_LOST_UPDATE, LOCKS_RELEASED)
 
 
 @dataclass(frozen=True)
@@ -160,6 +163,70 @@ def check_abortion_atomic(threads: Iterable[ThreadQuiescence]
                 ABORTION_ATOMIC,
                 f"{snap.thread} still mid-abortion at quiescence "
                 f"(target={target!r})"))
+    return violations
+
+
+def check_no_lost_updates(counters: Iterable[Mapping[str, Any]]
+                          ) -> List[OracleViolation]:
+    """Tracked counters reflect every committed increment exactly once.
+
+    The transactional workload's contract: each committed transaction
+    that wrote a tracked counter field incremented it by exactly one
+    (read under an exclusive lock, write value+1).  ``counters`` holds one
+    record per tracked field::
+
+        {"object": name, "key": field, "initial": v0, "final": v1,
+         "committed_writers": n}
+
+    where ``committed_writers`` counts the distinct *committed*
+    transactions that wrote the field.  A final value below
+    ``initial + committed_writers`` means a committed write was built on
+    a stale read (the classic lost update); a value above it means an
+    aborted transaction's write leaked into the committed state.
+    """
+    violations: List[OracleViolation] = []
+    for record in counters:
+        expected = record["initial"] + record["committed_writers"]
+        if record["final"] != expected:
+            violations.append(OracleViolation(
+                NO_LOST_UPDATE,
+                f"{record['object']}.{record['key']} ended at "
+                f"{record['final']} but {record['committed_writers']} "
+                f"committed writers over initial {record['initial']} "
+                f"require {expected}"))
+    return violations
+
+
+def check_locks_released(held: Mapping[str, Sequence[Tuple[str, str]]],
+                         waiting: Mapping[str, Sequence[str]],
+                         finished: Iterable[str]) -> List[OracleViolation]:
+    """No finished transaction still holds or awaits a lock at quiescence.
+
+    Strict two-phase locking releases everything at commit/abort time —
+    including after an *abort* (the recovery path must not leak locks).
+    ``held`` and ``waiting`` are the lock manager's plain-data views
+    (:meth:`~repro.objects.locks.LockManager.all_holders` /
+    :meth:`~repro.objects.locks.LockManager.all_waiters`); ``finished``
+    is the set of committed/aborted transaction ids.  At quiescence every
+    transaction is finished, so any surviving grant or queued request is
+    a leak.
+    """
+    finished_ids = set(finished)
+    violations: List[OracleViolation] = []
+    for object_name, grants in sorted(held.items()):
+        for transaction_id, mode in grants:
+            if transaction_id in finished_ids:
+                violations.append(OracleViolation(
+                    LOCKS_RELEASED,
+                    f"finished transaction {transaction_id} still holds a "
+                    f"{mode} lock on {object_name}"))
+    for object_name, queue in sorted(waiting.items()):
+        for transaction_id in queue:
+            if transaction_id in finished_ids:
+                violations.append(OracleViolation(
+                    LOCKS_RELEASED,
+                    f"finished transaction {transaction_id} still queued "
+                    f"for a lock on {object_name}"))
     return violations
 
 

@@ -21,10 +21,11 @@ oracle predicates of :mod:`repro.core.oracles`:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..core import oracles
 from ..core.oracles import OracleViolation, ThreadQuiescence
+from ..objects.transaction import TransactionStatus
 from ..runtime.system import DistributedCASystem
 
 
@@ -42,6 +43,9 @@ class InvariantMonitor:
         #: "instance/thread" -> resolved exception name (for differential
         #: comparison across algorithms).
         self.resolved_map: Dict[str, str] = {}
+        #: Tracked transactional counters: (object name, key) -> initial
+        #: committed value (see :meth:`track_counter`).
+        self._counters: Dict[Tuple[str, str], Any] = {}
         system.add_probe(self._on_probe)
 
     # ------------------------------------------------------------------
@@ -82,6 +86,55 @@ class InvariantMonitor:
             ))
         return snapshots
 
+    # ------------------------------------------------------------------
+    # Transactional oracles (external atomic objects)
+    # ------------------------------------------------------------------
+    def track_counter(self, object_name: str, key: str = "value") -> None:
+        """Track a counter field for the no-lost-update oracle.
+
+        Call after creating the object and before the run: the current
+        committed value becomes the baseline, and :meth:`check` requires
+        the final committed value to equal it plus one per *committed*
+        transaction that wrote the field (the transactional workload's
+        read-increment-write contract under exclusive locks).
+        """
+        obj = self.system.transactions.object(object_name)
+        self._counters[(object_name, key)] = obj.committed_value(key)
+
+    def counter_records(self) -> List[Dict[str, Any]]:
+        """The tracked counters as plain oracle records (see oracles)."""
+        manager = self.system.transactions
+        committed = {t.transaction_id for t in manager.finished
+                     if t.status is TransactionStatus.COMMITTED}
+        records: List[Dict[str, Any]] = []
+        for (object_name, key), initial in sorted(self._counters.items()):
+            obj = manager.object(object_name)
+            writers = {record.transaction_id for record in obj.operations
+                       if record.operation == "write" and record.key == key
+                       and record.transaction_id in committed}
+            records.append({
+                "object": object_name, "key": key, "initial": initial,
+                "final": obj.committed_value(key),
+                "committed_writers": len(writers),
+            })
+        return records
+
+    def _transactional_violations(self) -> List[OracleViolation]:
+        violations: List[OracleViolation] = []
+        if self._counters:
+            violations.extend(
+                oracles.check_no_lost_updates(self.counter_records()))
+        locks = self.system.transactions.locks
+        if locks is not None:
+            held = locks.all_holders()
+            waiting = locks.all_waiters()
+            if held or waiting:
+                finished = [t.transaction_id
+                            for t in self.system.transactions.finished]
+                violations.extend(oracles.check_locks_released(
+                    held, waiting, finished))
+        return violations
+
     def check(self, require_liveness: bool = True) -> List[OracleViolation]:
         """Evaluate the oracle catalogue over the collected records."""
         violations: List[OracleViolation] = []
@@ -92,4 +145,5 @@ class InvariantMonitor:
             snapshots = self.quiescence()
             violations.extend(oracles.check_no_stranded_thread(snapshots))
             violations.extend(oracles.check_abortion_atomic(snapshots))
+        violations.extend(self._transactional_violations())
         return violations

@@ -63,17 +63,52 @@ class LockManager:
             event.succeed()
             return event
 
-        holders = {tid for tid, _mode in granted if tid != transaction_id}
-        if self._would_deadlock(transaction_id, holders):
+        # A queued request waits on the current holders *and* on every
+        # request queued ahead of it (FIFO promotion grants those first),
+        # so the wait-for graph must include both — and must be rebuilt
+        # from the live queues, because grants since the original request
+        # change who blocks whom.  Checking only the holders known at
+        # request time misses cycles that close through the queues, which
+        # is a silent permanent hang rather than a recoverable refusal.
+        self._rebuild_wait_for()
+        blockers = self._blockers(object_name, transaction_id)
+        if self._would_deadlock(transaction_id, blockers):
             event.fail(DeadlockError(
                 f"transaction {transaction_id} would deadlock waiting for "
                 f"{object_name}"))
             return event
 
-        self._wait_for.setdefault(transaction_id, set()).update(holders)
+        self._wait_for.setdefault(transaction_id, set()).update(blockers)
         self._waiting.setdefault(object_name, deque()).append(
             (transaction_id, mode, event))
         return event
+
+    def _blockers(self, object_name: str, transaction_id: str) -> Set[str]:
+        """Transactions a new request on ``object_name`` would wait on.
+
+        Holders plus queued-ahead requesters; mode-blind for the queued
+        part (a shared request behind another shared request is counted
+        even though promotion would grant both), so the avoidance is
+        conservative — it may refuse a request that could have been
+        granted, never the other way around.
+        """
+        blockers = {tid for tid, _mode in self._granted.get(object_name, ())
+                    if tid != transaction_id}
+        for tid, _mode, _event in self._waiting.get(object_name, ()):
+            if tid != transaction_id:
+                blockers.add(tid)
+        return blockers
+
+    def _rebuild_wait_for(self) -> None:
+        """Re-derive the wait-for graph from the current queues."""
+        graph: Dict[str, Set[str]] = {}
+        for object_name, queue in self._waiting.items():
+            ahead = {tid for tid, _mode in self._granted.get(object_name, ())}
+            for tid, _mode, _event in queue:
+                graph.setdefault(tid, set()).update(
+                    blocker for blocker in ahead if blocker != tid)
+                ahead.add(tid)
+        self._wait_for = graph
 
     def release_all(self, transaction_id: str) -> None:
         """Release every lock held by ``transaction_id`` (commit/abort time)."""
@@ -98,6 +133,22 @@ class LockManager:
     def is_locked(self, object_name: str) -> bool:
         """True if any transaction holds a lock on the object."""
         return bool(self._granted.get(object_name))
+
+    def all_holders(self) -> Dict[str, List[Tuple[str, str]]]:
+        """Every held lock, as plain data: object → [(txn id, mode value)].
+
+        Objects with no current holder are omitted; this is the oracle
+        view for the locks-released invariant.
+        """
+        return {name: [(tid, mode.value) for tid, mode in granted]
+                for name, granted in sorted(self._granted.items())
+                if granted}
+
+    def all_waiters(self) -> Dict[str, List[str]]:
+        """Every queued lock request, as plain data: object → [txn id]."""
+        return {name: [tid for tid, _mode, _event in queue]
+                for name, queue in sorted(self._waiting.items())
+                if queue}
 
     # ------------------------------------------------------------------
     def _compatible(self, granted: List[Tuple[str, LockMode]],

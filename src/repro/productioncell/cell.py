@@ -14,7 +14,7 @@ script report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..net.latency import ConstantLatency, LatencyModel
 from ..runtime.config import RuntimeConfig
@@ -106,10 +106,23 @@ class ProductionCell:
         })
 
     # ------------------------------------------------------------------
-    def run(self, cycles: int = 3) -> CellStatistics:
-        """Run ``cycles`` production cycles and return aggregate statistics."""
+    def run(self, cycles: int = 3,
+            arrival_times: Optional[Sequence[float]] = None
+            ) -> CellStatistics:
+        """Run ``cycles`` production cycles and return aggregate statistics.
+
+        ``arrival_times`` optionally drives the cell open-loop: blank
+        ``i`` (1-based cycle ``i``) is not inserted before virtual time
+        ``arrival_times[i-1]``, so a workload generator can feed the cell
+        from a seeded arrival process instead of back-to-back cycles.
+        Omitted (the default), behaviour is the classic closed loop: each
+        cycle starts as soon as the previous one finished.
+        """
         if cycles < 1:
             raise ValueError("need at least one production cycle")
+        if arrival_times is not None and len(arrival_times) < cycles:
+            raise ValueError(f"need {cycles} arrival times, "
+                             f"got {len(arrival_times)}")
         plant, injector = self.plant, self.injector
         role_of_thread = {
             "Table": "table", "TableSensor": "table_sensor",
@@ -125,6 +138,10 @@ class ProductionCell:
                 reports: List[ActionReport] = []
                 for cycle in range(1, cycles + 1):
                     if is_feeder:
+                        if arrival_times is not None:
+                            target = arrival_times[cycle - 1]
+                            if target > ctx.now:
+                                yield ctx.delay(target - ctx.now)
                         # The environment inserts a blank and the feed belt
                         # conveys it to the table before the joint action.
                         injector.begin_cycle(cycle)

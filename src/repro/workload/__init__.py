@@ -10,6 +10,13 @@ simulated system, the way a deployed service would see them:
   bounded FIFO queue, drop/retry backpressure);
 * :mod:`~repro.workload.actions` — parameterised traffic action
   definitions and the weighted action mix;
+* :mod:`~repro.workload.registry` — the registered-template registry
+  (:data:`ACTIONS`): actions resolved by name with validated field
+  overrides, the plugin seam custom specs register through;
+* :mod:`~repro.workload.transactional` — the transactional workload:
+  instances locking and incrementing shared atomic counters under
+  strict 2PL, with abort/deadlock recovery and the no-lost-update /
+  locks-released oracles;
 * :mod:`~repro.workload.driver` — the :class:`WorkloadDriver`, which
   places each admitted instance on free workers of a shared partition
   pool under an instance-scoped role binding and measures per-instance
@@ -29,6 +36,7 @@ simulated system, the way a deployed service would see them:
 from .actions import ActionMix, JobProfile, TrafficActionSpec, \
     build_traffic_action
 from .admission import AdmissionController, AdmissionStats
+from .registry import ACTIONS, STOCK_ACTIONS, TrafficActionRegistry
 from .arrivals import (
     ArrivalProcess,
     ClosedLoopClients,
@@ -48,9 +56,12 @@ from .sharding import (
 )
 
 __all__ = [
+    "ACTIONS",
     "ActionMix",
     "AdmissionController",
     "AdmissionStats",
+    "STOCK_ACTIONS",
+    "TrafficActionRegistry",
     "ArrivalProcess",
     "ClosedLoopClients",
     "GlobalAdmissionController",

@@ -19,12 +19,13 @@ the ``"mix"`` stream) for jobs submitted without an explicit action.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from ..core.action import CAActionDefinition, RoleDefinition
 from ..core.exception_graph import generate_full_graph
 from ..core.exceptions import ExceptionDescriptor, internal
 from ..core.handlers import HandlerMap, HandlerResult
+from ..core.registry import ParamSpec, params_from_dataclass
 from ..simkernel.rng import SeededStreams
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -102,6 +103,20 @@ class TrafficActionSpec:
             raiser = 0
         return JobProfile(service_times=service, raiser=raiser)
 
+    def build(self, driver: "WorkloadDriver") -> CAActionDefinition:
+        """The CA-action definition this spec generates, wired to ``driver``.
+
+        Subclasses override this (and usually :meth:`draw_profile`) to
+        plug custom role bodies through the same registry path — see
+        :class:`repro.workload.transactional.TransactionalActionSpec`.
+        """
+        return build_traffic_action(self, driver)
+
+    @classmethod
+    def declared_params(cls) -> Tuple[ParamSpec, ...]:
+        """The overridable fields, as declared-parameter specs."""
+        return params_from_dataclass(cls, skip=("name",))
+
 
 def build_traffic_action(spec: TrafficActionSpec,
                          driver: "WorkloadDriver") -> CAActionDefinition:
@@ -147,7 +162,20 @@ class ActionMix:
         self._specs: Dict[str, TrafficActionSpec] = {}
         self._order: List[str] = []
 
-    def add(self, spec: TrafficActionSpec) -> TrafficActionSpec:
+    def add(self, spec: Union[TrafficActionSpec, str],
+            **overrides) -> TrafficActionSpec:
+        """Add a spec — or resolve a registered template name first.
+
+        Passing a string resolves it (with validated ``overrides``)
+        through the default :data:`~repro.workload.registry.ACTIONS`
+        registry, so mixes can be assembled entirely by name.
+        """
+        if isinstance(spec, str):
+            from .registry import ACTIONS
+            spec = ACTIONS.resolve(spec, **overrides)
+        elif overrides:
+            raise TypeError("overrides are only valid with a registered "
+                            "action name, not a spec instance")
         if spec.name in self._specs:
             raise ValueError(f"action {spec.name!r} already in the mix")
         self._specs[spec.name] = spec

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.histograms import LatencyHistogram
 from ..core.state import thread_order_key
@@ -40,8 +40,7 @@ from ..runtime.system import DistributedCASystem, SystemConfigurationError
 from ..simkernel.channels import Mailbox
 from ..simkernel.events import Event
 from ..simkernel.rng import SeededStreams
-from .actions import ActionMix, JobProfile, TrafficActionSpec, \
-    build_traffic_action
+from .actions import ActionMix, JobProfile, TrafficActionSpec
 from .admission import DISPATCH, DROP, QUEUE, RETRY, AdmissionController
 from .arrivals import ArrivalProcess
 
@@ -177,13 +176,29 @@ class WorkloadDriver:
     # ------------------------------------------------------------------
     # Workload definition
     # ------------------------------------------------------------------
-    def add_action(self, spec: TrafficActionSpec) -> TrafficActionSpec:
-        """Register ``spec`` in the system registry and the driver's mix."""
+    def add_action(self, spec: Union[TrafficActionSpec, str],
+                   **overrides) -> TrafficActionSpec:
+        """Register a spec in the system registry and the driver's mix.
+
+        ``spec`` is either a :class:`TrafficActionSpec` instance or the
+        name of a template registered with
+        :data:`~repro.workload.registry.ACTIONS`; a name is resolved with
+        the (validated) field ``overrides`` applied, so scenarios can say
+        ``driver.add_action("Serve", width=3)``.  The action definition
+        itself comes from :meth:`TrafficActionSpec.build`, which is how
+        spec subclasses plug custom role bodies into the same path.
+        """
+        if isinstance(spec, str):
+            from .registry import ACTIONS
+            spec = ACTIONS.resolve(spec, **overrides)
+        elif overrides:
+            raise TypeError("overrides are only valid with a registered "
+                            "action name, not a spec instance")
         if spec.width > len(self.pool):
             raise SystemConfigurationError(
                 f"action {spec.name!r} needs {spec.width} workers but the "
                 f"pool has {len(self.pool)}")
-        self.system.define_action(build_traffic_action(spec, self))
+        self.system.define_action(spec.build(self))
         return self.mix.add(spec)
 
     def profile_for(self, instance: str) -> JobProfile:

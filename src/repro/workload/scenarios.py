@@ -33,7 +33,7 @@ from ..simkernel.rng import SeededStreams
 from .admission import AdmissionController
 from .arrivals import OpenLoopPoisson
 from .driver import WorkloadDriver, WorkloadReport
-from .actions import TrafficActionSpec
+from .registry import ACTIONS
 
 #: Default instance count per sweep point (the acceptance floor is 200).
 DEFAULT_INSTANCES = 200
@@ -88,9 +88,8 @@ def run_capacity_point(offered_load: float,
         admission=AdmissionController(max_in_flight=max_in_flight,
                                       queue_capacity=queue_capacity,
                                       policy=policy))
-    driver.add_action(TrafficActionSpec(
-        "Serve", width=width, mean_service=mean_service,
-        raise_probability=raise_probability))
+    driver.add_action("Serve", width=width, mean_service=mean_service,
+                      raise_probability=raise_probability)
     report = driver.run(OpenLoopPoisson(rate=offered_load, count=n_instances))
 
     row: Dict[str, Any] = {"offered_load": offered_load,
@@ -160,15 +159,12 @@ def saturation_knee(rows: Sequence[Mapping[str, Any]],
 # ----------------------------------------------------------------------
 #: The default heterogeneous mix: a fast clean action, a wide faulty one
 #: and a narrow always-raising one, so resolution and signalling overlap
-#: with clean exits on the shared pool.
-DEFAULT_MIX = (
-    TrafficActionSpec("Ping", width=2, mean_service=0.5,
-                      raise_probability=0.0, weight=3.0),
-    TrafficActionSpec("Crunch", width=3, mean_service=1.5,
-                      raise_probability=0.4, weight=2.0),
-    TrafficActionSpec("Flaky", width=2, mean_service=1.0,
-                      raise_probability=1.0, weight=1.0),
-)
+#: with clean exits on the shared pool.  The specs themselves are the
+#: registered stock templates of :mod:`repro.workload.registry`; the mix
+#: order (Ping, Crunch, Flaky) feeds the weighted ``"mix"`` sampling and
+#: must stay stable.
+DEFAULT_MIX = tuple(ACTIONS.get(name)
+                    for name in ("Ping", "Crunch", "Flaky"))
 
 
 def _noise_plan(seed: int, pool_size: int, n_directives: int,
@@ -216,7 +212,7 @@ def run_mixed_traffic(seed: int = 2026,
                                       queue_capacity=queue_capacity,
                                       policy=policy))
     for spec in DEFAULT_MIX:
-        driver.add_action(spec)
+        driver.add_action(spec.name)
     report = driver.run(OpenLoopPoisson(rate=offered_load,
                                         count=n_instances))
     violations = monitor.check(

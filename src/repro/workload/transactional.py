@@ -1,0 +1,248 @@
+"""Transactional traffic: CA-action instances over shared atomic objects.
+
+The paper's CA actions access *external atomic objects* under a
+transaction that commits on success and rolls back on abort (Figure 1);
+until now the workload layer never exercised that machinery under
+concurrency.  This module registers a :class:`TrafficActionSpec`
+subclass — the first spec plugged through the registry's custom
+:meth:`~repro.workload.actions.TrafficActionSpec.build` seam — whose
+role bodies drive :mod:`repro.objects` for real:
+
+* every instance draws ``width`` *distinct* accounts from a shared set
+  of ``n_accounts`` atomic counters; each role exclusively locks its
+  account (strict 2PL through the instance's transaction), reads the
+  counter, works, and writes back ``value + 1``;
+* a ``raise_probability`` fraction of instances raises the action's
+  fault mid-flight; the resolving handler then either completes
+  (``HandlerResult.success`` → the transaction commits the increments
+  made so far) or — with ``abort_probability``, or always after a
+  deadlock — aborts (``HandlerResult.abort`` → the transaction rolls
+  every write back and the action signals µ);
+* conflicting lock orders across overlapping instances can close a
+  wait-for cycle; the lock manager refuses the closing request with
+  :class:`~repro.objects.locks.DeadlockError`, which the role converts
+  into the dedicated deadlock fault so coordinated recovery (not a
+  crash) unwinds the victim.
+
+The oracle contract: each *committed* transaction that wrote an account
+incremented it by exactly one, so at quiescence every tracked counter
+must equal its initial value plus the number of committed writers
+(:func:`~repro.core.oracles.check_no_lost_updates`), and no finished
+transaction may still hold or await a lock
+(:func:`~repro.core.oracles.check_locks_released`).
+:func:`run_transactional_point` wires both into the
+:class:`~repro.explore.monitor.InvariantMonitor` and reports the
+verdict per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.action import CAActionDefinition, RoleDefinition
+from ..core.exception_graph import generate_full_graph
+from ..core.exceptions import ExceptionDescriptor, internal
+from ..core.handlers import HandlerMap, HandlerResult
+from ..explore.monitor import InvariantMonitor
+from ..objects.locks import DeadlockError, LockMode
+from ..simkernel.rng import SeededStreams
+from .admission import AdmissionController
+from .arrivals import OpenLoopPoisson
+from .actions import JobProfile, TrafficActionSpec
+from .driver import WorkloadDriver
+from .registry import ACTIONS
+from .scenarios import DEFAULT_INSTANCES, _build_pool_system, _row_from_report
+
+
+def account_name(index: int) -> str:
+    """The canonical name of shared account ``index``."""
+    return f"acct{index:03d}"
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionalProfile(JobProfile):
+    """Per-instance behaviour of one transactional job."""
+
+    #: Account index each role operates on (distinct within the instance).
+    accounts: Tuple[int, ...] = ()
+    #: Whether the resolving handler aborts instead of completing.
+    abort: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class TransactionalActionSpec(TrafficActionSpec):
+    """A traffic action whose roles increment shared atomic counters.
+
+    Extends :class:`TrafficActionSpec` with the shared-state knobs and
+    plugs transactional role bodies in through :meth:`build` — the
+    registry, driver and mix treat it exactly like any other spec.
+    """
+
+    #: Size of the shared account set instances draw from.
+    n_accounts: int = 8
+    #: Probability that a *raising* instance's handler aborts (backward
+    #: recovery; otherwise the handler completes and the transaction
+    #: commits the increments made before the fault).
+    abort_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        # Explicit base call: dataclass(slots=True) recreates the class,
+        # which breaks zero-argument super() in methods defined here.
+        TrafficActionSpec.__post_init__(self)
+        if self.n_accounts < self.width:
+            raise ValueError("n_accounts must be at least width "
+                             "(each role locks a distinct account)")
+        if not 0.0 <= self.abort_probability <= 1.0:
+            raise ValueError("abort_probability must be in [0, 1]")
+
+    @property
+    def deadlock(self) -> ExceptionDescriptor:
+        """The fault a role raises when its lock request would deadlock."""
+        return internal(f"{self.name}_deadlock")
+
+    def draw_profile(self, streams: SeededStreams,
+                     index: int) -> TransactionalProfile:
+        """Draw job ``index``'s profile — pure in ``(seed, name, index)``."""
+        stream = streams.fresh_stream(f"job:{self.name}:{index}")
+        service = tuple(stream.expovariate(1.0 / self.mean_service)
+                        for _ in range(self.width))
+        raiser = None
+        if self.raise_probability and \
+                stream.random() < self.raise_probability:
+            raiser = 0
+        abort = raiser is not None and \
+            stream.random() < self.abort_probability
+        accounts = tuple(stream.sample(range(self.n_accounts), self.width))
+        return TransactionalProfile(service_times=service, raiser=raiser,
+                                    accounts=accounts, abort=abort)
+
+    def build(self, driver: "WorkloadDriver") -> CAActionDefinition:
+        """Role bodies locking/reading/incrementing shared accounts."""
+        fault = self.fault
+        deadlock_fault = self.deadlock
+
+        def resolving_handler(ctx):
+            profile = driver.profile_for(ctx.instance)
+            if self.handler_time > 0:
+                yield ctx.delay(self.handler_time)
+            resolved = ctx.resolved_exception
+            deadlocked = resolved is not None and \
+                resolved.name != fault.name
+            if deadlocked or profile.abort:
+                return HandlerResult.abort()
+            return HandlerResult.success()
+
+        def make_body(role_index: int):
+            def body(ctx):
+                profile = driver.profile_for(ctx.instance)
+                account = account_name(profile.accounts[role_index])
+                half = profile.service_times[role_index] / 2.0
+                # Pre-lock work first: roles of overlapping instances
+                # then reach their lock requests at staggered times, so
+                # conflicting acquisition orders genuinely interleave
+                # (locking at the entry barrier would serialise whole
+                # instances and no wait-for cycle could ever close).
+                if half > 0:
+                    yield ctx.delay(half)
+                try:
+                    yield ctx.transaction.lock(account, LockMode.EXCLUSIVE)
+                except DeadlockError:
+                    ctx.raise_exception(deadlock_fault)
+                value = ctx.read(account, "value")
+                ctx.write(account, "value", value + 1)
+                if profile.raiser == role_index:
+                    ctx.raise_exception(fault)
+                if half > 0:
+                    yield ctx.delay(half)
+            return body
+
+        roles = [RoleDefinition(role, make_body(index),
+                                HandlerMap(default_handler=resolving_handler))
+                 for index, role in enumerate(self.role_names)]
+        return CAActionDefinition(
+            self.name, roles, internal_exceptions=[fault, deadlock_fault],
+            graph=generate_full_graph([fault, deadlock_fault],
+                                      action_name=self.name))
+
+
+#: The stock transactional template (registered like any other action).
+TRANSFER = ACTIONS.register(TransactionalActionSpec(
+    "Transfer", width=2, mean_service=1.0, raise_probability=0.3,
+    abort_probability=0.5, n_accounts=8))
+
+
+def run_transactional_point(offered_load: float,
+                            n_instances: int = DEFAULT_INSTANCES,
+                            pool_size: int = 8, width: int = 2,
+                            n_accounts: int = 8,
+                            mean_service: float = 1.0,
+                            raise_probability: float = 0.3,
+                            abort_probability: float = 0.5,
+                            seed: int = 2026,
+                            t_msg: float = 0.02, t_resolution: float = 0.05,
+                            max_in_flight: Optional[int] = None,
+                            queue_capacity: int = 32, policy: str = "drop",
+                            algorithm: str = "ours") -> Dict[str, Any]:
+    """One transactional-workload point, checked by the full oracle set.
+
+    Poisson arrivals at ``offered_load`` drive ``n_instances`` instances
+    of the registered ``Transfer`` template (resolved by name with the
+    point's overrides) over a ``pool_size`` pool and ``n_accounts``
+    shared atomic counters.  The row carries throughput/latency like the
+    capacity sweep plus the transactional outcome: per-status transaction
+    counts, committed increments vs. the account totals, observed
+    deadlock recoveries and the oracle verdict (``violations`` must be
+    empty — including the no-lost-update and locks-released predicates).
+    """
+    system = _build_pool_system(pool_size, t_msg, t_resolution, algorithm)
+    for index in range(n_accounts):
+        system.create_object(account_name(index), {"value": 0})
+    monitor = InvariantMonitor(system)
+    for index in range(n_accounts):
+        monitor.track_counter(account_name(index))
+    driver = WorkloadDriver(
+        system, seed=seed,
+        admission=AdmissionController(max_in_flight=max_in_flight,
+                                      queue_capacity=queue_capacity,
+                                      policy=policy))
+    spec = driver.add_action("Transfer", width=width,
+                             mean_service=mean_service,
+                             raise_probability=raise_probability,
+                             abort_probability=abort_probability,
+                             n_accounts=n_accounts)
+    report = driver.run(OpenLoopPoisson(rate=offered_load,
+                                        count=n_instances))
+    violations = monitor.check(require_liveness=True)
+
+    manager = system.transactions
+    statuses: Dict[str, int] = {}
+    for transaction in manager.finished:
+        statuses[transaction.status.value] = \
+            statuses.get(transaction.status.value, 0) + 1
+    deadlock_name = spec.deadlock.name
+    deadlocks = sum(
+        1 for seen in monitor.resolutions.values()
+        if any(name == deadlock_name for _, name in seen))
+
+    row: Dict[str, Any] = {
+        "offered_load": offered_load,
+        "pool_size": pool_size,
+        "width": width,
+        "n_accounts": n_accounts,
+        "account_total": sum(
+            manager.object(account_name(i)).committed_value("value")
+            for i in range(n_accounts)),
+        "committed_increments": sum(
+            record["committed_writers"]
+            for record in monitor.counter_records()),
+        "transactions": dict(sorted(statuses.items())),
+        "active_transactions": len(manager.active),
+        "deadlock_recoveries": deadlocks,
+        "violations": [str(v) for v in violations],
+        "n_violations": len(violations),
+    }
+    row.update(_row_from_report(report))
+    row["protocol_messages"] = system.network.stats.protocol_messages()
+    row["resolutions"] = system.metrics.resolutions
+    return row

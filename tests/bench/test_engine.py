@@ -57,6 +57,72 @@ class TestRegistry:
 
 
 # ----------------------------------------------------------------------
+# Declared-parameter validation
+# ----------------------------------------------------------------------
+class TestGridValidation:
+    def make_registry(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("demo", grid=[{"n": 1}])
+        def demo(n: int, rate: float = 1.0):
+            return {"n": n, "rate": rate}
+
+        return registry
+
+    def test_params_derived_from_signature(self):
+        scenario = self.make_registry().get("demo")
+        assert [p.name for p in scenario.params] == ["n", "rate"]
+        assert not scenario.accepts_extra
+        assert "n: int (required)" in scenario.describe_params()
+
+    def test_registration_rejects_invalid_default_grid(self):
+        from repro.core.registry import ParamValidationError
+        registry = ScenarioRegistry()
+        with pytest.raises(ParamValidationError,
+                           match="unknown parameter 'm'"):
+            @registry.register("bad", grid=[{"m": 1}])
+            def bad(n: int):
+                return {"n": n}
+
+    def test_run_rejects_unknown_key_before_running(self):
+        from repro.core.registry import ParamValidationError
+        registry = self.make_registry()
+        with pytest.raises(ParamValidationError) as excinfo:
+            run_scenario("demo", points=[{"n": 1, "m": 2}],
+                         registry=registry)
+        (error,) = excinfo.value.errors
+        assert error.kind == "unknown" and error.key == "m"
+        assert "scenario 'demo'" in str(error)
+
+    def test_run_rejects_missing_required_param(self):
+        from repro.core.registry import ParamValidationError
+        registry = self.make_registry()
+        with pytest.raises(ParamValidationError,
+                           match="missing required parameter 'n'"):
+            run_scenario("demo", points=[{"rate": 2.0}], registry=registry)
+
+    def test_run_rejects_wrong_type(self):
+        from repro.core.registry import ParamValidationError
+        registry = self.make_registry()
+        with pytest.raises(ParamValidationError,
+                           match="parameter 'n' expects int"):
+            run_scenario("demo", points=[{"n": "one"}], registry=registry)
+
+    def test_all_errors_reported_at_once(self):
+        from repro.core.registry import ParamValidationError
+        registry = self.make_registry()
+        with pytest.raises(ParamValidationError) as excinfo:
+            run_scenario("demo", points=[{"m": 2}, {"n": "one"}],
+                         registry=registry)
+        kinds = sorted(error.kind for error in excinfo.value.errors)
+        assert kinds == ["missing", "type", "unknown"]
+
+    def test_every_default_grid_validates(self):
+        for scenario in REGISTRY:
+            assert scenario.validate_grid(scenario.grid) == [], scenario.name
+
+
+# ----------------------------------------------------------------------
 # Byte-identical reproduction of the old hand-rolled sweeps
 # ----------------------------------------------------------------------
 class TestLegacyEquivalence:

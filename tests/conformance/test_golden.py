@@ -32,10 +32,11 @@ def test_default_fixture_root_resolves_here():
 
 
 def test_catalogue_covers_all_scenarios_and_algorithms():
-    """The eight scenarios and three algorithms the issue pins are present."""
+    """The gated scenarios and three algorithms are all present."""
     names = set(conformance.case_names())
     for scenario in ("figure9", "large_n", "churn", "wide_graph",
-                     "capacity", "mixed_traffic"):
+                     "capacity", "mixed_traffic", "transactional",
+                     "production_cell"):
         for slug in ("ours", "cr", "r96"):
             assert f"{scenario}_{slug}" in names
     assert "figure12" in names
@@ -44,6 +45,36 @@ def test_catalogue_covers_all_scenarios_and_algorithms():
     (scenario, grid), = explore.runs
     assert scenario == "explore"
     assert sum(point["stop"] - point["start"] for point in grid) == 100
+
+
+def test_every_registered_scenario_is_gated_or_exempt():
+    """The coverage guard: no registered scenario may dodge conformance.
+
+    A scenario registered through the plugin path must either appear in
+    a conformance case (with a committed fixture, which the catalogue
+    test above enforces) or carry an explicit exemption with a reason.
+    """
+    assert conformance.uncovered_scenarios() == []
+    # Exemptions must name real scenarios, with a stated reason.
+    from repro.bench.engine import REGISTRY
+    for name, reason in conformance.COVERAGE_EXEMPT.items():
+        assert name in REGISTRY, f"stale exemption {name!r}"
+        assert reason.strip(), f"exemption {name!r} needs a reason"
+    # And exemptions must not overlap actual coverage.
+    assert not set(conformance.COVERAGE_EXEMPT) \
+        & conformance.covered_scenarios()
+
+
+def test_check_flags_ungated_scenarios(monkeypatch, tmp_path):
+    """check() reports a registered-but-ungated scenario as a problem."""
+    monkeypatch.setattr(
+        conformance, "uncovered_scenarios", lambda: ["rogue"])
+    name = "churn_ours"
+    conformance.write_fixture(
+        conformance.run_case(conformance.CASES[name]), str(tmp_path))
+    problems = conformance.check([name], str(tmp_path))
+    assert problems and "rogue" in problems[0]
+    assert "no conformance case" in problems[0]
 
 
 @pytest.mark.parametrize("name", conformance.case_names())

@@ -1,0 +1,200 @@
+"""Tests for the shared plugin-registry base and param validation."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.core.registry import (
+    ParamError,
+    ParamSpec,
+    ParamValidationError,
+    Registry,
+    format_params,
+    params_from_callable,
+    params_from_dataclass,
+    validate_params,
+)
+
+
+# ----------------------------------------------------------------------
+# Parameter derivation
+# ----------------------------------------------------------------------
+def runner(n_threads: int, rate: float = 1.0, label: str = "x",
+           flag: bool = False):
+    return {}
+
+
+def forwarding_runner(seed: int, **options):
+    return {}
+
+
+class TestParamsFromCallable:
+    def test_required_and_defaults(self):
+        params, accepts_extra = params_from_callable(runner)
+        assert not accepts_extra
+        by_name = {spec.name: spec for spec in params}
+        assert by_name["n_threads"].required
+        assert not by_name["rate"].required
+        assert by_name["rate"].default == 1.0
+        assert by_name["label"].default == "x"
+
+    def test_simple_types_resolved(self):
+        params, _ = params_from_callable(runner)
+        by_name = {spec.name: spec for spec in params}
+        assert by_name["n_threads"].types == (int,)
+        assert by_name["rate"].types == (int, float)   # int widens to float
+        assert by_name["label"].types == (str,)
+        assert by_name["flag"].types == (bool,)
+
+    def test_var_keyword_sets_accepts_extra(self):
+        params, accepts_extra = params_from_callable(forwarding_runner)
+        assert accepts_extra
+        assert [spec.name for spec in params] == ["seed"]
+
+    def test_optional_annotation(self):
+        def f(limit: Optional[int] = None):
+            return {}
+        params, _ = params_from_callable(f)
+        assert set(params[0].types) == {int, type(None)}
+
+    def test_rich_annotation_degrades_to_unchecked(self):
+        def f(points: dict):
+            return {}
+        params, _ = params_from_callable(f)
+        assert params[0].types is None
+
+    def test_unintrospectable_callable_degrades(self):
+        params, accepts_extra = params_from_callable(dict.fromkeys)
+        # Either a real signature or the unchecked fallback — never a crash.
+        assert isinstance(params, tuple)
+        assert isinstance(accepts_extra, bool)
+
+
+@dataclass(frozen=True)
+class DemoSpec:
+    name: str
+    width: int = 2
+    mean: float = 1.0
+
+
+class TestParamsFromDataclass:
+    def test_fields_become_params(self):
+        params = params_from_dataclass(DemoSpec)
+        assert [spec.name for spec in params] == ["name", "width", "mean"]
+
+    def test_skip_excludes_fields(self):
+        params = params_from_dataclass(DemoSpec, skip=("name",))
+        assert [spec.name for spec in params] == ["width", "mean"]
+        assert all(not spec.required for spec in params)
+        assert params[0].default == 2
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class TestValidateParams:
+    def setup_method(self):
+        self.params, self.extra = params_from_callable(runner)
+
+    def check(self, given, **kwargs):
+        return validate_params("scenario 'demo'", self.params, self.extra,
+                               given, **kwargs)
+
+    def test_valid_point_passes(self):
+        assert self.check({"n_threads": 3, "rate": 2.5}) == []
+
+    def test_int_accepted_for_float(self):
+        assert self.check({"n_threads": 3, "rate": 2}) == []
+
+    def test_unknown_key_names_owner_and_key(self):
+        errors = self.check({"n_threads": 3, "n_thread": 4})
+        assert len(errors) == 1
+        error = errors[0]
+        assert error.kind == "unknown"
+        assert error.key == "n_thread"
+        assert "scenario 'demo'" in str(error)
+        assert "'n_thread'" in str(error)
+        assert "declared" in str(error)
+
+    def test_missing_required_named(self):
+        errors = self.check({"rate": 2.0})
+        assert [e.kind for e in errors] == ["missing"]
+        assert errors[0].key == "n_threads"
+        assert "missing required parameter 'n_threads'" in str(errors[0])
+
+    def test_missing_skipped_for_partial_contract(self):
+        assert self.check({"rate": 2.0}, require=False) == []
+
+    def test_wrong_type_named(self):
+        errors = self.check({"n_threads": "three"})
+        assert [e.kind for e in errors] == ["type"]
+        assert errors[0].key == "n_threads"
+        assert "expects int" in str(errors[0])
+        assert "str" in str(errors[0])
+
+    def test_bool_not_accepted_as_int(self):
+        errors = self.check({"n_threads": True})
+        assert [e.kind for e in errors] == ["type"]
+
+    def test_accepts_extra_lets_unknown_keys_through(self):
+        params, extra = params_from_callable(forwarding_runner)
+        assert validate_params("scenario 'fwd'", params, extra,
+                               {"seed": 1, "anything": object()}) == []
+        # ...but still type-checks the declared ones.
+        errors = validate_params("scenario 'fwd'", params, extra,
+                                 {"seed": "nope"})
+        assert [e.kind for e in errors] == ["type"]
+
+    def test_validation_error_carries_records(self):
+        errors = self.check({"bogus": 1})
+        with pytest.raises(ParamValidationError) as excinfo:
+            raise ParamValidationError(errors)
+        assert excinfo.value.errors == tuple(errors)
+        assert "bogus" in str(excinfo.value)
+
+
+def test_format_params_rendering():
+    params, extra = params_from_callable(forwarding_runner)
+    assert format_params(params, extra) == "seed: int (required), **options"
+    assert format_params((), False) == "(none)"
+    spec = ParamSpec(name="rate", annotation="float", default=1.0)
+    assert spec.describe() == "rate: float = 1.0"
+
+
+# ----------------------------------------------------------------------
+# Registry base
+# ----------------------------------------------------------------------
+class DemoRegistry(Registry[DemoSpec]):
+    kind = "demo"
+
+
+class TestRegistryBase:
+    def test_add_and_get(self):
+        registry = DemoRegistry()
+        spec = registry.add(DemoSpec("a"))
+        assert registry.get("a") is spec
+        assert "a" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = DemoRegistry()
+        registry.add(DemoSpec("a"))
+        with pytest.raises(ValueError, match="demo 'a' already registered"):
+            registry.add(DemoSpec("a"))
+
+    def test_unknown_lookup_lists_registered(self):
+        registry = DemoRegistry()
+        registry.add(DemoSpec("a"))
+        registry.add(DemoSpec("b"))
+        with pytest.raises(KeyError) as excinfo:
+            registry.get("c")
+        assert "unknown demo 'c'" in str(excinfo.value)
+        assert "'a'" in str(excinfo.value) and "'b'" in str(excinfo.value)
+
+    def test_names_sorted_iteration_in_insertion_order(self):
+        registry = DemoRegistry()
+        registry.add(DemoSpec("b"))
+        registry.add(DemoSpec("a"))
+        assert registry.names() == ["a", "b"]
+        assert [spec.name for spec in registry] == ["b", "a"]

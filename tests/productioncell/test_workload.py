@@ -1,0 +1,87 @@
+"""Tests for the open-loop production-cell workload scenario."""
+
+import pytest
+
+from repro.core.registry import ParamValidationError
+from repro.productioncell.cell import ProductionCell
+from repro.productioncell.failures import FAULT_NAMES
+from repro.productioncell.workload import (
+    draw_arrival_times,
+    draw_fault_schedule,
+    run_production_cell_point,
+)
+
+
+class TestDraws:
+    def test_fault_schedule_is_pure_in_inputs(self):
+        one = draw_fault_schedule(2026, 8, 0.5)
+        two = draw_fault_schedule(2026, 8, 0.5)
+        assert one == two
+        assert draw_fault_schedule(2027, 8, 0.5) != one
+
+    def test_fault_schedule_probability_extremes(self):
+        assert draw_fault_schedule(2026, 6, 0.0) == []
+        always = draw_fault_schedule(2026, 6, 1.0)
+        assert [entry["cycle"] for entry in always] == [1, 2, 3, 4, 5, 6]
+        assert all(entry["fault"] in FAULT_NAMES for entry in always)
+
+    def test_arrival_times_monotone_and_pure(self):
+        times = draw_arrival_times(2026, 10, 0.5)
+        assert len(times) == 10
+        assert all(later > earlier
+                   for earlier, later in zip(times, times[1:]))
+        assert times == draw_arrival_times(2026, 10, 0.5)
+
+    def test_arrival_rate_must_be_positive(self):
+        with pytest.raises(ValueError, match="rate"):
+            draw_arrival_times(2026, 3, 0.0)
+
+
+class TestOpenLoopCell:
+    def test_arrival_times_must_cover_cycles(self):
+        cell = ProductionCell()
+        with pytest.raises(ValueError, match="arrival times"):
+            cell.run(3, arrival_times=[1.0, 2.0])
+
+    def test_arrivals_delay_cycle_starts(self):
+        closed = ProductionCell().run(2)
+        spaced = ProductionCell().run(2, arrival_times=[5.0, 50.0])
+        assert spaced.completed_cycles == closed.completed_cycles
+        assert spaced.total_time > closed.total_time
+        assert spaced.total_time >= 50.0
+
+
+class TestProductionCellPoint:
+    def test_point_is_oracle_clean_and_consistent(self):
+        row = run_production_cell_point(seed=2026)
+        assert row["violations"] == []
+        outcomes = (row["cycles_succeeded"] + row["cycles_recovered"]
+                    + row["cycles_skipped"] + row["cycles_failed"])
+        assert outcomes == row["n_cycles"]
+        assert row["faults_fired"] <= len(row["planned_faults"])
+
+    def test_rows_are_deterministic(self):
+        assert run_production_cell_point(seed=2027) == \
+            run_production_cell_point(seed=2027)
+
+    def test_faults_drive_recovery_somewhere(self):
+        # Across a few seeds, at least one run must fire faults and
+        # resolve exceptions (the case study is pointless otherwise).
+        rows = [run_production_cell_point(seed=seed)
+                for seed in (2026, 2027, 2028, 2029)]
+        assert any(row["faults_fired"] > 0 for row in rows)
+        assert any(row["exceptions_raised"] > 0 for row in rows)
+        assert all(row["violations"] == [] for row in rows)
+
+    def test_baseline_algorithms_run_clean(self):
+        for algorithm in ("campbell-randell", "romanovsky96"):
+            row = run_production_cell_point(seed=2026, algorithm=algorithm)
+            assert row["violations"] == []
+
+    def test_registered_through_the_plugin_path(self):
+        from repro.bench.engine import REGISTRY, run_scenario
+        scenario = REGISTRY.get("production_cell")
+        assert scenario.validate_grid(scenario.grid) == []
+        with pytest.raises(ParamValidationError) as excinfo:
+            run_scenario("production_cell", points=[{"seed": "xxvi"}])
+        assert "parameter 'seed' expects int" in str(excinfo.value)

@@ -1,0 +1,107 @@
+"""Tests for the traffic-action registry and named-action resolution."""
+
+import pytest
+
+from repro.core.registry import ParamValidationError
+from repro.workload.actions import ActionMix, TrafficActionSpec
+from repro.workload.registry import (
+    ACTIONS,
+    STOCK_ACTIONS,
+    TrafficActionRegistry,
+)
+from repro.workload.transactional import TRANSFER  # registers "Transfer"
+
+
+class TestStockRegistry:
+    def test_stock_actions_registered(self):
+        assert ACTIONS.names() == sorted(
+            ["Serve", "Ping", "Crunch", "Flaky", "Transfer"])
+        for spec in STOCK_ACTIONS:
+            assert ACTIONS.get(spec.name) is spec
+        assert ACTIONS.get("Transfer") is TRANSFER
+
+    def test_resolve_without_overrides_returns_template(self):
+        assert ACTIONS.resolve("Serve") is ACTIONS.get("Serve")
+
+    def test_resolve_with_overrides_replaces_fields(self):
+        spec = ACTIONS.resolve("Serve", width=5, raise_probability=0.25)
+        assert spec.width == 5
+        assert spec.raise_probability == 0.25
+        assert spec.name == "Serve"
+        # The template itself is untouched.
+        assert ACTIONS.get("Serve").width == 2
+
+    def test_unknown_action_lists_registered(self):
+        with pytest.raises(KeyError) as excinfo:
+            ACTIONS.resolve("Nope")
+        assert "unknown traffic action 'Nope'" in str(excinfo.value)
+        assert "'Serve'" in str(excinfo.value)
+
+    def test_unknown_override_key_names_action_and_key(self):
+        with pytest.raises(ParamValidationError) as excinfo:
+            ACTIONS.resolve("Serve", widht=3)
+        (error,) = excinfo.value.errors
+        assert error.kind == "unknown"
+        assert error.key == "widht"
+        assert "traffic action 'Serve'" in str(error)
+
+    def test_wrong_override_type_named(self):
+        with pytest.raises(ParamValidationError) as excinfo:
+            ACTIONS.resolve("Serve", width="wide")
+        (error,) = excinfo.value.errors
+        assert error.kind == "type"
+        assert error.key == "width"
+        assert "expects int" in str(error)
+
+    def test_name_is_not_overridable(self):
+        with pytest.raises(ParamValidationError) as excinfo:
+            ACTIONS.resolve("Serve", name="Other")
+        (error,) = excinfo.value.errors
+        assert error.kind == "unknown"
+        assert error.key == "name"
+
+    def test_describe_params_lists_fields(self):
+        description = ACTIONS.describe_params("Serve")
+        assert "width: int = 2" in description
+        assert "name" not in description
+
+    def test_subclass_template_declares_extra_fields(self):
+        description = ACTIONS.describe_params("Transfer")
+        assert "n_accounts" in description
+        assert "abort_probability" in description
+        resolved = ACTIONS.resolve("Transfer", n_accounts=4)
+        assert resolved.n_accounts == 4
+
+
+class TestFreshRegistry:
+    def test_duplicate_registration_rejected(self):
+        registry = TrafficActionRegistry()
+        registry.register(TrafficActionSpec("A"))
+        with pytest.raises(ValueError,
+                           match="traffic action 'A' already registered"):
+            registry.register(TrafficActionSpec("A"))
+
+    def test_invalid_override_value_rejected_by_spec(self):
+        # Validation passes (width is an int) but the spec's own
+        # __post_init__ still enforces its value constraints.
+        with pytest.raises(ValueError, match="width must be at least 1"):
+            ACTIONS.resolve("Serve", width=0)
+
+
+class TestActionMixByName:
+    def test_add_by_name_resolves_through_registry(self):
+        mix = ActionMix()
+        spec = mix.add("Ping", weight=5.0)
+        assert spec.name == "Ping"
+        assert spec.weight == 5.0
+        assert mix.get("Ping") is spec
+
+    def test_add_spec_with_overrides_rejected(self):
+        mix = ActionMix()
+        with pytest.raises(TypeError, match="registered action name"):
+            mix.add(TrafficActionSpec("X"), width=3)
+
+    def test_add_by_name_propagates_validation_errors(self):
+        mix = ActionMix()
+        with pytest.raises(ParamValidationError):
+            mix.add("Ping", bogus=1)

@@ -223,7 +223,10 @@ class TestBaselineCLI:
             captured.update(parallel=parallel, max_workers=max_workers)
             return {"capacity": [], "mixed_traffic": [],
                     "saturation_knee": {"knee_offered_load": None},
-                    "oracle_violations": 0}
+                    "oracle_violations": 0,
+                    "transactional": [], "transactional_violations": 0,
+                    "production_cell": [],
+                    "production_cell_violations": 0}
 
         monkeypatch.setattr(baseline, "write_workload_baseline",
                             fake_writer)
