@@ -1,0 +1,77 @@
+"""Coverage-guided corpus search over the fault-plan space.
+
+Enumeration samples fault plans independently, so much of a large budget
+re-visits behaviour already seen.  The corpus search
+(``repro.explore.corpus``) steers the budget instead: the byte-level
+canonical-trace digest of each run is its behaviour fingerprint, novel
+digests admit the plan to a persisted corpus, and later generations
+mutate corpus plans — deterministic neighbour sweeps first, then stacked
+random mutations steered by the witnessing run's message statistics.
+
+This example:
+
+1. runs enumeration and corpus search at an equal storm-vocabulary
+   budget and compares distinct-digest counts (the coverage claim);
+2. persists the corpus and warm-restarts a second session from it;
+3. shows a plan's deterministic neighbours and a stacked mutation.
+
+Run with:  PYTHONPATH=src python examples/explore_corpus.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.explore import Corpus, CorpusSearch, Explorer, PlanMutator
+from repro.explore.generator import STORM_KINDS
+
+SEED = 2026
+BUDGET = 60
+
+
+def main() -> None:
+    # -- 1. enumeration vs corpus search at an equal budget ------------
+    enumeration = Explorer(target="nested_abort", seed=SEED, budget=BUDGET,
+                           kinds=STORM_KINDS).run()
+    enumerated = len({case.digest for case in enumeration.cases})
+
+    search = CorpusSearch(target="nested_abort", seed=SEED,
+                          kinds=STORM_KINDS, generation_size=20,
+                          chunk_size=20, shrink=False)
+    report = search.run(budget=BUDGET)
+    print(f"equal budget of {BUDGET} runs (storm vocabulary):")
+    print(f"  enumeration: {enumerated} distinct trace digests")
+    print(f"  corpus:      {report.distinct_digests} distinct trace digests "
+          f"({report.generations} generations, corpus size "
+          f"{report.corpus_size})")
+
+    # -- 2. persistence and warm restart -------------------------------
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "corpus.json"
+        search.corpus.save(path)
+        resumed = CorpusSearch(target="nested_abort", seed=SEED,
+                               corpus=Corpus.load(path), kinds=STORM_KINDS,
+                               generation_size=20, chunk_size=20,
+                               shrink=False)
+        second = resumed.run(budget=20)
+        print(f"\nwarm restart from {len(search.corpus)} persisted entries: "
+              f"{second.executed} fresh runs, {second.novel} novel, corpus "
+              f"now {len(resumed.corpus)}")
+
+    # -- 3. mutation machinery -----------------------------------------
+    seed_entry = search.corpus.entries[0]
+    mutator = PlanMutator(SEED, search.target.threads, kinds=STORM_KINDS)
+    neighbors = list(mutator.neighbors(seed_entry.plan,
+                                       feedback=seed_entry.stats))
+    print(f"\ncorpus seed plan: {seed_entry.plan.describe()}")
+    print(f"  {len(neighbors)} deterministic neighbours, first: "
+          f"{neighbors[0].describe()}")
+    child = mutator.mutate(seed_entry.plan, "example-token",
+                           feedback=seed_entry.stats)
+    print(f"  one stacked mutation: {child.describe()}")
+    print("\ncorpus entry as persisted JSON:")
+    print(json.dumps(seed_entry.to_dict(), indent=2, sort_keys=True)[:400])
+
+
+if __name__ == "__main__":
+    main()

@@ -55,7 +55,10 @@ from ..core.registry import (
     params_from_callable,
     validate_params,
 )
+from ..explore.corpus import run_plans_chunk
 from ..explore.explorer import explore_chunk
+from ..explore.generator import STORM_KINDS, FaultPlanGenerator
+from ..explore.targets import get_target
 from ..productioncell.workload import run_production_cell_point
 from ..workload.scenarios import run_capacity_point, run_mixed_traffic
 from ..workload.sharding import run_scale_point
@@ -443,6 +446,39 @@ def explore_point(target: str, seed: int, start: int, stop: int,
     """One chunk of an explorer sweep (see repro.explore.explorer)."""
     return explore_chunk(target=target, seed=seed, start=start, stop=stop,
                          **options)
+
+
+#: The corpus-search chunk grid: explicit storm-vocabulary plans (crash /
+#: restore waves, drop and corrupt classes included), sampled at a fixed
+#: seed.  Corpus search derives candidates centrally and only fans the
+#: *execution* out, so its scenario takes the plans themselves; the
+#: default grid pins the widened vocabulary's behaviour — including the
+#: liveness-oracle waiver for non-delivery-preserving plans — under the
+#: golden-trace conformance gate.
+EXPLORE_CORPUS_CHUNK = 10
+
+
+def _explore_corpus_grid() -> Tuple[Dict[str, object], ...]:
+    generator = FaultPlanGenerator(
+        EXPLORE_SEED, get_target("nested_abort").threads, kinds=STORM_KINDS)
+    return tuple(
+        {"target": "nested_abort", "start": start,
+         "plans": [generator.sample(start + offset).to_dict()
+                   for offset in range(EXPLORE_CORPUS_CHUNK)]}
+        for start in range(0, 2 * EXPLORE_CORPUS_CHUNK,
+                           EXPLORE_CORPUS_CHUNK))
+
+
+@REGISTRY.register("explore_corpus", grid=_explore_corpus_grid(),
+                   description="Corpus-search execution chunks: explicit "
+                               "fault plans (full storm vocabulary), "
+                               "canonical trace digests per plan")
+def explore_corpus_point(target: str, plans: Sequence[Dict[str, object]],
+                         start: int = 0, algorithm: str = "ours",
+                         baselines: Sequence[str] = ()) -> Row:
+    """One corpus-search chunk (see repro.explore.corpus)."""
+    return run_plans_chunk(target=target, plans=plans, start=start,
+                           algorithm=algorithm, baselines=baselines)
 
 
 #: The churn grid: an increasing number of unrelated concurrent actions

@@ -175,6 +175,16 @@ def _build_cases() -> Dict[str, ConformanceCase]:
             for start in range(0, 100, 25))),),
         note="100 seeded fault plans, canonical trace digests per chunk"))
 
+    #: Twenty storm-vocabulary plans (crash/restore waves, drop and
+    #: corrupt classes) through the corpus-search chunk runner: pins the
+    #: widened fault vocabulary's byte-level behaviour, including the
+    #: liveness-oracle waiver for non-delivery-preserving plans.
+    add(ConformanceCase(
+        "explore_corpus",
+        (("explore_corpus", tuple(REGISTRY.get("explore_corpus").grid)),),
+        note="corpus-search chunks over the full storm vocabulary, "
+             "canonical trace digests per plan"))
+
     #: A small sharded-capacity case: 2 shards × 500 instances, run
     #: sequentially (the reference execution — process-pool runs are
     #: byte-identical, which tests/workload/test_sharding.py enforces).

@@ -20,12 +20,26 @@ mechanizes the search over that space:
 * :mod:`~repro.explore.explorer` — :class:`Explorer`, the budgeted sweep
   (also exposed as the scenario-engine workload ``"explore"``);
 * :mod:`~repro.explore.shrink` — delta-debugging reduction of a failing
-  plan to a minimal reproducer, emitted as a ready-to-paste pytest.
+  plan to a minimal reproducer, emitted as a ready-to-paste pytest;
+* :mod:`~repro.explore.mutate` — :class:`PlanMutator`, seeded
+  deterministic mutations of existing plans;
+* :mod:`~repro.explore.corpus` — :class:`CorpusSearch`, coverage-guided
+  generational search steered by trace-digest novelty over a persisted
+  :class:`Corpus` (also the scenario-engine workload ``"explore_corpus"``
+  and the ``python -m repro.explore`` CLI).
 """
 
+from .corpus import (
+    Corpus,
+    CorpusEntry,
+    CorpusSearch,
+    CorpusSearchReport,
+    run_plans_chunk,
+)
 from .explorer import CaseResult, Explorer, ExplorationReport, run_case
 from .generator import FaultPlanGenerator
 from .monitor import InvariantMonitor
+from .mutate import PlanMutator
 from .plan import ExplorationPlan
 from .shrink import ShrinkResult, shrink_plan, to_pytest_source
 from .targets import TARGETS, ExplorationTarget
@@ -33,17 +47,23 @@ from .trace import TraceRecorder, canonical_trace, trace_digest
 
 __all__ = [
     "CaseResult",
+    "Corpus",
+    "CorpusEntry",
+    "CorpusSearch",
+    "CorpusSearchReport",
     "ExplorationPlan",
     "ExplorationReport",
     "ExplorationTarget",
     "Explorer",
     "FaultPlanGenerator",
     "InvariantMonitor",
+    "PlanMutator",
     "ShrinkResult",
     "TARGETS",
     "TraceRecorder",
     "canonical_trace",
     "run_case",
+    "run_plans_chunk",
     "shrink_plan",
     "to_pytest_source",
     "trace_digest",

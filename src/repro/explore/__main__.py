@@ -1,0 +1,163 @@
+"""Command-line fault-space exploration: ``python -m repro.explore``.
+
+Three modes:
+
+* ``enumerate`` — the budgeted independent-sample sweep
+  (:class:`~repro.explore.explorer.Explorer`);
+* ``corpus`` — coverage-guided corpus search
+  (:class:`~repro.explore.corpus.CorpusSearch`): loads the persisted
+  corpus when present, saves it back after the session, and writes every
+  auto-shrunk reproducer as a ready-to-paste pytest module;
+* ``compare`` — both modes at an equal budget, reporting the distinct
+  trace-digest counts side by side (the coverage claim, measured).
+
+Both search modes report executed runs, distinct digests and failures;
+the exit status is 1 when any oracle violation was found, so the nightly
+workflow fails loudly while still uploading the corpus and reproducers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .corpus import Corpus, CorpusSearch, engine_chunk_runner
+from .explorer import Explorer
+from .generator import DEFAULT_KINDS, STORM_KINDS
+
+#: ``--kinds`` vocabularies: delivery-preserving delays (full oracle
+#: catalogue) or the widened failure storm (liveness correctly waived).
+KINDS = {"delay": DEFAULT_KINDS, "storm": STORM_KINDS}
+
+
+def _enumerate_distinct(target: str, seed: int, budget: int,
+                        kinds: str) -> dict:
+    explorer = Explorer(target=target, seed=seed, budget=budget,
+                        kinds=KINDS[kinds])
+    report = explorer.run()
+    return {
+        "mode": "enumerate",
+        "target": report.target,
+        "seed": seed,
+        "executed": len(report.cases),
+        "distinct_digests": len({case.digest for case in report.cases}),
+        "failures": len(report.failures),
+        "failing_plans": [case.plan.to_dict() for case in report.failures],
+    }
+
+
+def _write_reproducers(reproducers, directory: str) -> List[str]:
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for number, record in enumerate(reproducers):
+        path = os.path.join(directory, f"test_reproducer_{number}.py")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(record["source"])
+        paths.append(path)
+    return paths
+
+
+def cmd_enumerate(arguments) -> int:
+    summary = _enumerate_distinct(arguments.target, arguments.seed,
+                                  arguments.budget, arguments.kinds)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 1 if summary["failures"] else 0
+
+
+def cmd_corpus(arguments) -> int:
+    corpus: Optional[Corpus] = None
+    if arguments.corpus and os.path.exists(arguments.corpus):
+        corpus = Corpus.load(arguments.corpus)
+        if corpus.target != arguments.target:
+            print(f"corpus file is for target {corpus.target!r}, "
+                  f"not {arguments.target!r}", file=sys.stderr)
+            return 2
+    run_chunks = engine_chunk_runner() if arguments.parallel else None
+    search = CorpusSearch(target=arguments.target, seed=arguments.seed,
+                          corpus=corpus, kinds=KINDS[arguments.kinds],
+                          chunk_size=arguments.chunk_size,
+                          run_chunks=run_chunks)
+    report = search.run(budget=arguments.budget)
+    if arguments.corpus:
+        search.corpus.save(arguments.corpus)
+    summary = {"mode": "corpus", **report.summary()}
+    if arguments.reproducers and report.reproducers:
+        summary["reproducer_files"] = _write_reproducers(
+            report.reproducers, arguments.reproducers)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 1 if report.failures else 0
+
+
+def cmd_compare(arguments) -> int:
+    enumeration = _enumerate_distinct(arguments.target, arguments.seed,
+                                      arguments.budget, arguments.kinds)
+    search = CorpusSearch(target=arguments.target, seed=arguments.seed,
+                          kinds=KINDS[arguments.kinds],
+                          chunk_size=arguments.chunk_size, shrink=False)
+    report = search.run(budget=arguments.budget)
+    comparison = {
+        "mode": "compare",
+        "target": arguments.target,
+        "seed": arguments.seed,
+        "budget": arguments.budget,
+        "kinds": arguments.kinds,
+        "enumeration_distinct_digests": enumeration["distinct_digests"],
+        "corpus_distinct_digests": report.distinct_digests,
+        "advantage": (report.distinct_digests
+                      - enumeration["distinct_digests"]),
+    }
+    print(json.dumps(comparison, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="Fault-space exploration: enumeration sweeps and "
+                    "coverage-guided corpus search.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub):
+        sub.add_argument("--target", default="nested_abort",
+                         help="exploration target (default: nested_abort)")
+        sub.add_argument("--seed", type=int, default=2026,
+                         help="search seed (default: 2026)")
+        sub.add_argument("--budget", type=int, default=200,
+                         help="executed runs (default: 200)")
+        sub.add_argument("--kinds", choices=sorted(KINDS), default="storm",
+                         help="fault vocabulary (default: storm)")
+        sub.add_argument("--chunk-size", type=int, default=25,
+                         help="plans per execution chunk (default: 25)")
+
+    enumerate_cmd = commands.add_parser(
+        "enumerate", help="independent-sample sweep")
+    common(enumerate_cmd)
+    enumerate_cmd.set_defaults(func=cmd_enumerate)
+
+    corpus_cmd = commands.add_parser(
+        "corpus", help="coverage-guided corpus search")
+    common(corpus_cmd)
+    corpus_cmd.add_argument("--corpus", default=None, metavar="FILE",
+                            help="persisted corpus JSON (loaded when "
+                                 "present, saved back after the session)")
+    corpus_cmd.add_argument("--reproducers", default=None, metavar="DIR",
+                            help="write auto-shrunk pytest reproducers here")
+    corpus_cmd.add_argument("--parallel", action="store_true",
+                            help="fan chunks over the scenario engine's "
+                                 "process pool")
+    corpus_cmd.set_defaults(func=cmd_corpus)
+
+    compare_cmd = commands.add_parser(
+        "compare", help="enumeration vs corpus search at an equal budget")
+    common(compare_cmd)
+    compare_cmd.set_defaults(func=cmd_compare)
+
+    arguments = parser.parse_args(argv)
+    return arguments.func(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -1,0 +1,553 @@
+"""Coverage-guided corpus search over the fault-plan space.
+
+Enumeration (:class:`~repro.explore.explorer.Explorer`) samples plans
+independently; most of a large budget lands on behaviour already seen.
+This module steers the budget instead: the byte-level canonical-trace
+digest of a run is its behaviour fingerprint (PR 5), a *novel* digest
+admits the plan to a persisted corpus, and later generations *mutate*
+corpus plans (:mod:`repro.explore.mutate`) rather than resampling from
+scratch — small perturbations of an interesting plan reach new
+interleavings far more often than fresh independent draws.
+
+Determinism contract — parallel and sequential sweeps account novelty
+identically:
+
+* every generation's candidate list is a pure function of the corpus
+  snapshot at generation start, the search seed and the generation
+  number (mutation tokens are ``"g{generation}-c{candidate}"``);
+* candidates are executed in fixed-size chunks via the module-level
+  (picklable) :func:`run_plans_chunk` — in-process by default, or fanned
+  over the scenario engine's process pool (the ``explore_corpus``
+  scenario) — and results always come back in candidate order;
+* novelty is then merged strictly in candidate order, so which digests
+  count as new never depends on execution interleaving.
+
+Every *novel* oracle violation is auto-shrunk with the ddmin shrinker
+into a ready-to-paste pytest reproducer
+(:func:`~repro.explore.shrink.to_pytest_source`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, \
+    Tuple
+
+from .explorer import run_case
+from .generator import DEFAULT_KINDS, FaultPlanGenerator
+from .mutate import PlanMutator
+from .plan import ExplorationPlan
+from .shrink import shrink_plan, to_pytest_source
+from .targets import get_target
+
+#: On-disk corpus format version.
+CORPUS_SCHEMA = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One interesting plan: the first witness of its trace digest."""
+
+    plan: ExplorationPlan
+    digest: str
+    #: Search generation the plan was found in (0 = bootstrap).
+    generation: int = 0
+    #: Digest of the corpus plan this one was mutated from, if any.
+    parent: Optional[str] = None
+    #: Whether the witnessing run violated an oracle.
+    failing: bool = False
+    #: Seed-scheduling metadata: how often this entry has been picked as
+    #: a mutation parent (the scheduler favours the least-mutated).
+    mutations: int = 0
+    #: Message statistics of the witnessing run (per-link and per-type
+    #: delivery counts) — the mutator's steering feedback: ordinals and
+    #: targets are folded into the traffic the run actually carried.
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "plan": self.plan.to_dict(),
+            "digest": self.digest,
+            "generation": self.generation,
+            "mutations": self.mutations,
+        }
+        if self.parent is not None:
+            data["parent"] = self.parent
+        if self.failing:
+            data["failing"] = True
+        if self.stats:
+            data["stats"] = self.stats
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusEntry":
+        return cls(plan=ExplorationPlan.from_dict(data["plan"]),
+                   digest=data["digest"],
+                   generation=data.get("generation", 0),
+                   parent=data.get("parent"),
+                   failing=data.get("failing", False),
+                   mutations=data.get("mutations", 0),
+                   stats=data.get("stats", {}))
+
+
+class Corpus:
+    """A digest-deduped, insertion-ordered set of interesting plans.
+
+    The corpus is the search's long-term memory: persisted as JSON, it
+    carries over between runs (the nightly workflow caches it as an
+    artifact), so every run starts from all behaviour ever reached
+    instead of rediscovering it.
+    """
+
+    def __init__(self, target: str = "nested_abort", seed: int = 0,
+                 entries: Sequence[CorpusEntry] = ()) -> None:
+        self.target = target
+        self.seed = int(seed)
+        self._entries: Dict[str, CorpusEntry] = {}
+        for entry in entries:
+            self.add(entry)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    @property
+    def entries(self) -> List[CorpusEntry]:
+        """Entries in insertion (discovery) order."""
+        return list(self._entries.values())
+
+    @property
+    def digests(self) -> List[str]:
+        return list(self._entries)
+
+    def plan_keys(self) -> set:
+        """Canonical keys of every corpus plan (candidate dedupe)."""
+        return {entry.plan.key() for entry in self._entries.values()}
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Admit ``entry`` unless its digest is already covered.
+
+        Returns True when the entry was novel (admitted).
+        """
+        if entry.digest in self._entries:
+            return False
+        self._entries[entry.digest] = entry
+        return True
+
+    def schedule(self, count: int) -> List[CorpusEntry]:
+        """Pick ``count`` mutation parents, least-mutated first.
+
+        Deterministic: ties break by discovery order, and each pick
+        increments the entry's ``mutations`` counter so the load spreads
+        over the whole corpus instead of hammering the first entry.
+        """
+        if not self._entries:
+            raise ValueError("cannot schedule from an empty corpus")
+        order = {digest: position
+                 for position, digest in enumerate(self._entries)}
+        parents: List[CorpusEntry] = []
+        for _ in range(count):
+            entry = min(self._entries.values(),
+                        key=lambda e: (e.mutations, order[e.digest]))
+            entry.mutations += 1
+            parents.append(entry)
+        return parents
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "target": self.target,
+            "seed": self.seed,
+            "entries": [entry.to_dict() for entry in self._entries.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Corpus":
+        schema = data.get("schema", CORPUS_SCHEMA)
+        if schema != CORPUS_SCHEMA:
+            raise ValueError(f"unsupported corpus schema {schema!r}")
+        return cls(target=data.get("target", "nested_abort"),
+                   seed=data.get("seed", 0),
+                   entries=[CorpusEntry.from_dict(entry)
+                            for entry in data.get("entries", ())])
+
+    def save(self, path) -> None:
+        """Write the corpus as (stable, diffable) JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "Corpus":
+        return cls.from_dict(json.loads(Path(path).read_text(
+            encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# Chunk execution (module-level, hence picklable for the process pool)
+# ----------------------------------------------------------------------
+def run_plans_chunk(target: str = "nested_abort",
+                    plans: Sequence[Dict[str, Any]] = (),
+                    start: int = 0, algorithm: str = "ours",
+                    baselines: Sequence[str] = ()) -> Dict[str, Any]:
+    """Run an explicit list of plans (dict form) and summarise each.
+
+    Unlike :func:`~repro.explore.explorer.explore_chunk`, which derives
+    its plans from ``(seed, index)``, this runner receives the plans
+    themselves — corpus search derives candidates centrally (from the
+    corpus snapshot) and only fans the *execution* out.  Pure in its
+    arguments, so the engine's process-pool path and sequential fallback
+    return byte-identical rows.
+    """
+    results: List[Dict[str, Any]] = []
+    for offset, data in enumerate(plans):
+        plan = ExplorationPlan.from_dict(data)
+        case = run_case(target, plan, algorithm=algorithm,
+                        baselines=baselines, index=start + offset)
+        results.append({
+            "index": case.index,
+            "plan": data,
+            "digest": case.digest,
+            "completed": case.completed,
+            "error": case.error,
+            "violations": [str(v) for v in case.violations],
+            "stats": case.stats,
+        })
+    digest = hashlib.sha256()
+    for row in results:
+        digest.update(json.dumps(row["plan"], sort_keys=True).encode("utf-8"))
+        digest.update(row["digest"].encode("utf-8"))
+    return {
+        "target": target,
+        "start": start,
+        "cases": len(results),
+        "failures": sum(1 for row in results if row["violations"]),
+        "results": results,
+        "digest": digest.hexdigest(),
+    }
+
+
+#: Executes a list of ``run_plans_chunk`` keyword-argument dicts and
+#: returns their rows in order (the seam the engine's pool plugs into).
+ChunkRunner = Callable[[List[Dict[str, Any]]], List[Dict[str, Any]]]
+
+
+def engine_chunk_runner(parallel: bool = True,
+                        max_workers: Optional[int] = None) -> ChunkRunner:
+    """A :data:`ChunkRunner` fanning chunks over the scenario engine.
+
+    Routes each generation's chunks through the engine's
+    ``explore_corpus`` scenario — a process pool when ``parallel``, the
+    byte-identical sequential path otherwise (also the automatic
+    fallback where no pool can be created).  Imported lazily to keep
+    ``repro.explore`` importable without the bench machinery.
+    """
+    def run(points: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        from ..bench.engine import run_scenario
+        return run_scenario("explore_corpus", points=points,
+                            parallel=parallel, max_workers=max_workers)
+    return run
+
+
+@dataclass
+class CorpusSearchReport:
+    """Aggregated outcome of one corpus-search session."""
+
+    target: str
+    seed: int
+    #: Runs accounted, in canonical candidate order (equals the number
+    #: of runs a sequential session executes; see ``first_failure_at``).
+    executed: int
+    generations: int
+    #: Distinct trace digests observed among this session's runs.
+    distinct_digests: int
+    #: Plans admitted to the corpus by this session.
+    novel: int
+    corpus_size: int
+    #: 1-based canonical run count of the first oracle violation.
+    first_failure_at: Optional[int] = None
+    #: Result rows of the failing runs (novel digests only).
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: Auto-shrunk reproducers: plan, reduced plan, violations, pytest
+    #: source — deduped by reduced-plan identity.
+    reproducers: List[Dict[str, Any]] = field(default_factory=list)
+    #: Extra runs spent shrinking (not counted in ``executed``).
+    shrink_evaluations: int = 0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "seed": self.seed,
+            "executed": self.executed,
+            "generations": self.generations,
+            "distinct_digests": self.distinct_digests,
+            "novel": self.novel,
+            "corpus_size": self.corpus_size,
+            "first_failure_at": self.first_failure_at,
+            "failures": len(self.failures),
+            "reproducers": len(self.reproducers),
+            "shrink_evaluations": self.shrink_evaluations,
+        }
+
+
+class CorpusSearch:
+    """Generational, digest-guided search over one exploration target.
+
+    Each generation derives ``generation_size`` candidates and executes
+    them in ``chunk_size`` chunks through ``run_chunks``; candidates
+    with a novel digest enter the corpus.  Candidate derivation has
+    three stages, in priority order:
+
+    1. *deterministic neighbours* — every newly admitted plan is swept
+       through :meth:`PlanMutator.neighbors` (retarget / retype / retime
+       each directive) before any dice are rolled, the deterministic
+       stage of classic coverage-guided fuzzers;
+    2. *random mutations* of scheduled corpus entries (least-mutated
+       first), with every ``fresh_every``-th candidate a fresh generator
+       sample to keep seeding diversity;
+    3. *bootstrap* — an empty corpus starts from pure generator samples
+       (indices 0, 1, 2, … — exactly the enumeration order, so a corpus
+       session subsumes an enumeration prefix).
+
+    Plans whose canonical key was already executed this session (or sits
+    in the corpus) are never re-run — re-running a known plan cannot
+    yield a novel digest, so the budget goes where novelty is possible.
+    """
+
+    def __init__(self, target="nested_abort", seed: int = 0,
+                 corpus: Optional[Corpus] = None,
+                 kinds: Sequence[str] = DEFAULT_KINDS,
+                 algorithm: str = "ours",
+                 baselines: Sequence[str] = (),
+                 generation_size: int = 25,
+                 chunk_size: int = 25,
+                 fresh_every: int = 5,
+                 max_directives: int = 3,
+                 jitter_probability: float = 0.5,
+                 run_chunks: Optional[ChunkRunner] = None,
+                 shrink: bool = True,
+                 max_shrink_evaluations: int = 200) -> None:
+        if generation_size < 1 or chunk_size < 1:
+            raise ValueError("generation_size and chunk_size must be >= 1")
+        if fresh_every < 2:
+            raise ValueError("fresh_every must be >= 2")
+        self.target = get_target(target)
+        self.seed = int(seed)
+        self.algorithm = algorithm
+        self.baselines = tuple(baselines)
+        self.generation_size = generation_size
+        self.chunk_size = chunk_size
+        self.fresh_every = fresh_every
+        self.shrink = shrink
+        self.max_shrink_evaluations = max_shrink_evaluations
+        self.generator = FaultPlanGenerator(
+            self.seed, self.target.threads, kinds=kinds,
+            max_directives=max_directives,
+            jitter_probability=jitter_probability)
+        self.mutator = PlanMutator(self.seed, self.target.threads,
+                                   kinds=kinds,
+                                   max_directives=max(6, max_directives))
+        self.corpus = corpus if corpus is not None else Corpus(
+            target=self.target.name, seed=self.seed)
+        self.run_chunks = run_chunks or self._sequential_chunks
+        #: Next enumeration index for fresh samples (continues across
+        #: generations so fresh candidates never repeat).
+        self._fresh_index = 0
+        #: Deterministic-stage queue: (neighbour plan, parent digest),
+        #: FIFO in admission order.  Pre-loaded corpus entries get their
+        #: sweep too — a warm corpus is the whole point of persistence.
+        self._pending: Deque[Tuple[ExplorationPlan, str]] = deque()
+        #: Canonical keys of every plan executed this session or already
+        #: in the corpus (never re-run a known plan).
+        self._seen_keys = self.corpus.plan_keys()
+        for entry in self.corpus.entries:
+            self._enqueue_neighbors(entry)
+
+    def _enqueue_neighbors(self, entry: CorpusEntry) -> None:
+        for neighbor in self.mutator.neighbors(entry.plan,
+                                               feedback=entry.stats):
+            self._pending.append((neighbor, entry.digest))
+
+    # ------------------------------------------------------------------
+    def run(self, budget: int,
+            stop_on_first_failure: bool = False) -> CorpusSearchReport:
+        """Search for ``budget`` runs (plus shrinking, accounted apart).
+
+        With ``stop_on_first_failure`` the session ends at the first
+        failing candidate *in canonical order*; ``executed`` then counts
+        candidates up to and including it — the number a sequential
+        session would have run — even if a parallel chunk ran more.
+        """
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        executed = 0
+        generation = 0
+        novel = 0
+        shrink_evaluations = 0
+        digests_seen: set = set()
+        reduced_seen: set = set()
+        first_failure_at: Optional[int] = None
+        failures: List[Dict[str, Any]] = []
+        reproducers: List[Dict[str, Any]] = []
+        stop = False
+
+        while executed < budget and not stop:
+            count = min(self.generation_size, budget - executed)
+            candidates = self._candidates(generation, count)
+            rows = self._execute(candidates, start=executed)
+            for (plan, parent), row in zip(candidates, rows):
+                executed += 1
+                digests_seen.add(row["digest"])
+                failing = bool(row["violations"])
+                entry = CorpusEntry(
+                    plan=plan, digest=row["digest"], generation=generation,
+                    parent=parent, failing=failing,
+                    stats=row.get("stats", {}))
+                is_novel = self.corpus.add(entry)
+                if is_novel:
+                    novel += 1
+                    self._enqueue_neighbors(entry)
+                if failing:
+                    if first_failure_at is None:
+                        first_failure_at = executed
+                    if is_novel:
+                        failures.append(row)
+                        if self.shrink:
+                            record, cost = self._shrink(plan, reduced_seen)
+                            shrink_evaluations += cost
+                            if record is not None:
+                                reproducers.append(record)
+                    if stop_on_first_failure:
+                        stop = True
+                        break
+            generation += 1
+
+        return CorpusSearchReport(
+            target=self.target.name, seed=self.seed, executed=executed,
+            generations=generation, distinct_digests=len(digests_seen),
+            novel=novel, corpus_size=len(self.corpus),
+            first_failure_at=first_failure_at, failures=failures,
+            reproducers=reproducers, shrink_evaluations=shrink_evaluations)
+
+    # ------------------------------------------------------------------
+    def _candidates(self, generation: int, count: int
+                    ) -> List[Tuple[ExplorationPlan, Optional[str]]]:
+        """Candidates for one generation: pure in (seed, session history).
+
+        Returns ``(plan, parent_digest)`` pairs.  The deterministic
+        neighbour queue is drained first; remaining slots are filled
+        with random mutations of scheduled parents (every
+        ``fresh_every``-th slot a fresh generator sample), or pure
+        generator samples while the corpus is still empty.  Mutated
+        children that collide with an already-seen plan are re-mutated
+        up to three times — running a known-identical plan can never
+        yield a novel digest, so the retry spends the budget where
+        novelty is possible.
+        """
+        candidates: List[Tuple[ExplorationPlan, Optional[str]]] = []
+
+        def emit(plan: ExplorationPlan, parent: Optional[str]) -> None:
+            self._seen_keys.add(plan.key())
+            candidates.append((plan, parent))
+
+        # Stage 1: deterministic neighbours of admitted plans, FIFO —
+        # capped at half the generation so the sweep of a large corpus
+        # can never starve the havoc stage, whose stacked mutations are
+        # the better distinct-digest generator.
+        sweep_cap = max(1, count // 2)
+        while self._pending and len(candidates) < min(count, sweep_cap):
+            plan, parent = self._pending.popleft()
+            if plan.key() not in self._seen_keys:
+                emit(plan, parent)
+        if len(candidates) == count:
+            return candidates
+
+        # Stage 3 (bootstrap): an empty corpus enumerates from index 0,
+        # so a corpus session subsumes an enumeration prefix.
+        if not len(self.corpus):
+            while len(candidates) < count:
+                plan = self.generator.sample(self._fresh_index)
+                self._fresh_index += 1
+                emit(plan, None)
+            return candidates
+
+        # Stage 2: random mutations, salted with fresh samples.
+        remaining = count - len(candidates)
+        parents = self.corpus.schedule(remaining)
+        for position in range(remaining):
+            if (position + 1) % self.fresh_every == 0:
+                plan = self.generator.sample(self._fresh_index)
+                self._fresh_index += 1
+                emit(plan, None)
+                continue
+            parent = parents[position]
+            token = f"g{generation}-c{position}"
+            child = self.mutator.mutate(parent.plan, token,
+                                        feedback=parent.stats)
+            for retry in range(3):
+                if child.key() not in self._seen_keys:
+                    break
+                child = self.mutator.mutate(parent.plan,
+                                            f"{token}-r{retry}",
+                                            feedback=parent.stats)
+            emit(child, parent.digest)
+        return candidates
+
+    def _execute(self, candidates: Sequence[Tuple[ExplorationPlan,
+                                                  Optional[str]]],
+                 start: int) -> List[Dict[str, Any]]:
+        """Run candidates in chunk_size chunks; rows in candidate order."""
+        points: List[Dict[str, Any]] = []
+        for offset in range(0, len(candidates), self.chunk_size):
+            chunk = candidates[offset:offset + self.chunk_size]
+            points.append({
+                "target": self.target.name,
+                "plans": [plan.to_dict() for plan, _parent in chunk],
+                "start": start + offset,
+                "algorithm": self.algorithm,
+                "baselines": self.baselines,
+            })
+        rows: List[Dict[str, Any]] = []
+        for chunk_row in self.run_chunks(points):
+            rows.extend(chunk_row["results"])
+        return rows
+
+    @staticmethod
+    def _sequential_chunks(points: List[Dict[str, Any]]
+                           ) -> List[Dict[str, Any]]:
+        return [run_plans_chunk(**point) for point in points]
+
+    def _shrink(self, plan: ExplorationPlan, reduced_seen: set
+                ) -> Tuple[Optional[Dict[str, Any]], int]:
+        """ddmin-shrink a failing plan into a pytest reproducer record."""
+        def still_failing(candidate: ExplorationPlan):
+            return run_case(self.target, candidate,
+                            algorithm=self.algorithm,
+                            baselines=self.baselines).violations
+
+        result = shrink_plan(plan, still_failing,
+                             max_evaluations=self.max_shrink_evaluations)
+        key = result.reduced.key()
+        if key in reduced_seen:
+            # Distinct digests can shrink to the same minimal plan; one
+            # reproducer per root cause is enough.
+            return None, result.evaluations
+        reduced_seen.add(key)
+        source = to_pytest_source(self.target.name, result.reduced,
+                                  result.violations,
+                                  algorithm=self.algorithm,
+                                  baselines=self.baselines)
+        return {
+            "plan": plan.to_dict(),
+            "reduced": result.reduced.to_dict(),
+            "violations": [str(v) for v in result.violations],
+            "source": source,
+        }, result.evaluations

@@ -33,8 +33,15 @@ SAMPLABLE_KINDS: Tuple[str, ...] = tuple(
 
 #: Directive kinds sampled by default: the delivery-preserving ones, so the
 #: full oracle catalogue (including liveness) applies to every sampled
-#: plan.  Pass ``kinds=DIRECTIVE_KINDS`` for the complete vocabulary.
+#: plan.  Pass ``kinds=STORM_KINDS`` for the complete vocabulary.
 DEFAULT_KINDS: Tuple[str, ...] = ("delay_link", "delay_type", "delay_nth")
+
+#: The widened failure-storm vocabulary: every samplable kind, including
+#: the drop/corrupt classes and crash (optionally paired with a timed
+#: restore into a crash/restore wave).  Plans drawn from it are generally
+#: not delivery-preserving, so the explorer holds them to the safety
+#: oracles only — the liveness oracle is correctly waived.
+STORM_KINDS: Tuple[str, ...] = SAMPLABLE_KINDS
 
 
 class FaultPlanGenerator:
@@ -60,6 +67,10 @@ class FaultPlanGenerator:
         ``(low, high)`` of sampled crash times (``crash`` kind only).
     jitter_probability:
         Probability that a plan carries a schedule-perturbation seed.
+    restore_probability:
+        Probability that a sampled crash is paired with a timed restore
+        (a crash/restore *wave*: the node comes back after an outage
+        drawn from ``delay_range``).
     """
 
     def __init__(self, seed: int, threads: Sequence[str],
@@ -69,7 +80,8 @@ class FaultPlanGenerator:
                  delay_range: Tuple[float, float] = (0.25, 5.0),
                  max_nth: int = 6,
                  crash_window: Tuple[float, float] = (0.0, 5.0),
-                 jitter_probability: float = 0.5) -> None:
+                 jitter_probability: float = 0.5,
+                 restore_probability: float = 0.5) -> None:
         if len(threads) < 2:
             raise ValueError("need at least two threads to have links")
         unknown = set(kinds) - set(SAMPLABLE_KINDS)
@@ -81,6 +93,8 @@ class FaultPlanGenerator:
             raise ValueError("max_directives must be >= 1")
         if not 0.0 <= jitter_probability <= 1.0:
             raise ValueError("jitter_probability must be in [0, 1]")
+        if not 0.0 <= restore_probability <= 1.0:
+            raise ValueError("restore_probability must be in [0, 1]")
         self.seed = int(seed)
         self.threads = tuple(threads)
         self.kinds = tuple(kinds)
@@ -90,6 +104,7 @@ class FaultPlanGenerator:
         self.max_nth = max_nth
         self.crash_window = crash_window
         self.jitter_probability = jitter_probability
+        self.restore_probability = restore_probability
         self._links = tuple((a, b) for a in self.threads for b in self.threads
                             if a != b)
 
@@ -98,11 +113,32 @@ class FaultPlanGenerator:
         """Sample plan number ``index`` (pure in ``(seed, index)``)."""
         rng = self._rng(index)
         count = rng.randint(1, self.max_directives)
-        directives = tuple(self._sample_directive(rng) for _ in range(count))
+        directives: list = []
+        for _ in range(count):
+            directives.extend(self.sample_wave(rng))
         tie_seed: Optional[int] = None
         if rng.random() < self.jitter_probability:
             tie_seed = rng.randrange(2 ** 32)
-        return ExplorationPlan(directives=directives, tie_seed=tie_seed)
+        return ExplorationPlan(directives=tuple(directives),
+                               tie_seed=tie_seed)
+
+    def sample_wave(self, rng: random.Random) -> Tuple[FaultDirective, ...]:
+        """One sampled directive, expanded into a crash/restore wave when
+        the dice say the crashed node comes back.
+
+        Extra stream draws happen only on the crash branch, so plans from
+        delay-only vocabularies (``DEFAULT_KINDS``) are bit-identical with
+        the pre-wave generator — the ``explore_100`` conformance digests
+        are unchanged.
+        """
+        directive = self._sample_directive(rng)
+        if directive.kind != "crash" or \
+                rng.random() >= self.restore_probability:
+            return (directive,)
+        outage = round(rng.uniform(*self.delay_range), 3)
+        restore_at = round((directive.at_time or 0.0) + outage, 3)
+        return (directive, FaultDirective("restore", node=directive.node,
+                                          at_time=restore_at))
 
     def _rng(self, index: int) -> random.Random:
         # Named sub-streams give the same PYTHONHASHSEED-independent

@@ -1,0 +1,256 @@
+"""Mutation operators over exploration plans.
+
+Coverage-guided search (:mod:`repro.explore.corpus`) evolves plans
+instead of resampling them from scratch: a mutation keeps most of the
+structure that made the parent's behaviour novel and perturbs one
+aspect — add a directive (or a crash/restore wave), drop one, retarget
+one to a different link or node, re-time its delay or crash instant, or
+perturb the schedule-perturbation seed.  The last operator is the
+cheapest novelty generator of all: the same faults under a different
+event interleaving routinely reach a new canonical trace.
+
+Determinism contract: :meth:`PlanMutator.mutate` is a pure function of
+``(seed, token, plan)``.  The token (e.g. ``"g3-c7"`` — generation 3,
+candidate 7) names a fresh derived stream, so any process computes the
+same child for the same inputs.  That is the property the corpus
+search's byte-identical parallel/sequential novelty accounting rests on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
+
+from ..net.faults import FaultDirective
+from ..simkernel.rng import SeededStreams
+from .generator import (
+    DEFAULT_KINDS,
+    DEFAULT_MESSAGE_TYPES,
+    FaultPlanGenerator,
+)
+from .plan import ExplorationPlan
+
+
+class PlanMutator:
+    """Seeded, deterministic mutations of :class:`ExplorationPlan`.
+
+    The mutator wraps a :class:`FaultPlanGenerator` for sampling fresh
+    directives (the ``add`` operator draws from the same vocabulary the
+    search was configured with, including crash/restore waves) and
+    applies one randomly chosen operator per call.
+    """
+
+    OPERATORS: Tuple[str, ...] = ("add", "drop", "retarget", "retime",
+                                  "reseed")
+
+    def __init__(self, seed: int, threads: Sequence[str],
+                 kinds: Sequence[str] = DEFAULT_KINDS,
+                 message_types: Sequence[str] = DEFAULT_MESSAGE_TYPES,
+                 max_directives: int = 6,
+                 delay_range: Tuple[float, float] = (0.25, 5.0),
+                 max_nth: int = 6,
+                 crash_window: Tuple[float, float] = (0.0, 5.0),
+                 restore_probability: float = 0.5) -> None:
+        self.seed = int(seed)
+        self.threads = tuple(threads)
+        self.max_directives = max(1, max_directives)
+        self.max_nth = max_nth
+        self.crash_window = crash_window
+        self.generator = FaultPlanGenerator(
+            seed, threads, kinds=kinds, message_types=message_types,
+            max_directives=self.max_directives, delay_range=delay_range,
+            max_nth=max_nth, crash_window=crash_window,
+            restore_probability=restore_probability)
+        self._links = tuple((a, b) for a in self.threads
+                            for b in self.threads if a != b)
+
+    # ------------------------------------------------------------------
+    def mutate(self, plan: ExplorationPlan, token: str,
+               feedback: Optional[Dict[str, Any]] = None) -> ExplorationPlan:
+        """One mutated child of ``plan`` — pure in ``(seed, token, plan,
+        feedback)``.
+
+        Applies a *stack* of one to three operators (the havoc stage of
+        classic coverage-guided fuzzers).  Structural operators (add /
+        drop / retarget) frequently produce behavioural no-ops — a delay
+        moved to an ordinal past the link's traffic changes nothing — so
+        a lone operator wastes much of the budget on digest collisions;
+        stacking pairs most structural steps with a re-time or re-seed,
+        whose behavioural yield is near-certain.
+
+        ``feedback`` is the parent run's message-statistics snapshot
+        (``by_link`` delivery counts); when present, directives landing
+        on idle links are re-aimed at trafficked ones and nth-message
+        ordinals are folded into the link's observed traffic — steering
+        enumeration cannot do, since it knows nothing about its samples'
+        behaviour.
+        """
+        rng = SeededStreams(self.seed).stream(f"mutate:{token}")
+        child = plan
+        for _ in range(1 + rng.randrange(3)):
+            operator = self.OPERATORS[rng.randrange(len(self.OPERATORS))]
+            if not child.directives and \
+                    operator in ("drop", "retarget", "retime"):
+                operator = "add"
+            if operator == "add" and \
+                    len(child.directives) >= self.max_directives:
+                operator = "drop"
+            child = getattr(self, f"_{operator}")(child, rng)
+        if feedback:
+            child = self._steer(child, rng, feedback)
+        return child
+
+    def _steer(self, plan: ExplorationPlan, rng: random.Random,
+               feedback: Dict[str, Any]) -> ExplorationPlan:
+        """Fold each directive into the parent run's observed traffic."""
+        by_link = feedback.get("by_link", {})
+        active = tuple(link for link in self._links
+                       if by_link.get(f"{link[0]}->{link[1]}", 0) > 0)
+        if not active:
+            return plan
+        for index, directive in enumerate(plan.directives):
+            if directive.kind in ("crash", "restore"):
+                continue
+            traffic = by_link.get(
+                f"{directive.source}->{directive.destination}", 0)
+            if traffic == 0:
+                source, destination = active[rng.randrange(len(active))]
+                directive = replace(directive, source=source,
+                                    destination=destination)
+                traffic = by_link[f"{source}->{destination}"]
+            if directive.n > traffic:
+                directive = replace(directive,
+                                    n=(directive.n - 1) % traffic + 1)
+            if directive is not plan.directives[index]:
+                plan = plan.with_directive(index, directive)
+        return plan
+
+    # ------------------------------------------------------------------
+    def neighbors(self, plan: ExplorationPlan,
+                  feedback: Optional[Dict[str, Any]] = None
+                  ) -> Iterator[ExplorationPlan]:
+        """Deterministic one-change neighbours of ``plan``, in fixed order.
+
+        The corpus search runs this sweep once over every newly admitted
+        plan before falling back to random mutation (the deterministic
+        stage of classic coverage-guided fuzzers): retarget each
+        directive to every other link or node, retype per-type delays to
+        every other protocol message, double/halve magnitudes and crash
+        instants, and drop the schedule perturbation.  Structural
+        retargets come first — moving a working delay to a different
+        link is the single most behaviour-changing small step.
+
+        ``feedback`` (the witnessing run's message statistics) steers
+        the sweep: a directive whose ordinal lies past its link's
+        observed traffic never fired, so perturbing it in place cannot
+        change behaviour — dead directives only get *revival* retargets
+        onto links with enough traffic, and nth ordinals are folded into
+        the destination link's traffic.
+        """
+        by_link = (feedback or {}).get("by_link", {})
+        by_type = (feedback or {}).get("by_type", {})
+
+        def traffic(source: str, destination: str) -> Optional[int]:
+            if not by_link:
+                return None          # no feedback: assume everything fires
+            return by_link.get(f"{source}->{destination}", 0)
+
+        for index, directive in enumerate(plan.directives):
+            if directive.kind in ("crash", "restore"):
+                for node in self.threads:
+                    if node != directive.node:
+                        yield plan.with_directive(index, replace(
+                            directive, node=node))
+                if directive.at_time is not None:
+                    for factor in (2.0, 0.5):
+                        yield plan.with_directive(index, replace(
+                            directive,
+                            at_time=round(directive.at_time * factor, 3)))
+                continue
+            here = traffic(directive.source, directive.destination)
+            live = here is None or (here > 0 and directive.n <= here)
+            link = (directive.source, directive.destination)
+            for source, destination in self._links:
+                if (source, destination) == link:
+                    continue
+                there = traffic(source, destination)
+                moved = replace(directive, source=source,
+                                destination=destination)
+                if there is not None:
+                    if there == 0 or (not live and there < directive.n):
+                        continue     # still dead over there
+                    if directive.n > there:
+                        moved = replace(moved, n=(moved.n - 1) % there + 1)
+                yield plan.with_directive(index, moved)
+            if not live:
+                continue             # in-place perturbations cannot fire
+            if directive.kind == "delay_type":
+                for type_name in self.generator.message_types:
+                    if type_name == directive.type_name:
+                        continue
+                    if by_type and not by_type.get(type_name, 0):
+                        continue     # that type never flowed at all
+                    yield plan.with_directive(index, replace(
+                        directive, type_name=type_name))
+            if directive.extra > 0.0:
+                for factor in (2.0, 0.5):
+                    yield plan.with_directive(index, replace(
+                        directive,
+                        extra=round(max(0.05, directive.extra * factor), 3)))
+        if plan.tie_seed is not None:
+            yield plan.without_tie_seed()
+
+    # ------------------------------------------------------------------
+    # Operators (each pure in (plan, rng state))
+    # ------------------------------------------------------------------
+    def _add(self, plan: ExplorationPlan,
+             rng: random.Random) -> ExplorationPlan:
+        """Insert a freshly sampled directive (or crash/restore wave)."""
+        wave = self.generator.sample_wave(rng)
+        position = rng.randint(0, len(plan.directives))
+        directives = (plan.directives[:position] + wave
+                      + plan.directives[position:])
+        return replace(plan, directives=directives)
+
+    def _drop(self, plan: ExplorationPlan,
+              rng: random.Random) -> ExplorationPlan:
+        """Remove one directive."""
+        return plan.without_directive(rng.randrange(len(plan.directives)))
+
+    def _retarget(self, plan: ExplorationPlan,
+                  rng: random.Random) -> ExplorationPlan:
+        """Point one directive at a different link or node."""
+        index = rng.randrange(len(plan.directives))
+        directive = plan.directives[index]
+        if directive.kind in ("crash", "restore"):
+            node = self.threads[rng.randrange(len(self.threads))]
+            return plan.with_directive(index, replace(directive, node=node))
+        source, destination = self._links[rng.randrange(len(self._links))]
+        return plan.with_directive(index, replace(
+            directive, source=source, destination=destination))
+
+    def _retime(self, plan: ExplorationPlan,
+                rng: random.Random) -> ExplorationPlan:
+        """Scale a delay, move a crash/restore instant, or shift an ordinal."""
+        index = rng.randrange(len(plan.directives))
+        directive = plan.directives[index]
+        if directive.extra > 0.0:
+            factor = rng.uniform(0.5, 2.0)
+            extra = round(max(0.05, directive.extra * factor), 3)
+            return plan.with_directive(index, replace(directive, extra=extra))
+        if directive.kind in ("crash", "restore"):
+            at_time = round(rng.uniform(*self.crash_window), 3)
+            return plan.with_directive(index, replace(directive,
+                                                      at_time=at_time))
+        if directive.n > 0:
+            return plan.with_directive(index, replace(
+                directive, n=rng.randint(1, self.max_nth)))
+        return self._reseed(plan, rng)
+
+    def _reseed(self, plan: ExplorationPlan,
+                rng: random.Random) -> ExplorationPlan:
+        """Perturb (set, replace or drop) the schedule-perturbation seed."""
+        if plan.tie_seed is not None and rng.random() < 0.25:
+            return plan.without_tie_seed()
+        return replace(plan, tie_seed=rng.randrange(2 ** 32))

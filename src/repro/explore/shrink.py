@@ -6,9 +6,18 @@ shrinker greedily:
 
 1. removes directives one at a time, to a fixed point — any directive
    whose removal keeps the failure is noise;
-2. drops the schedule-perturbation seed if the faults alone suffice;
-3. halves the magnitude of delay directives while the failure persists,
-   so the reproducer documents roughly *how much* delay is needed.
+2. drops the schedule-perturbation seed if the faults alone suffice, and
+   otherwise normalises it to the smallest equivalent value so two
+   shrink sessions of the same bug converge on the same reproducer;
+3. simplifies directive fields — a per-nth delay becomes a per-type or
+   whole-link delay when the failure does not depend on the ordinal, and
+   a timed crash becomes an immediate one — so the reproducer names the
+   *mechanism* (which message class must be late) rather than a
+   coincidental message index;
+4. halves the magnitude of delay directives while the failure persists,
+   so the reproducer documents roughly *how much* delay is needed;
+5. re-runs the removal pass, since simplification can make a surviving
+   directive redundant.
 
 Because runs are deterministic, every candidate evaluation is exact: a
 plan either reproduces the failure or it does not, and the result is a
@@ -20,13 +29,42 @@ pytest module, ready to paste into ``tests/`` as a regression.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, List, Sequence
+from typing import Callable, Iterator, List, Sequence
 
 from ..core.oracles import OracleViolation
+from ..net.faults import FaultDirective
+from .generator import DEFAULT_MESSAGE_TYPES
 from .plan import ExplorationPlan
 
 #: A shrink predicate: run the plan, return its violations (empty = passes).
 Predicate = Callable[[ExplorationPlan], List[OracleViolation]]
+
+#: Canonical schedule-perturbation seeds, tried smallest-first when the
+#: failure needs *a* perturbation but not the sampled 32-bit one.
+CANONICAL_TIE_SEEDS = (0, 1, 2)
+
+
+def _simpler_variants(directive: FaultDirective,
+                      message_types: Sequence[str]
+                      ) -> Iterator[FaultDirective]:
+    """Strictly simpler rewrites of one directive, best candidate first.
+
+    "Simpler" means fewer incidental details: a per-nth delay pinned to a
+    message ordinal generalises to a per-type delay (naming the protocol
+    message that must be late) or a whole-link delay; a timed crash
+    generalises to an immediate one.  Each candidate is only kept if the
+    failure survives the rewrite.
+    """
+    if directive.kind == "delay_nth":
+        for type_name in message_types:
+            yield FaultDirective("delay_type", source=directive.source,
+                                 destination=directive.destination,
+                                 type_name=type_name, extra=directive.extra)
+        yield FaultDirective("delay_link", source=directive.source,
+                             destination=directive.destination,
+                             extra=directive.extra)
+    elif directive.kind == "crash" and directive.at_time is not None:
+        yield FaultDirective("crash", node=directive.node)
 
 
 @dataclass
@@ -49,8 +87,13 @@ class ShrinkResult:
 
 
 def shrink_plan(plan: ExplorationPlan, still_failing: Predicate,
-                max_evaluations: int = 200) -> ShrinkResult:
+                max_evaluations: int = 200,
+                message_types: Sequence[str] = DEFAULT_MESSAGE_TYPES
+                ) -> ShrinkResult:
     """Reduce ``plan`` while ``still_failing`` keeps reporting violations.
+
+    ``message_types`` are the payload type names the per-nth → per-type
+    simplification may target (default: the protocol messages).
 
     Raises ``ValueError`` if the initial plan does not fail — shrinking a
     passing plan would silently "reduce" it to the empty plan.
@@ -72,20 +115,39 @@ def shrink_plan(plan: ExplorationPlan, still_failing: Predicate,
             return True
         return False
 
-    # 1. Remove directives to a fixed point.
-    progress = True
-    while progress and evaluations < max_evaluations:
-        progress = False
-        for index in range(len(current)):
-            if attempt(current.without_directive(index)):
-                progress = True
-                break
+    def remove_to_fixed_point() -> None:
+        progress = True
+        while progress and evaluations < max_evaluations:
+            progress = False
+            for index in range(len(current)):
+                if attempt(current.without_directive(index)):
+                    progress = True
+                    break
 
-    # 2. Drop the schedule perturbation if the faults alone reproduce.
+    # 1. Remove directives to a fixed point.
+    remove_to_fixed_point()
+
+    # 2. Drop the schedule perturbation if the faults alone reproduce;
+    #    failing that, normalise it to the smallest equivalent seed so
+    #    repeated shrink sessions converge on one canonical reproducer.
     if current.tie_seed is not None:
         attempt(current.without_tie_seed())
+    if current.tie_seed is not None:
+        for canonical in CANONICAL_TIE_SEEDS:
+            if current.tie_seed == canonical:
+                break
+            if attempt(replace(current, tie_seed=canonical)):
+                break
 
-    # 3. Halve delay magnitudes while the failure persists.
+    # 3. Simplify directive fields (per-nth → per-type → per-link, timed
+    #    crash → immediate crash) while the failure persists.
+    for index in range(len(current)):
+        for candidate in _simpler_variants(current.directives[index],
+                                           message_types):
+            if attempt(current.with_directive(index, candidate)):
+                break
+
+    # 4. Halve delay magnitudes while the failure persists.
     for index in range(len(current)):
         for _ in range(4):
             directive = current.directives[index]
@@ -94,6 +156,10 @@ def shrink_plan(plan: ExplorationPlan, still_failing: Predicate,
             smaller = replace(directive, extra=round(directive.extra / 2, 3))
             if not attempt(current.with_directive(index, smaller)):
                 break
+
+    # 5. Simplification can widen a directive's effect (a per-type delay
+    #    covers what a sibling per-nth delay did), so retry removal.
+    remove_to_fixed_point()
 
     return ShrinkResult(original=plan, reduced=current,
                         violations=violations, evaluations=evaluations)

@@ -64,7 +64,9 @@ class FaultDirective:
       payload type name is ``type_name``;
     * ``delay_nth`` — add ``extra`` delay to the ``n``-th message on the
       link;
-    * ``crash`` — crash node ``node`` (from ``at_time`` onwards if given).
+    * ``crash`` — crash node ``node`` (from ``at_time`` onwards if given);
+    * ``restore`` — revive node ``node`` (from ``at_time`` onwards if
+      given, immediately otherwise), masking its earlier crash.
     """
 
     kind: str
@@ -103,7 +105,8 @@ class FaultDirective:
             when = "" if self.at_time is None else f" at t={self.at_time:g}"
             return f"crash {self.node}{when}"
         if self.kind == "restore":
-            return f"restore {self.node}"
+            when = "" if self.at_time is None else f" at t={self.at_time:g}"
+            return f"restore {self.node}{when}"
         link = f"{self.source}->{self.destination}"
         if self.kind == "drop_nth":
             return f"drop message #{self.n} on {link}"
@@ -141,6 +144,7 @@ class FaultPlan:
         self._link_counts: Dict[Tuple[str, str], int] = {}
         self._crashed_nodes: Set[str] = set()
         self._crash_times: Dict[str, float] = {}
+        self._restore_times: Dict[str, float] = {}
         self.stats = FaultStatistics()
         self.log: List[str] = []
         #: The surgical directives this plan was built from, in application
@@ -269,17 +273,29 @@ class FaultPlan:
                                               at_time=at_time))
         self._refresh_passive()
 
-    def restore_node(self, node: str) -> None:
-        """Undo a crash (used by recovery-oriented tests).
+    def restore_node(self, node: str,
+                     at_time: Optional[float] = None) -> None:
+        """Undo a crash, immediately or from ``at_time`` onwards.
 
         Recorded as its own ``restore`` directive — the earlier ``crash``
         stays in the plan's history, so serialization replays the same
         crash-then-restore sequence (and ``preserves_delivery`` still
         reports the crash) instead of pretending it never happened.
+
+        A timed restore masks the node's crash for every virtual time at
+        or after ``at_time``: crash at ``t1`` plus restore at ``t2 > t1``
+        models an outage window ``[t1, t2)``.  At most one crash/restore
+        wave per node is expressible — a later restore masks every
+        earlier crash of that node from its time onward.
         """
-        self._crashed_nodes.discard(node)
-        self._crash_times.pop(node, None)
-        self.directives.append(FaultDirective("restore", node=node))
+        if at_time is None:
+            self._crashed_nodes.discard(node)
+            self._crash_times.pop(node, None)
+            self._restore_times.pop(node, None)
+        else:
+            self._restore_times[node] = at_time
+        self.directives.append(FaultDirective("restore", node=node,
+                                              at_time=at_time))
         self._refresh_passive()
 
     def apply_directive(self, directive: FaultDirective) -> None:
@@ -302,7 +318,7 @@ class FaultPlan:
         elif directive.kind == "crash":
             self.crash_node(directive.node, directive.at_time)
         else:  # "restore" — __post_init__ guarantees the kind is known
-            self.restore_node(directive.node)
+            self.restore_node(directive.node, directive.at_time)
 
     # ------------------------------------------------------------------
     # Serialization
@@ -370,6 +386,9 @@ class FaultPlan:
 
     def is_crashed(self, node: str, now: float) -> bool:
         """True if ``node`` is considered crashed at virtual time ``now``."""
+        restore_at = self._restore_times.get(node)
+        if restore_at is not None and now >= restore_at:
+            return False
         if node in self._crashed_nodes:
             return True
         crash_at = self._crash_times.get(node)

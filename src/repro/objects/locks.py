@@ -31,6 +31,11 @@ class DeadlockError(RuntimeError):
     """Raised when a lock request would create a wait-for cycle."""
 
 
+def _modes_compatible(one: LockMode, other: LockMode) -> bool:
+    """True when locks in the two modes can be held concurrently."""
+    return one is LockMode.SHARED and other is LockMode.SHARED
+
+
 class LockManager:
     """Per-object reader/writer locks with transaction-scoped ownership.
 
@@ -71,7 +76,7 @@ class LockManager:
         # request time misses cycles that close through the queues, which
         # is a silent permanent hang rather than a recoverable refusal.
         self._rebuild_wait_for()
-        blockers = self._blockers(object_name, transaction_id)
+        blockers = self._blockers(object_name, transaction_id, mode)
         if self._would_deadlock(transaction_id, blockers):
             event.fail(DeadlockError(
                 f"transaction {transaction_id} would deadlock waiting for "
@@ -83,31 +88,43 @@ class LockManager:
             (transaction_id, mode, event))
         return event
 
-    def _blockers(self, object_name: str, transaction_id: str) -> Set[str]:
+    def _blockers(self, object_name: str, transaction_id: str,
+                  mode: LockMode) -> Set[str]:
         """Transactions a new request on ``object_name`` would wait on.
 
-        Holders plus queued-ahead requesters; mode-blind for the queued
-        part (a shared request behind another shared request is counted
-        even though promotion would grant both), so the avoidance is
-        conservative — it may refuse a request that could have been
-        granted, never the other way around.
+        Mode-aware: only holders and queued-ahead requesters whose mode is
+        *incompatible* with the request block it.  A shared request behind
+        shared holders and shared queued requests waits on none of them —
+        FIFO promotion grants the whole run of compatible requests
+        together, so counting compatible entries (the old, mode-blind
+        behaviour) manufactured phantom wait-for edges and refused
+        reader/reader queues as deadlocks.
         """
-        blockers = {tid for tid, _mode in self._granted.get(object_name, ())
-                    if tid != transaction_id}
-        for tid, _mode, _event in self._waiting.get(object_name, ()):
-            if tid != transaction_id:
+        blockers = {tid for tid, held in self._granted.get(object_name, ())
+                    if tid != transaction_id
+                    and not _modes_compatible(mode, held)}
+        for tid, ahead_mode, _event in self._waiting.get(object_name, ()):
+            if tid != transaction_id and \
+                    not _modes_compatible(mode, ahead_mode):
                 blockers.add(tid)
         return blockers
 
     def _rebuild_wait_for(self) -> None:
-        """Re-derive the wait-for graph from the current queues."""
+        """Re-derive the wait-for graph from the current queues.
+
+        Each queued request waits on the incompatible holders and the
+        incompatible requests queued ahead of it (compatible entries are
+        granted alongside it by FIFO promotion, so they never block).
+        """
         graph: Dict[str, Set[str]] = {}
         for object_name, queue in self._waiting.items():
-            ahead = {tid for tid, _mode in self._granted.get(object_name, ())}
-            for tid, _mode, _event in queue:
+            ahead: List[Tuple[str, LockMode]] = \
+                list(self._granted.get(object_name, ()))
+            for tid, mode, _event in queue:
                 graph.setdefault(tid, set()).update(
-                    blocker for blocker in ahead if blocker != tid)
-                ahead.add(tid)
+                    blocker for blocker, held in ahead
+                    if blocker != tid and not _modes_compatible(mode, held))
+                ahead.append((tid, mode))
         self._wait_for = graph
 
     def release_all(self, transaction_id: str) -> None:
@@ -120,11 +137,17 @@ class LockManager:
             if len(remaining) != len(granted):
                 self._granted[object_name] = remaining
                 self._promote_waiters(object_name)
-        # Drop any still-queued requests from this transaction (it is gone).
-        for object_name, queue in self._waiting.items():
-            self._waiting[object_name] = deque(
-                (tid, mode, ev) for tid, mode, ev in queue
-                if tid != transaction_id)
+        # Drop any still-queued requests from this transaction (it is
+        # gone), then re-promote: the dropped entry may have been the only
+        # thing ahead of a now-grantable request (e.g. a reader queued
+        # behind this transaction's writer request), and promotion is
+        # otherwise only triggered by releases of *held* locks.
+        for object_name, queue in list(self._waiting.items()):
+            remaining = deque((tid, mode, ev) for tid, mode, ev in queue
+                              if tid != transaction_id)
+            if len(remaining) != len(queue):
+                self._waiting[object_name] = remaining
+                self._promote_waiters(object_name)
 
     def holders(self, object_name: str) -> List[Tuple[str, LockMode]]:
         """Return the (transaction, mode) pairs currently holding the lock."""

@@ -145,11 +145,25 @@ class TransactionalActionSpec(TrafficActionSpec):
                 # instances and no wait-for cycle could ever close).
                 if half > 0:
                     yield ctx.delay(half)
+                # Shared read first, then upgrade for the write: readers of
+                # the same account overlap instead of serialising, and the
+                # upgrade is still strict 2PL (the shared lock is never
+                # released before the exclusive one is granted), so no
+                # committed write can slip between the read and the write.
+                # Two overlapping upgraders form a genuine deadlock — the
+                # lock manager refuses the closing request and the victim
+                # recovers — while reader/reader queues are granted
+                # together (the mode-aware wait-for check; the old
+                # mode-blind one refused them as phantom deadlocks).
+                try:
+                    yield ctx.transaction.lock(account, LockMode.SHARED)
+                except DeadlockError:
+                    ctx.raise_exception(deadlock_fault)
+                value = ctx.read(account, "value")
                 try:
                     yield ctx.transaction.lock(account, LockMode.EXCLUSIVE)
                 except DeadlockError:
                     ctx.raise_exception(deadlock_fault)
-                value = ctx.read(account, "value")
                 ctx.write(account, "value", value + 1)
                 if profile.raiser == role_index:
                     ctx.raise_exception(fault)

@@ -1,0 +1,242 @@
+"""Coverage-guided corpus search: persistence, mutation, novelty accounting.
+
+The contracts under test, in order:
+
+* :class:`CorpusEntry` / :class:`Corpus` — digest-dedupe, discovery
+  order, least-mutated scheduling and byte-stable JSON persistence;
+* :class:`PlanMutator` — mutation and neighbour sweeps are pure
+  functions of ``(seed, token, plan, feedback)``;
+* :func:`run_plans_chunk` — explicit-plan execution rows, in order,
+  with a chunk digest over plan identities and canonical trace digests;
+* :class:`CorpusSearch` — enumeration-prefix bootstrap, never re-running
+  a known plan, warm restarts from a persisted corpus, and *byte-identical
+  novelty accounting* between the sequential path and the scenario
+  engine's process pool;
+* the coverage claim itself: under an equal storm-vocabulary budget the
+  corpus search reaches more distinct trace digests than enumeration.
+"""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    Corpus,
+    CorpusEntry,
+    CorpusSearch,
+    ExplorationPlan,
+    Explorer,
+    PlanMutator,
+    run_plans_chunk,
+)
+from repro.explore.corpus import engine_chunk_runner
+from repro.explore.generator import STORM_KINDS, FaultPlanGenerator
+from repro.net.faults import FaultDirective
+
+THREADS = ("T1", "T2", "T3")
+
+
+def entry(digest: str, extra: float = 1.0, **kwargs) -> CorpusEntry:
+    plan = ExplorationPlan(directives=(
+        FaultDirective("delay_link", source="T1", destination="T2",
+                       extra=extra),))
+    return CorpusEntry(plan=plan, digest=digest, **kwargs)
+
+
+class TestCorpusEntry:
+    def test_round_trips_through_dict(self):
+        original = entry("d1", generation=3, parent="d0", failing=True,
+                         stats={"by_link": {"T1->T2": 3}})
+        original.mutations = 2
+        rebuilt = CorpusEntry.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_dict_form_omits_empty_optionals(self):
+        data = entry("d1").to_dict()
+        assert "parent" not in data
+        assert "failing" not in data
+        assert "stats" not in data
+
+
+class TestCorpus:
+    def test_dedupes_by_digest(self):
+        corpus = Corpus()
+        assert corpus.add(entry("d1", extra=1.0))
+        assert not corpus.add(entry("d1", extra=2.0))  # same behaviour
+        assert corpus.add(entry("d2", extra=2.0))
+        assert len(corpus) == 2
+        assert corpus.digests == ["d1", "d2"]  # discovery order
+
+    def test_schedule_prefers_least_mutated_with_order_tiebreak(self):
+        corpus = Corpus(entries=[entry("d1"), entry("d2"), entry("d3")])
+        picks = [e.digest for e in corpus.schedule(5)]
+        # Round-robin from discovery order: every pick increments the
+        # entry's mutations counter, so the load spreads.
+        assert picks == ["d1", "d2", "d3", "d1", "d2"]
+        assert corpus.schedule(1)[0].digest == "d3"
+
+    def test_schedule_from_empty_corpus_raises(self):
+        with pytest.raises(ValueError, match="empty corpus"):
+            Corpus().schedule(1)
+
+    def test_save_load_round_trip_is_byte_stable(self, tmp_path):
+        corpus = Corpus(target="nested_abort", seed=7, entries=[
+            entry("d1", stats={"by_link": {"T1->T2": 3}}),
+            entry("d2", extra=2.0, generation=1, parent="d1")])
+        path = tmp_path / "corpus.json"
+        corpus.save(path)
+        reloaded = Corpus.load(path)
+        assert reloaded.to_dict() == corpus.to_dict()
+        reloaded.save(tmp_path / "again.json")
+        assert (tmp_path / "again.json").read_text() == path.read_text()
+
+    def test_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="unsupported corpus schema"):
+            Corpus.from_dict({"schema": 99, "entries": []})
+
+
+class TestPlanMutator:
+    def plan(self) -> ExplorationPlan:
+        return ExplorationPlan(directives=(
+            FaultDirective("delay_link", source="T2", destination="T3",
+                           extra=1.5),), tie_seed=11)
+
+    def test_mutate_is_pure_in_seed_token_plan(self):
+        one = PlanMutator(5, THREADS).mutate(self.plan(), "g1-c2")
+        two = PlanMutator(5, THREADS).mutate(self.plan(), "g1-c2")
+        assert one == two
+        other = PlanMutator(5, THREADS).mutate(self.plan(), "g1-c3")
+        assert other != one  # distinct tokens derive distinct streams
+
+    def test_mutate_with_feedback_is_pure_and_steers_ordinals(self):
+        mutator = PlanMutator(5, THREADS)
+        plan = ExplorationPlan(directives=(
+            FaultDirective("drop_nth", source="T1", destination="T2", n=6),))
+        feedback = {"by_link": {"T1->T2": 3, "T2->T3": 6}}
+        children = {mutator.mutate(plan, f"t{i}", feedback=feedback)
+                    for i in range(20)}
+        assert children == {PlanMutator(5, THREADS).mutate(
+            plan, f"t{i}", feedback=feedback) for i in range(20)}
+        for child in children:
+            for directive in child.directives:
+                traffic = feedback["by_link"].get(
+                    f"{directive.source}->{directive.destination}")
+                if directive.n and traffic:
+                    assert directive.n <= traffic
+
+    def test_neighbors_retarget_first_in_link_order(self):
+        neighbors = list(PlanMutator(5, THREADS).neighbors(self.plan()))
+        first = neighbors[0].directives[0]
+        # _links order is (T1,T2) first; the sweep starts with retargets.
+        assert (first.source, first.destination) == ("T1", "T2")
+        assert first.extra == 1.5  # everything else preserved
+        assert neighbors[-1] == self.plan().without_tie_seed()
+
+    def test_neighbors_skip_dead_in_place_perturbations(self):
+        dead = ExplorationPlan(directives=(
+            FaultDirective("delay_nth", source="T1", destination="T2",
+                           n=5, extra=1.0),))
+        feedback = {"by_link": {"T1->T2": 3, "T2->T3": 6, "T3->T1": 4}}
+        neighbors = list(PlanMutator(5, THREADS).neighbors(
+            dead, feedback=feedback))
+        # n=5 > 3 observed messages: the directive never fired, so the
+        # sweep only proposes revivals — retargets onto links with enough
+        # traffic (n folded in), never in-place retimes.
+        assert neighbors
+        for neighbor in neighbors:
+            directive = neighbor.directives[0]
+            link = f"{directive.source}->{directive.destination}"
+            assert directive.n <= feedback["by_link"][link]
+
+
+class TestRunPlansChunk:
+    def test_rows_in_order_with_stable_chunk_digest(self):
+        generator = FaultPlanGenerator(3, THREADS)
+        plans = [generator.sample(i).to_dict() for i in range(3)]
+        one = run_plans_chunk(target="nested_abort", plans=plans, start=10)
+        two = run_plans_chunk(target="nested_abort", plans=plans, start=10)
+        assert one == two
+        assert [row["index"] for row in one["results"]] == [10, 11, 12]
+        assert one["cases"] == 3
+        assert all(row["stats"]["delivered"] >= 0 for row in one["results"])
+
+
+class TestCorpusSearch:
+    def test_bootstrap_subsumes_the_enumeration_prefix(self):
+        search = CorpusSearch(target="nested_abort", seed=9,
+                              generation_size=6, chunk_size=6, shrink=False)
+        search.run(budget=6)
+        sampled = {search.generator.__class__(
+            9, THREADS).sample(i).key() for i in range(6)}
+        corpus_keys = {e.plan.key() for e in search.corpus.entries}
+        assert corpus_keys <= sampled  # dedupe may drop digest collisions
+
+    def test_never_rerun_a_known_plan(self):
+        search = CorpusSearch(target="nested_abort", seed=9,
+                              generation_size=10, chunk_size=10,
+                              shrink=False)
+        executed = []
+        original = search.run_chunks
+
+        def spying(points):
+            for point in points:
+                executed.extend(json.dumps(p, sort_keys=True)
+                                for p in point["plans"])
+            return original(points)
+
+        search.run_chunks = spying
+        search.run(budget=40)
+        assert len(executed) == len(set(executed)) == 40
+
+    def test_warm_restart_continues_from_the_persisted_corpus(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        first = CorpusSearch(target="nested_abort", seed=9,
+                             generation_size=10, chunk_size=10, shrink=False)
+        first.run(budget=20)
+        first.corpus.save(path)
+        resumed = CorpusSearch(target="nested_abort", seed=9,
+                               corpus=Corpus.load(path),
+                               generation_size=10, chunk_size=10,
+                               shrink=False)
+        report = resumed.run(budget=10)
+        # The resumed session only ran fresh plans, and everything it
+        # admitted is new on top of the first session's corpus.
+        assert report.executed == 10
+        assert len(resumed.corpus) == len(first.corpus) + report.novel
+
+    def test_sequential_and_pool_novelty_accounting_is_byte_identical(self):
+        def run(run_chunks=None):
+            search = CorpusSearch(target="nested_abort", seed=2026,
+                                  kinds=STORM_KINDS, generation_size=15,
+                                  chunk_size=5, shrink=False,
+                                  run_chunks=run_chunks)
+            report = search.run(budget=30)
+            return (report.summary(),
+                    json.dumps(search.corpus.to_dict(), sort_keys=True))
+
+        sequential = run()
+        pooled = run(engine_chunk_runner(parallel=True, max_workers=3))
+        assert pooled == sequential
+
+    def test_report_summary_counts(self):
+        report = CorpusSearch(target="nested_abort", seed=9,
+                              generation_size=10, chunk_size=10,
+                              shrink=False).run(budget=20)
+        summary = report.summary()
+        assert summary["executed"] == 20
+        assert summary["generations"] == 2
+        assert summary["distinct_digests"] == report.distinct_digests
+        assert summary["first_failure_at"] is None
+
+
+class TestCoverageClaim:
+    def test_corpus_search_beats_enumeration_on_distinct_digests(self):
+        budget = 60
+        enumeration = Explorer(target="nested_abort", seed=2026,
+                               budget=budget, kinds=STORM_KINDS).run()
+        enumerated = len({case.digest for case in enumeration.cases})
+        report = CorpusSearch(target="nested_abort", seed=2026,
+                              kinds=STORM_KINDS, generation_size=20,
+                              chunk_size=20, shrink=False).run(budget=budget)
+        assert report.executed == budget
+        assert report.distinct_digests > enumerated

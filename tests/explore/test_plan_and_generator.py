@@ -85,6 +85,27 @@ class TestFaultPlanSerialization:
         assert rebuilt.directives == plan.directives
         assert not rebuilt.is_crashed("A", 10.0)
 
+    def test_timed_restore_models_an_outage_window(self):
+        """Crash at t1 + restore at t2 > t1 means down exactly on [t1, t2)."""
+        plan = FaultPlan()
+        plan.crash_node("A", at_time=2.0)
+        plan.restore_node("A", at_time=5.0)
+        assert not plan.is_crashed("A", 1.0)
+        assert plan.is_crashed("A", 2.0)
+        assert plan.is_crashed("A", 4.9)
+        assert not plan.is_crashed("A", 5.0)
+        assert not plan.is_crashed("A", 10.0)
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        for now, expected in ((1.0, False), (3.0, True), (6.0, False)):
+            assert rebuilt.is_crashed("A", now) is expected
+        # A timed restore also revives an immediately-crashed node.
+        wave = FaultPlan()
+        wave.crash_node("B")
+        wave.restore_node("B", at_time=3.0)
+        assert wave.is_crashed("B", 0.0)
+        assert not wave.is_crashed("B", 3.0)
+        assert not wave.preserves_delivery()
+
 
 class TestExplorationPlan:
     def test_round_trips_with_tie_seed(self):
@@ -143,11 +164,38 @@ class TestFaultPlanGenerator:
         seen = {directive.kind
                 for index in range(200)
                 for directive in generator.sample(index).directives}
-        assert seen == set(SAMPLABLE_KINDS)
+        # Crash/restore waves add paired restore directives on top of the
+        # samplable kinds.
+        assert seen == set(SAMPLABLE_KINDS) | {"restore"}
 
     def test_restore_is_not_samplable(self):
         with pytest.raises(ValueError, match="unknown directive kinds"):
             FaultPlanGenerator(0, ("T1", "T2"), kinds=("restore",))
+
+    def test_crash_restore_waves_are_well_formed(self):
+        """Every sampled restore follows its node's crash, strictly later."""
+        generator = FaultPlanGenerator(7, ("T1", "T2", "T3"),
+                                       kinds=("crash",), max_directives=2)
+        waves = 0
+        for index in range(100):
+            plan = generator.sample(index)
+            for position, directive in enumerate(plan.directives):
+                if directive.kind != "restore":
+                    continue
+                waves += 1
+                crash = plan.directives[position - 1]
+                assert crash.kind == "crash"
+                assert crash.node == directive.node
+                assert directive.at_time is not None
+                assert directive.at_time > (crash.at_time or 0.0)
+        assert waves > 0
+
+    def test_restore_probability_zero_disables_waves(self):
+        generator = FaultPlanGenerator(7, ("T1", "T2"), kinds=("crash",),
+                                       restore_probability=0.0)
+        for index in range(50):
+            assert all(d.kind == "crash"
+                       for d in generator.sample(index).directives)
 
     def test_sampled_fields_stay_in_bounds(self):
         generator = FaultPlanGenerator(5, ("T1", "T2"), kinds=DEFAULT_KINDS,

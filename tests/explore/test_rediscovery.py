@@ -5,7 +5,7 @@ PR 2 fixed a deadlock that was found by *hand-crafting* one fault plan
 locally revert the fix — restoring the pre-PR2 ``_receive_commit``
 behaviour — and show that a fixed-seed explorer budget rediscovers the
 deadlock through the ``no_stranded_thread`` oracle alone, and that the
-shrinker reduces the failing plan to a ≤ 3-directive reproducer.  With
+shrinker reduces the failing plan to a single-directive reproducer.  With
 the fix in place, the same budget passes clean
 (``test_explore_budget.py`` sweeps the full budget; the shrunk plan is
 re-checked here).
@@ -71,15 +71,35 @@ class TestRediscovery:
         assert any("program never finished" in v.detail
                    for v in first.violations)
 
-    def test_shrinker_reduces_to_at_most_three_directives(self,
-                                                          lost_commit_bug):
+    def test_corpus_search_rediscovers_in_fewer_runs(self, lost_commit_bug):
+        # The acceptance bar: enumeration at seed 2026 first hits the
+        # race at plan 11 (12 executed runs); corpus search must get
+        # there strictly faster.  It does — its deterministic neighbour
+        # sweep retargets bootstrap plan 0's delay onto the T1->T2 link,
+        # which lands in the failure window on the sixth executed run.
+        from repro.explore import CorpusSearch
+        search = CorpusSearch(target="nested_abort", seed=SEED,
+                              generation_size=5, chunk_size=5, shrink=True)
+        report = search.run(budget=60, stop_on_first_failure=True)
+        assert report.first_failure_at is not None
+        assert report.first_failure_at < 11
+        # The violation was novel, so the search auto-shrunk it into a
+        # ready-to-paste reproducer whose reduced plan still fails.
+        assert report.reproducers
+        from repro.explore import ExplorationPlan
+        reduced = ExplorationPlan.from_dict(report.reproducers[0]["reduced"])
+        assert len(reduced) == 1
+        assert run_case("nested_abort", reduced).violations
+
+    def test_shrinker_reduces_to_one_directive(self, lost_commit_bug):
         explorer = Explorer(target="nested_abort", seed=SEED, budget=BUDGET,
                             stop_on_first_failure=True)
         report = explorer.run()
         first = report.failures[0]
         result = shrink_plan(first.plan, explorer.predicate())
-        assert len(result.reduced) <= 3
-        assert len(result.reduced) <= len(first.plan)
+        # Truly minimal: one directive, no schedule perturbation left.
+        assert len(result.reduced) == 1
+        assert result.reduced.tie_seed is None
         assert result.violations, "the reduced plan must still fail"
         # The reproducer is self-contained: rebuild it from its dict form
         # and it still triggers the deadlock.
@@ -152,3 +172,56 @@ class TestShrinkerMechanics:
         result = shrink_plan(ExplorationPlan(directives=(directive,)),
                              predicate)
         assert result.reduced.directives[0].extra == 2.0
+
+    def test_normalises_a_required_tie_seed_to_the_smallest(self):
+        from repro.explore import ExplorationPlan
+        from repro.net.faults import FaultDirective
+        directive = FaultDirective("delay_link", source="A", destination="B",
+                                   extra=1.0)
+
+        def predicate(plan):
+            # Any schedule perturbation reproduces; none at all does not.
+            return (["fail"] if plan.directives
+                    and plan.tie_seed is not None else [])
+
+        plan = ExplorationPlan(directives=(directive,), tie_seed=536549379)
+        result = shrink_plan(plan, predicate)
+        assert result.reduced.tie_seed == 0
+
+    def test_simplifies_per_nth_delay_to_per_type(self):
+        from repro.explore import ExplorationPlan
+        from repro.net.faults import FaultDirective
+
+        def delays_commit(directive):
+            on_link = (directive.source, directive.destination) == ("T2", "T3")
+            return on_link and (
+                (directive.kind == "delay_nth" and directive.n == 3)
+                or (directive.kind == "delay_type"
+                    and directive.type_name == "CommitMessage"))
+
+        def predicate(plan):
+            # Fails iff the Commit on T2->T3 is delayed — by ordinal or
+            # by type; the per-type form is the one worth keeping.
+            return (["fail"] if any(delays_commit(d) for d in plan.directives)
+                    else [])
+
+        plan = ExplorationPlan(directives=(
+            FaultDirective("delay_nth", source="T2", destination="T3",
+                           n=3, extra=3.0),))
+        result = shrink_plan(plan, predicate)
+        reduced = result.reduced.directives[0]
+        assert reduced.kind == "delay_type"
+        assert reduced.type_name == "CommitMessage"
+
+    def test_simplifies_timed_crash_to_immediate(self):
+        from repro.explore import ExplorationPlan
+        from repro.net.faults import FaultDirective
+
+        def predicate(plan):
+            return (["fail"] if any(d.kind == "crash" and d.node == "T1"
+                                    for d in plan.directives) else [])
+
+        plan = ExplorationPlan(directives=(
+            FaultDirective("crash", node="T1", at_time=2.5),))
+        result = shrink_plan(plan, predicate)
+        assert result.reduced.directives[0].at_time is None

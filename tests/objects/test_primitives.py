@@ -109,6 +109,55 @@ class TestDeadlockAvoidance:
         locks.release_all("t2")
         assert again.triggered and again.ok
 
+    def test_reader_reader_queue_is_not_refused(self, kernel):
+        """A shared request behind shared holders/waiters is no deadlock.
+
+        t1 holds ``a`` shared and waits on ``b`` (held exclusively by
+        t3).  When t3 then requests ``a`` *shared* behind a queue that
+        contains only another shared request, nothing actually blocks it:
+        FIFO promotion grants the whole run of readers together.  The old
+        mode-blind wait-for rebuild counted the compatible entries as
+        blockers, manufactured the cycle t3 → t1 → t3 and refused the
+        request as a phantom deadlock.
+        """
+        locks = LockManager(kernel)
+        locks.acquire("a", "th", LockMode.EXCLUSIVE)
+        locks.acquire("a", "t4", LockMode.SHARED)        # queued behind th
+        locks.acquire("b", "t3", LockMode.EXCLUSIVE)
+        locks.acquire("b", "t4", LockMode.EXCLUSIVE)     # t4 waits on t3
+        request = locks.acquire("a", "t3", LockMode.SHARED)
+        assert not request.triggered, "reader/reader queue must queue, " \
+            "not be refused as a phantom deadlock"
+        # Promotion grants both queued readers together once th releases.
+        locks.release_all("th")
+        assert request.triggered and request.ok
+        holders = dict(locks.holders("a"))
+        assert holders["t3"] is LockMode.SHARED
+        assert holders["t4"] is LockMode.SHARED
+
+    def test_upgrade_cycle_still_refused(self, kernel):
+        """Two shared holders both upgrading is a genuine deadlock."""
+        locks = LockManager(kernel)
+        locks.acquire("a", "t1", LockMode.SHARED)
+        locks.acquire("a", "t2", LockMode.SHARED)
+        upgrade = locks.acquire("a", "t1", LockMode.EXCLUSIVE)
+        assert not upgrade.triggered     # waits on the other reader
+        doomed = locks.acquire("a", "t2", LockMode.EXCLUSIVE)
+        assert doomed.triggered and not doomed.ok
+        assert isinstance(doomed.value, DeadlockError)
+        doomed.defused = True
+
+    def test_wait_for_rebuild_is_mode_aware(self, kernel):
+        """Only incompatible holders/queued-ahead produce wait-for edges."""
+        locks = LockManager(kernel)
+        locks.acquire("a", "t1", LockMode.SHARED)
+        locks.acquire("a", "t2", LockMode.EXCLUSIVE)     # queued
+        locks.acquire("a", "t3", LockMode.SHARED)        # queued behind t2
+        locks._rebuild_wait_for()
+        assert locks._wait_for["t2"] == {"t1"}
+        # t3 waits on the exclusive ahead of it, not on the shared holder.
+        assert locks._wait_for["t3"] == {"t2"}
+
     def test_refused_request_leaves_no_queue_entry(self, kernel):
         locks = LockManager(kernel)
         locks.acquire("a", "t1", LockMode.EXCLUSIVE)
