@@ -48,6 +48,7 @@ import platform
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from ..cli import add_logging_arguments, configure_logging
 from ..workload.scenarios import saturation_knee
 from .engine import GridPoint, run_scenario
 from .kernelbench import collect_kernel_baseline
@@ -335,7 +336,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="list every registered scenario and traffic "
                              "action (grid size, description, declared "
                              "params) and exit")
+    add_logging_arguments(parser)
     arguments = parser.parse_args(argv)
+    configure_logging(arguments)
     if arguments.list:
         for line in registry_listing():
             print(line)
@@ -347,13 +350,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         events = document["event_throughput"]
         messages = document["message_delivery"]
         capacity = document["capacity"]
+        overhead = document["obs_overhead"]
         print(f"wrote {output}: "
               f"{events['events_per_second']:,.0f} events/s, "
               f"{messages['messages_per_second']:,.0f} messages/s, "
               f"capacity "
               + ", ".join(f"{row['config']} "
                           f"{row['instances_per_second']:,.0f} inst/s"
-                          for row in capacity))
+                          for row in capacity)
+              + f"; obs overhead disabled "
+              f"{overhead['disabled_overhead']:+.2%} / enabled "
+              f"{overhead['enabled_overhead']:+.2%}")
         return 0
     if arguments.suite == "scale":
         document = write_scale_baseline(output, small=arguments.small,

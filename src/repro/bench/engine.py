@@ -34,12 +34,16 @@ path; anything else silently degrades to the sequential fallback.
 from __future__ import annotations
 
 import gc
+import json
 import logging
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import obs
 
 from ..analysis.bounds import (
     messages_all_exceptions,
@@ -79,6 +83,24 @@ logger = logging.getLogger(__name__)
 GridPoint = Mapping[str, object]
 #: One result row, as the harness tables expect them.
 Row = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Cross-cutting run configuration for :func:`run_scenario`.
+
+    ``obs`` switches the whole sweep to traced execution: every system the
+    grid builds is adopted by one ambient :class:`repro.obs.Capture`, and
+    the merged spans / metrics / flight dumps become available to the
+    caller.  Tracing forces the sequential path (an ambient capture is
+    process-local, and rows are byte-identical either way).  With
+    ``export_dir`` set, the capture is exported after the sweep as
+    ``<scenario>.trace.json`` (Chrome/Perfetto), ``<scenario>.events.jsonl``,
+    ``<scenario>.metrics.json`` and ``<scenario>.prom``.
+    """
+
+    obs: Optional[obs.ObsConfig] = None
+    export_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -166,7 +188,8 @@ REGISTRY = ScenarioRegistry()
 # ----------------------------------------------------------------------
 def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
                  parallel: bool = False, max_workers: Optional[int] = None,
-                 registry: Optional[ScenarioRegistry] = None) -> List[Row]:
+                 registry: Optional[ScenarioRegistry] = None,
+                 config: Optional[ScenarioConfig] = None) -> List[Row]:
     """Run ``name`` over ``points`` (its default grid when omitted).
 
     With ``parallel=True`` the grid points are distributed over a
@@ -175,6 +198,9 @@ def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
     sequential path (which is also the automatic fallback when the runner
     cannot be shipped to worker processes or no pool can be created).
     Rows are always returned in grid order.
+
+    ``config`` carries cross-cutting options; when ``config.obs`` is set
+    the sweep runs traced (see :class:`ScenarioConfig`).
     """
     scenario = (registry or REGISTRY).get(name)
     grid: List[GridPoint] = [dict(point) for point in
@@ -184,6 +210,13 @@ def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
     errors = scenario.validate_grid(grid)
     if errors:
         raise ParamValidationError(errors)
+    if config is not None and config.obs is not None:
+        if parallel and len(grid) > 1:
+            logger.warning(
+                "scenario %r: tracing is process-local; running the "
+                "%d-point grid sequentially under one capture",
+                name, len(grid))
+        return _run_traced(scenario, grid, config)
     if parallel and len(grid) > 1:
         if not _shippable(scenario.runner):
             logger.warning(
@@ -198,6 +231,11 @@ def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
                 "scenario %r: process pool unavailable or broken; falling "
                 "back to the sequential (byte-identical) path for the "
                 "%d-point grid", name, len(grid))
+    return _run_sequential(scenario, grid)
+
+
+def _run_sequential(scenario: Scenario, grid: Sequence[GridPoint]) -> List[Row]:
+    """The in-process sweep (the byte-identical reference path)."""
     # Pause the cyclic collector for the sweep: every grid point builds a
     # short-lived system whose processes/events form reference cycles, and
     # letting generational GC trigger mid-run costs measurably more than
@@ -212,6 +250,38 @@ def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
     finally:
         if was_enabled:
             gc.enable()
+
+
+def _run_traced(scenario: Scenario, grid: Sequence[GridPoint],
+                config: ScenarioConfig) -> List[Row]:
+    """Sequential sweep under one ambient capture, with optional export.
+
+    The observation layer never schedules kernel events or draws from the
+    simulation's RNG streams, so traced rows are identical to untraced
+    ones — the conformance suite pins this.
+    """
+    with obs.capture(config.obs) as cap:
+        rows = _run_sequential(scenario, grid)
+    if config.export_dir is not None:
+        export_capture(cap, scenario.name, config.export_dir)
+    return rows
+
+
+def export_capture(cap: "obs.Capture", name: str, directory: str) -> List[str]:
+    """Write a capture's trace/metrics artefacts; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, name)
+    paths = [base + ".trace.json", base + ".events.jsonl",
+             base + ".metrics.json", base + ".prom"]
+    with open(paths[0], "w", encoding="utf-8") as handle:
+        json.dump(cap.chrome_trace(), handle, indent=1, sort_keys=True)
+    cap.write_jsonl(paths[1])
+    with open(paths[2], "w", encoding="utf-8") as handle:
+        json.dump(cap.metrics_snapshot(), handle, indent=1, sort_keys=True)
+    with open(paths[3], "w", encoding="utf-8") as handle:
+        handle.write(cap.prometheus_text())
+    logger.info("scenario %r: wrote trace artefacts to %s", name, directory)
+    return paths
 
 
 def _shippable(runner: Callable[..., Row]) -> bool:

@@ -1,0 +1,92 @@
+"""Shared command-line plumbing for the ``repro`` CLIs.
+
+Every entry point (``repro.conformance``, ``repro.explore``,
+``repro.bench.baseline``, ``repro.obs``) accepts the same two logging
+flags and configures the package-level ``repro`` logger the same way:
+
+* ``-v`` / ``--verbose`` — more detail (repeatable: ``-vv`` → DEBUG);
+* ``-q`` / ``--quiet`` — less (repeatable: ``-qq`` → ERROR only).
+
+The default level is WARNING, so existing scripted invocations see no
+new output.  Configuration happens exactly once per process: a second
+``configure_logging`` call only adjusts the level, never stacks another
+handler (repeated ``main()`` calls in one process — the test suite does
+this — must not multiply log lines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import Optional
+
+#: Handler marker so re-configuration can find (and not duplicate) the
+#: handler this module installed.
+_HANDLER_NAME = "repro-cli"
+
+#: ``verbosity`` (verbose − quiet) → level; clamped outside the range.
+_LEVELS = {
+    -2: logging.CRITICAL,
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+
+def add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``-v`` / ``-q`` flags on ``parser``."""
+    group = parser.add_argument_group("logging")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="more logging (-v: info, -vv: debug)")
+    group.add_argument("-q", "--quiet", action="count", default=0,
+                       help="less logging (-q: errors only, "
+                            "-qq: critical only)")
+
+
+class _CurrentStderrHandler(logging.StreamHandler):
+    """A stream handler bound to the *current* ``sys.stderr``.
+
+    A plain ``StreamHandler(sys.stderr)`` captures the stream object
+    once; long-lived processes that swap ``sys.stderr`` (the test
+    suite's output capture does, per test) would leave the handler
+    writing to a dead stream forever.
+    """
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore.
+        pass
+
+
+def configure_logging(arguments: Optional[argparse.Namespace] = None,
+                      verbose: int = 0, quiet: int = 0) -> logging.Logger:
+    """Configure the package ``repro`` logger once; return it.
+
+    Pass the parsed namespace from a parser that went through
+    :func:`add_logging_arguments`, or explicit counts.
+    """
+    if arguments is not None:
+        verbose = getattr(arguments, "verbose", 0)
+        quiet = getattr(arguments, "quiet", 0)
+    verbosity = max(-2, min(2, verbose - quiet))
+    logger = logging.getLogger("repro")
+    logger.setLevel(_LEVELS[verbosity])
+    for handler in logger.handlers:
+        if handler.get_name() == _HANDLER_NAME:
+            break
+    else:
+        handler = _CurrentStderrHandler()
+        handler.set_name(_HANDLER_NAME)
+        handler.setFormatter(logging.Formatter(
+            "%(levelname)s %(name)s: %(message)s"))
+        logger.addHandler(handler)
+        # Propagation stays on: a CLI process leaves the root logger
+        # unconfigured (so nothing double-logs), and embedders that DO
+        # configure root — the test suite's log capture, notably — keep
+        # seeing the tree's records.
+    return logger

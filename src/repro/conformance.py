@@ -40,6 +40,7 @@ with a reason.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import hashlib
 import json
 import os
@@ -48,7 +49,9 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from . import obs
 from .bench.engine import GridPoint, REGISTRY, run_scenario
+from .cli import add_logging_arguments, configure_logging
 
 #: Bump when the canonical-document layout changes incompatibly (this
 #: invalidates every fixture, so regenerate them in the same commit).
@@ -426,7 +429,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--fixtures", default=None,
                         help="fixture directory (default: "
                              "tests/conformance/fixtures)")
+    parser.add_argument("--obs", action="store_true",
+                        help="run the cases under an ambient repro.obs "
+                             "capture — the digests must not move, which "
+                             "proves observation never perturbs scheduling")
+    add_logging_arguments(parser)
     arguments = parser.parse_args(argv)
+    configure_logging(arguments)
 
     if arguments.list:
         for name in case_names():
@@ -455,12 +464,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         parser.error(f"unknown case(s): {', '.join(unknown)}")
 
-    if arguments.regenerate:
-        for path in regenerate(names, arguments.fixtures):
-            print(f"wrote {path}")
-        return 0
+    # With --obs every system the cases build is adopted by one ambient
+    # capture (spans + metrics + flight recorder).  The committed digests
+    # must still match — observation never schedules kernel events or
+    # draws from the simulation's RNG streams.
+    ambient = obs.capture(obs.ObsConfig()) if arguments.obs \
+        else contextlib.nullcontext()
 
-    problems = check(names, arguments.fixtures)
+    with ambient:
+        if arguments.regenerate:
+            for path in regenerate(names, arguments.fixtures):
+                print(f"wrote {path}")
+            return 0
+        problems = check(names, arguments.fixtures)
     bytecode = tracked_bytecode()
     if bytecode:
         problems.append(f"tracked bytecode: {', '.join(sorted(bytecode))}")

@@ -24,6 +24,8 @@ import os
 import sys
 from typing import List, Optional
 
+from ..cli import add_logging_arguments, configure_logging
+from ..obs import write_flight_dump
 from .corpus import Corpus, CorpusSearch, engine_chunk_runner
 from .explorer import Explorer
 from .generator import DEFAULT_KINDS, STORM_KINDS
@@ -57,6 +59,13 @@ def _write_reproducers(reproducers, directory: str) -> List[str]:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(record["source"])
         paths.append(path)
+        # The failing run's flight-recorder timeline rides next to the
+        # ready-to-paste test (`python -m repro.obs summarize` reads it).
+        if record.get("flight"):
+            flight_path = os.path.join(
+                directory, f"test_reproducer_{number}.flight.jsonl")
+            write_flight_dump(record["flight"], flight_path)
+            paths.append(flight_path)
     return paths
 
 
@@ -118,6 +127,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.explore",
         description="Fault-space exploration: enumeration sweeps and "
                     "coverage-guided corpus search.")
+    add_logging_arguments(parser)
     commands = parser.add_subparsers(dest="command", required=True)
 
     def common(sub):
@@ -156,6 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare_cmd.set_defaults(func=cmd_compare)
 
     arguments = parser.parse_args(argv)
+    configure_logging(arguments)
     return arguments.func(arguments)
 
 

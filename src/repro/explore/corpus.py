@@ -545,9 +545,15 @@ class CorpusSearch:
                                   result.violations,
                                   algorithm=self.algorithm,
                                   baselines=self.baselines)
+        # One extra run of the minimal plan to capture its flight-recorder
+        # timeline, so the reproducer ships the failing run's last-N
+        # events next to the ready-to-paste test.
+        final = run_case(self.target, result.reduced,
+                         algorithm=self.algorithm, baselines=self.baselines)
         return {
             "plan": plan.to_dict(),
             "reduced": result.reduced.to_dict(),
             "violations": [str(v) for v in result.violations],
             "source": source,
-        }, result.evaluations
+            "flight": final.flight,
+        }, result.evaluations + 1

@@ -16,6 +16,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from .. import obs
 from ..core import oracles
 from ..core.oracles import OracleViolation
 from .generator import DEFAULT_KINDS, FaultPlanGenerator
@@ -36,6 +37,11 @@ class CaseResult:
     violations: List[OracleViolation]
     stats: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Flight-recorder dump (last-N-events timeline) of a failing run;
+    #: ``None`` for passing cases.  Deliberately excluded from the
+    #: digest-pinned scenario rows — it rides only on in-process results
+    #: and on reproducer records.
+    flight: Optional[Dict[str, Any]] = None
 
     @property
     def failing(self) -> bool:
@@ -50,11 +56,18 @@ class CaseResult:
 
 def _execute(target: ExplorationTarget, plan: ExplorationPlan,
              algorithm: str, record_trace: bool = True):
-    """One run; returns ``(system, monitor, recorder, error)``."""
+    """One run; returns ``(system, monitor, recorder, observation, error)``."""
     system = target.build(plan.make_fault_plan(), tie_seed=plan.tie_seed,
                           algorithm=algorithm)
     monitor = InvariantMonitor(system)
     recorder = TraceRecorder(system) if record_trace else None
+    # Always-on flight recorder: a bounded ring (no unbounded event list,
+    # no metrics) so every failing case ships its terminal event window.
+    # An ambient obs.capture() has already attached a (richer) observation
+    # in the system constructor; reuse it rather than displacing it.
+    observation = system.observation
+    if observation is None:
+        observation = obs.observe_system(system, obs.ObsConfig.flight_only())
     error: Optional[str] = None
     try:
         # Run to queue exhaustion rather than ``run_to_completion``: a
@@ -63,7 +76,7 @@ def _execute(target: ExplorationTarget, plan: ExplorationPlan,
         system.run()
     except Exception as exc:  # noqa: BLE001 — anything the sim surfaces
         error = f"{type(exc).__name__}: {exc}"
-    return system, monitor, recorder, error
+    return system, monitor, recorder, observation, error
 
 
 def run_case(target, plan: ExplorationPlan, algorithm: str = "ours",
@@ -78,8 +91,8 @@ def run_case(target, plan: ExplorationPlan, algorithm: str = "ours",
     are only required of delivery-preserving plans.
     """
     resolved_target = get_target(target)
-    system, monitor, recorder, error = _execute(resolved_target, plan,
-                                                algorithm)
+    system, monitor, recorder, observation, error = _execute(
+        resolved_target, plan, algorithm)
     require_liveness = plan.preserves_delivery and error is None
     violations = monitor.check(require_liveness=require_liveness)
     if error is not None:
@@ -93,9 +106,9 @@ def run_case(target, plan: ExplorationPlan, algorithm: str = "ours",
     if plan.preserves_delivery and error is None:
         for baseline in baselines:
             # Only the resolved map is compared; skip the trace recorder.
-            _, base_monitor, _, base_error = _execute(resolved_target, plan,
-                                                      baseline,
-                                                      record_trace=False)
+            _, base_monitor, _, _, base_error = _execute(resolved_target,
+                                                         plan, baseline,
+                                                         record_trace=False)
             if base_error is not None:
                 violations.append(OracleViolation(
                     oracles.DIFFERENTIAL_AGREEMENT,
@@ -106,9 +119,15 @@ def run_case(target, plan: ExplorationPlan, algorithm: str = "ours",
                 algorithm, baseline))
 
     digest = trace_digest(canonical_trace(system, recorder))
+    # Auto-dump the flight recorder for any failing case — oracle
+    # violation or crash — so the failure carries its event timeline.
+    flight = None
+    if violations or error is not None:
+        flight = observation.flight_dump()
     return CaseResult(index=index, plan=plan, digest=digest,
                       completed=completed, violations=violations,
-                      stats=system.network.stats.snapshot(), error=error)
+                      stats=system.network.stats.snapshot(), error=error,
+                      flight=flight)
 
 
 @dataclass

@@ -184,6 +184,9 @@ class Network:
         self._link_clock: Dict[tuple, float] = {}
         #: Full trace of envelopes (in send order) for debugging.
         self.trace: List[Envelope] = []
+        #: The attached observation sink (``repro.obs``), or ``None`` when
+        #: observability is off — the hot path then pays one None check.
+        self._obs = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -233,6 +236,9 @@ class Network:
         link = (source, destination)
         stats.by_link[link] += 1
         self.trace.append(envelope)
+        obs = self._obs
+        if obs is not None:
+            obs.message_sent(envelope)
 
         faults = self.faults
         if faults._passive:
@@ -245,6 +251,8 @@ class Network:
             deliver, extra_delay = faults.apply(envelope, now)
             if not deliver:
                 stats.dropped += 1
+                if obs is not None:
+                    obs.message_dropped(envelope, "fault")
                 return envelope
 
         # NB: sample and extra delay are summed *before* adding ``now`` —
@@ -270,12 +278,16 @@ class Network:
         self._link_clock[link] = deliver_at
         envelope.deliver_time = deliver_at
 
-        def _deliver(_event, env=envelope):
+        def _deliver(_event, env=envelope, obs=obs):
             target = nodes.get(env.destination)
             if target is None or not target.alive:
                 stats.dropped += 1
+                if obs is not None:
+                    obs.message_dropped(env, "dead_target")
                 return
             stats.delivered += 1
+            if obs is not None:
+                obs.message_delivered(env)
             target.deliver(env)
 
         Timeout(kernel, deliver_at - now).callbacks.append(_deliver)

@@ -54,6 +54,9 @@ class LockManager:
         self._waiting: Dict[str, Deque[Tuple[str, LockMode, Event]]] = {}
         #: Wait-for graph edges: waiter -> set of holders it waits on.
         self._wait_for: Dict[str, Set[str]] = {}
+        #: The attached observation sink (``repro.obs``), or ``None`` when
+        #: observability is off (one None check per lock transition).
+        self._obs = None
 
     # ------------------------------------------------------------------
     def acquire(self, object_name: str, transaction_id: str,
@@ -65,6 +68,9 @@ class LockManager:
         if self._compatible(granted, transaction_id, mode) and not \
                 self._waiting.get(object_name):
             self._grant(object_name, transaction_id, mode)
+            if self._obs is not None:
+                self._obs.lock_event("lock.granted", object_name,
+                                     transaction_id, mode.value)
             event.succeed()
             return event
 
@@ -78,6 +84,10 @@ class LockManager:
         self._rebuild_wait_for()
         blockers = self._blockers(object_name, transaction_id, mode)
         if self._would_deadlock(transaction_id, blockers):
+            if self._obs is not None:
+                self._obs.lock_event("lock.deadlock", object_name,
+                                     transaction_id, mode.value,
+                                     blockers=sorted(blockers))
             event.fail(DeadlockError(
                 f"transaction {transaction_id} would deadlock waiting for "
                 f"{object_name}"))
@@ -86,6 +96,10 @@ class LockManager:
         self._wait_for.setdefault(transaction_id, set()).update(blockers)
         self._waiting.setdefault(object_name, deque()).append(
             (transaction_id, mode, event))
+        if self._obs is not None:
+            self._obs.lock_event("lock.waiting", object_name,
+                                 transaction_id, mode.value,
+                                 blockers=sorted(blockers))
         return event
 
     def _blockers(self, object_name: str, transaction_id: str,
@@ -129,6 +143,8 @@ class LockManager:
 
     def release_all(self, transaction_id: str) -> None:
         """Release every lock held by ``transaction_id`` (commit/abort time)."""
+        if self._obs is not None:
+            self._obs.lock_event("lock.released", None, transaction_id)
         self._wait_for.pop(transaction_id, None)
         for object_name in list(self._granted):
             granted = self._granted[object_name]
@@ -203,6 +219,10 @@ class LockManager:
             queue.popleft()
             self._grant(object_name, transaction_id, mode)
             self._wait_for.pop(transaction_id, None)
+            if self._obs is not None:
+                self._obs.lock_event("lock.granted", object_name,
+                                     transaction_id, mode.value,
+                                     promoted=True)
             if event.callbacks is not None and not event.triggered:
                 event.succeed()
 

@@ -1,0 +1,45 @@
+"""Observation configuration: which collectors run, at what cost."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .recorder import DEFAULT_CAPACITY
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What a :class:`~repro.obs.observation.SystemObservation` collects.
+
+    The three collectors are independent:
+
+    * ``spans`` — keep the full event stream in memory for span
+      assembly and JSONL / Chrome export (unbounded: one dict per
+      event, so size with the run);
+    * ``metrics`` — maintain the counter/gauge/histogram registry and
+      the passively sampled timelines;
+    * ``flight_recorder`` — keep the bounded last-N-events ring for
+      crash dumps (the cheapest collector: fixed memory, O(1) per
+      event).
+
+    ``kernel_steps`` additionally hooks the scheduler's step tracer —
+    one record per executed event, high volume — and is off by default.
+    """
+
+    spans: bool = True
+    metrics: bool = True
+    flight_recorder: bool = True
+    flight_capacity: int = DEFAULT_CAPACITY
+    timeline_interval: float = 1.0
+    kernel_steps: bool = False
+
+    @classmethod
+    def flight_only(cls, capacity: int = DEFAULT_CAPACITY) -> "ObsConfig":
+        """The always-on crash-dump profile: just the bounded ring."""
+        return cls(spans=False, metrics=False, flight_recorder=True,
+                   flight_capacity=capacity)
+
+    @classmethod
+    def full(cls) -> "ObsConfig":
+        """Everything on, including per-step kernel records."""
+        return cls(kernel_steps=True)

@@ -1,0 +1,65 @@
+"""The flight recorder: a bounded ring of the run's last N events.
+
+Crash-dump style observability.  The recorder is cheap enough to leave
+on for every explorer run: appending to a ``deque(maxlen=...)`` is O(1)
+and evicts the oldest record automatically, so memory stays bounded no
+matter how long the run.  When something goes wrong — an
+``InvariantMonitor`` oracle fires, a run raises, or the corpus search
+shrinks a reproducer — :meth:`FlightRecorder.dump` yields the terminal
+window of events that led up to the failure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List
+
+#: Default ring capacity.  Explorer targets emit a few hundred events
+#: per run, so the default usually captures the whole run; larger sims
+#: keep the most recent window.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Bounded event ring with an eviction-aware dump."""
+
+    __slots__ = ("capacity", "observed", "_ring")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        #: Total events ever offered (so a dump can report truncation).
+        self.observed = 0
+        self._ring: deque = deque(maxlen=capacity)
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Record one event, evicting the oldest when full."""
+        self.observed += 1
+        self._ring.append(event)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained window, oldest first."""
+        return list(self._ring)
+
+    def dump(self) -> Dict[str, Any]:
+        """A self-describing dump: the window plus truncation metadata.
+
+        ``observed`` counts every event offered to the ring since the
+        recorder attached; ``observed - len(events)`` is therefore the
+        number of evicted (lost) records.
+        """
+        events = self.events()
+        return {
+            "capacity": self.capacity,
+            "observed": self.observed,
+            "truncated": self.observed > len(events),
+            "events": events,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<FlightRecorder {len(self._ring)}/{self.capacity} "
+                f"observed={self.observed}>")

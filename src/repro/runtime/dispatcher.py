@@ -267,9 +267,17 @@ class Dispatcher:
                 # would keep it (and its key) forever.
                 partition.log.append(
                     f"dropped stale toBeSignalled for {message.instance}")
+                if partition.system.probes:
+                    partition.system.probe(
+                        "signal_stale_dropped", thread=partition.name,
+                        action=message.action, instance=message.instance)
                 return
             self._touch_scope(key)
             self._pending_signals[key].append(message)
+            if partition.system.probes:
+                partition.system.probe(
+                    "signal_parked", thread=partition.name,
+                    action=message.action, instance=message.instance)
             return
         effects = frame.signal_coordinator.receive(message)
         yield from partition.execute_effects(effects)

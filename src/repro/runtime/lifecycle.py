@@ -291,6 +291,11 @@ class ActionLifecycle:
         partition.system.metrics.record_raise(partition.name, frame.action,
                                               exception.name,
                                               partition.kernel.now)
+        if partition.system.probes:
+            partition.system.probe("raised", thread=partition.name,
+                                   action=frame.action,
+                                   instance=frame.instance_key,
+                                   exception=exception)
         effects = partition.coordinator.raise_exception(exception)
         if effects:
             yield from partition.execute_effects(effects)
@@ -359,6 +364,10 @@ class ActionLifecycle:
         partition.status = "aborting"
         partition.system.metrics.record_abortion(partition.name, frame.action,
                                                  partition.kernel.now)
+        if partition.system.probes:
+            partition.system.probe("aborting", thread=partition.name,
+                                   action=frame.action,
+                                   instance=frame.instance_key)
         if partition.config.abort_time > 0:
             yield partition.kernel.timeout(partition.config.abort_time)
 
@@ -456,6 +465,11 @@ class ActionLifecycle:
             partition.system.metrics.record_signal(partition.name, frame.action,
                                                    decided.name,
                                                    partition.kernel.now)
+            if partition.system.probes:
+                partition.system.probe("signalled", thread=partition.name,
+                                       action=frame.action,
+                                       instance=frame.instance_key,
+                                       exception=decided)
         partition.coordinator.leave_action(frame.action,
                                            success=(decided == NO_EXCEPTION))
         return ActionReport(frame.action, frame.role, partition.name, status,

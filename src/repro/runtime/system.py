@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional
 
+from .. import obs
 from ..analysis.metrics import RunMetrics
 from ..core.action import ActionRegistry, CAActionDefinition
 from ..core.state import thread_order_key
@@ -86,6 +87,12 @@ class DistributedCASystem:
         #: The fault-space explorer's InvariantMonitor registers here; the
         #: list is empty (and the notifications free) in normal runs.
         self.probes: List[Callable[..., None]] = []
+        #: The attached :class:`~repro.obs.observation.SystemObservation`,
+        #: or ``None`` (the default — observability off).  Set either by an
+        #: ambient ``obs.capture()`` scope via the adoption call below, or
+        #: directly through :func:`repro.obs.observe_system`.
+        self.observation = None
+        obs.maybe_observe(self)
 
     # ------------------------------------------------------------------
     # Life-cycle probes (used by the fault-space explorer)

@@ -141,6 +141,11 @@ class WorkloadDriver:
         self.seed = int(seed)
         self.release_instances = release_instances
         self.mix = ActionMix()
+        #: The system's observation sink (``repro.obs``), or ``None`` when
+        #: observability is off — every emission below is behind one check.
+        self._obs = system.observation
+        if self._obs is not None:
+            self._obs.register_driver(self)
 
         pool_names = list(pool) if pool is not None \
             else sorted(system.partitions, key=thread_order_key)
@@ -225,21 +230,30 @@ class WorkloadDriver:
         self.jobs.append(job)
         self._by_instance[job.instance] = job
         self._outstanding += 1
+        if self._obs is not None:
+            self._obs.job_submitted(job)
         self._offer(job)
         return job
 
     def _offer(self, job: Job) -> None:
         decision = self.admission.offer(
             job, placeable=len(self._free) >= job.width)
+        obs = self._obs
         if decision == DISPATCH:
             self._dispatch(job)
         elif decision == RETRY:
+            if obs is not None:
+                obs.admission_retry(job)
             retry = self.kernel.timeout(self.admission.retry_delay)
             retry.callbacks.append(lambda _event, j=job: self._offer(j))
         elif decision == DROP:
+            if obs is not None:
+                obs.admission_dropped(job)
             self._finalize_drop(job)
         else:
             assert decision == QUEUE  # parked inside the controller
+            if obs is not None:
+                obs.admission_queued(job, len(self.admission.queue))
 
     def _dispatch(self, job: Job) -> None:
         workers = self._free[:job.width]
@@ -251,6 +265,8 @@ class WorkloadDriver:
         job.pending_roles = job.width
         self._note_concurrency(+1)
         self.admission.job_dispatched(job)
+        if self._obs is not None:
+            self._obs.job_dispatched(job, self.admission.in_flight)
         for role, worker in binding.items():
             self._inboxes[worker].deliver((job, role))
 
@@ -303,6 +319,8 @@ class WorkloadDriver:
         for worker in job.workers:
             insort(self._free, worker, key=thread_order_key)
         self.admission.job_finished(job)
+        if self._obs is not None:
+            self._obs.job_completed(job, "completed", job.latency or 0.0)
         if self.release_instances:
             self.system.release_instance(job.instance)
         # The instance lookup is only needed between dispatch and the last
@@ -316,6 +334,8 @@ class WorkloadDriver:
     def _finalize_drop(self, job: Job) -> None:
         job.outcome = "dropped"
         job.completed_at = self.kernel.now
+        if self._obs is not None:
+            self._obs.job_dropped(job)
         del self._by_instance[job.instance]
         job.completion.succeed(job)
         self._job_settled()

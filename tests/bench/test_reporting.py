@@ -88,3 +88,35 @@ class TestSeries:
         xs, ys = series([{"x": 1, "y": 2}, {"x": 3, "y": 4}], "x", "y")
         assert xs == [1.0, 3.0]
         assert ys == [2.0, 4.0]
+
+
+class TestTimelineReporting:
+    """The text helpers consume obs metrics timelines directly."""
+
+    def make_rows(self):
+        from repro.obs.metrics import Timeline
+        timeline = Timeline(1.0)
+        clock = {"now": 0.0}
+        # A linear ramp: value == 2t + 1 at every grid point.
+        timeline.track("in_flight", lambda: 2.0 * clock["now"] + 1.0)
+        for now in (0.0, 1.0, 2.0, 3.0):
+            clock["now"] = now
+            timeline.maybe_sample(now)
+        return [{"t": t, "in_flight": value}
+                for t, value in timeline.series["in_flight"]]
+
+    def test_timeline_series_render_as_a_table(self):
+        text = format_table(self.make_rows(), title="in-flight timeline",
+                            precision=1)
+        lines = text.split("\n")
+        assert lines[0] == "in-flight timeline"
+        assert lines[1].split() == ["t", "in_flight"]
+        assert lines[3].split() == ["0.0", "1.0"]
+        assert lines[-1].split() == ["3.0", "7.0"]
+
+    def test_timeline_points_feed_series_and_linear_fit(self):
+        xs, ys = series(self.make_rows(), "t", "in_flight")
+        fit = linear_fit(xs, ys)
+        assert fit["slope"] == pytest.approx(2.0)
+        assert fit["intercept"] == pytest.approx(1.0)
+        assert fit["r_squared"] == pytest.approx(1.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the flight recorder ring and span assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import FlightRecorder, build_spans, span_outcomes
+from repro.obs.spans import MARKER_KINDS
+
+
+def entered(t, action="A", instance="i0", thread="T1"):
+    return {"t": t, "kind": "action.entered", "action": action,
+            "instance": instance, "thread": thread}
+
+
+def concluded(t, action="A", instance="i0", thread="T1", status="success",
+              **extra):
+    event = {"t": t, "kind": "action.concluded", "action": action,
+             "instance": instance, "thread": thread, "status": status}
+    event.update(extra)
+    return event
+
+
+class TestFlightRecorder:
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            FlightRecorder(0)
+
+    def test_small_run_is_not_truncated(self):
+        ring = FlightRecorder(capacity=4)
+        for index in range(3):
+            ring.append({"t": float(index), "kind": "x"})
+        assert len(ring) == 3
+        dump = ring.dump()
+        assert dump["capacity"] == 4
+        assert dump["observed"] == 3
+        assert dump["truncated"] is False
+        assert [event["t"] for event in dump["events"]] == [0.0, 1.0, 2.0]
+
+    def test_overflow_keeps_the_terminal_window(self):
+        ring = FlightRecorder(capacity=4)
+        for index in range(10):
+            ring.append({"t": float(index), "kind": "x"})
+        assert len(ring) == 4
+        dump = ring.dump()
+        assert dump["observed"] == 10
+        assert dump["truncated"] is True
+        # Oldest first, and always the *last* N events.
+        assert [event["t"] for event in dump["events"]] == [6.0, 7.0,
+                                                            8.0, 9.0]
+
+
+class TestBuildSpans:
+    def test_entered_concluded_pairing(self):
+        events = [entered(1.0),
+                  concluded(3.5, status="recovered", resolved="e1",
+                            signalled="phi")]
+        completed, still_open = build_spans(events)
+        assert still_open == []
+        (span,) = completed
+        assert (span.action, span.instance, span.thread) == ("A", "i0", "T1")
+        assert span.start == 1.0
+        assert span.end == 3.5
+        assert span.duration == pytest.approx(2.5)
+        assert span.status == "recovered"
+        assert span.resolved == "e1"
+        assert span.signalled == "phi"
+        row = span.to_dict()
+        assert row["duration"] == pytest.approx(2.5)
+        assert row["markers"] == []
+
+    def test_same_action_on_two_threads_is_two_spans(self):
+        events = [entered(1.0, thread="T1"), entered(1.0, thread="T2"),
+                  concluded(2.0, thread="T1"), concluded(3.0, thread="T2")]
+        completed, still_open = build_spans(events)
+        assert still_open == []
+        assert sorted(span.thread for span in completed) == ["T1", "T2"]
+
+    def test_markers_attach_to_the_open_span_of_their_key(self):
+        raised = {"t": 1.5, "kind": "action.raised", "action": "A",
+                  "instance": "i0", "thread": "T1", "exception": "e1"}
+        other = {"t": 1.6, "kind": "action.raised", "action": "A",
+                 "instance": "i0", "thread": "T2", "exception": "e2"}
+        events = [entered(1.0), raised, other, concluded(2.0)]
+        completed, _open = build_spans(events)
+        assert completed[0].markers == [raised]
+        assert raised["kind"] in MARKER_KINDS
+
+    def test_unmatched_concluded_closes_a_placeholder(self):
+        # The matching "entered" was evicted from a flight ring (or the
+        # observation attached mid-run): a zero-length span still renders.
+        completed, still_open = build_spans([concluded(4.0)])
+        assert still_open == []
+        (span,) = completed
+        assert span.start == span.end == 4.0
+        assert span.duration == 0.0
+
+    def test_still_open_spans_are_sorted_and_unfinished(self):
+        events = [entered(2.0, thread="T2"), entered(1.0, thread="T1")]
+        completed, still_open = build_spans(events)
+        assert completed == []
+        assert [span.thread for span in still_open] == ["T1", "T2"]
+        assert all(span.end is None and span.duration is None
+                   for span in still_open)
+
+
+class TestSpanOutcomes:
+    def test_counts_completed_spans_only(self):
+        events = [entered(1.0, thread="T1"), entered(1.0, thread="T2"),
+                  entered(1.0, thread="T3"),
+                  concluded(2.0, thread="T1", status="success"),
+                  concluded(3.0, thread="T2", status="recovered")]
+        completed, still_open = build_spans(events)
+        assert span_outcomes(completed + still_open) == {
+            "recovered": 1, "success": 1}
+
+    def test_missing_status_counts_as_unknown(self):
+        event = concluded(1.0)
+        del event["status"]
+        completed, _open = build_spans([event])
+        assert span_outcomes(completed) == {"unknown": 1}

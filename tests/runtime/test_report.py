@@ -47,3 +47,29 @@ class TestActionReport:
         text = repr(signalled)
         assert "signalled=epsilon" in text
         assert "A/r1@T1" in text
+
+
+class TestStatusObservabilityContract:
+    """ActionStatus is the span-outcome vocabulary of repro.obs."""
+
+    def test_statuses_flatten_to_their_values_in_event_records(self):
+        # The observation layer stores probe payloads as plain JSON; an
+        # ActionStatus must flatten to its paper-facing string value so
+        # span outcomes and concluded-counter labels read naturally.
+        from repro.obs.observation import _plain
+        for status in ActionStatus:
+            assert _plain(status) == status.value
+
+    def test_each_status_is_a_distinct_span_outcome(self):
+        from repro.obs import build_spans, span_outcomes
+        events = []
+        for index, status in enumerate(ActionStatus):
+            key = {"action": "A", "instance": f"i{index}", "thread": "T1"}
+            events.append({"t": float(index), "kind": "action.entered",
+                           **key})
+            events.append({"t": index + 0.5, "kind": "action.concluded",
+                           "status": status.value, **key})
+        completed, still_open = build_spans(events)
+        assert still_open == []
+        assert span_outcomes(completed) == {
+            status.value: 1 for status in ActionStatus}

@@ -1,0 +1,163 @@
+"""Regression tests for step-tracer chaining and fault isolation.
+
+A step tracer is observation plumbing; it must never be able to kill a
+simulation.  These tests pin the chaining semantics of
+``add_tracer``/``remove_tracer`` and the raise-once-then-disabled
+hardening on both the ``step()`` and ``run()`` execution paths.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.simkernel import EmptySchedule, Kernel
+
+
+def ticks(kernel: Kernel, count: int):
+    for _ in range(count):
+        yield kernel.timeout(1.0)
+
+
+def run_ticks(kernel: Kernel, count: int = 3) -> None:
+    kernel.process(ticks(kernel, count))
+    kernel.run()
+
+
+class TestTracerChaining:
+    def test_single_hook_is_bound_directly(self):
+        kernel = Kernel()
+        seen = []
+        hook = lambda when, priority, eid, event: seen.append(eid)
+        kernel.add_tracer(hook)
+        # One hook pays the old single-slot cost: no composite wrapper.
+        assert kernel.tracer is hook
+        run_ticks(kernel)
+        assert seen
+
+    def test_two_hooks_fan_out_in_order(self):
+        kernel = Kernel()
+        calls = []
+        kernel.add_tracer(lambda *args: calls.append("first"))
+        kernel.add_tracer(lambda *args: calls.append("second"))
+        assert kernel.tracer is not None
+        run_ticks(kernel, count=1)
+        assert calls[:2] == ["first", "second"]
+        assert calls.count("first") == calls.count("second")
+
+    def test_directly_assigned_hook_is_adopted_into_the_chain(self):
+        kernel = Kernel()
+        calls = []
+        kernel.tracer = lambda *args: calls.append("direct")
+        kernel.add_tracer(lambda *args: calls.append("added"))
+        run_ticks(kernel, count=1)
+        assert "direct" in calls and "added" in calls
+        assert calls.index("direct") < calls.index("added")
+
+    def test_remove_rebinds_the_survivor_directly(self):
+        kernel = Kernel()
+        keep = lambda *args: None
+        drop = lambda *args: None
+        kernel.add_tracer(keep)
+        kernel.add_tracer(drop)
+        kernel.remove_tracer(drop)
+        assert kernel.tracer is keep
+        kernel.remove_tracer(keep)
+        assert kernel.tracer is None
+
+    def test_remove_handles_unknown_and_directly_assigned_hooks(self):
+        kernel = Kernel()
+        kernel.remove_tracer(lambda *args: None)  # never installed: no-op
+        direct = lambda *args: None
+        kernel.tracer = direct
+        kernel.remove_tracer(direct)
+        assert kernel.tracer is None
+
+
+class _RecordingHandler(logging.Handler):
+    """Collects records on the kernel logger itself.
+
+    Attached directly rather than via root-level capture (caplog) so
+    the assertions hold no matter how earlier tests configured the
+    parent ``repro`` logger.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+
+@pytest.fixture
+def kernel_log():
+    logger = logging.getLogger("repro.simkernel.kernel")
+    handler = _RecordingHandler()
+    old_level = logger.level
+    logger.addHandler(handler)
+    logger.setLevel(logging.ERROR)
+    yield handler.records
+    logger.removeHandler(handler)
+    logger.setLevel(old_level)
+
+
+class TestTracerHardening:
+    def make_raising(self, calls):
+        def bad(when, priority, eid, event):
+            calls.append(eid)
+            raise RuntimeError("observer bug")
+        return bad
+
+    def test_raising_hook_is_disabled_not_fatal_in_run(self, kernel_log):
+        kernel = Kernel()
+        calls = []
+        kernel.add_tracer(self.make_raising(calls))
+        run_ticks(kernel, count=5)  # must not raise
+        # Called exactly once, then disabled — and logged exactly once.
+        assert len(calls) == 1
+        assert kernel.tracer is None
+        messages = [record for record in kernel_log
+                    if "disabling" in record.getMessage()]
+        assert len(messages) == 1
+
+    def test_raising_hook_is_disabled_not_fatal_in_step(self):
+        kernel = Kernel()
+        calls = []
+        kernel.add_tracer(self.make_raising(calls))
+        kernel.process(ticks(kernel, 3))
+        with pytest.raises(EmptySchedule):
+            while True:
+                kernel.step()
+        assert len(calls) == 1
+        assert kernel.tracer is None
+
+    def test_healthy_hooks_survive_a_failing_sibling(self, kernel_log):
+        kernel = Kernel()
+        healthy_calls = []
+        bad_calls = []
+        kernel.add_tracer(self.make_raising(bad_calls))
+        kernel.add_tracer(lambda *args: healthy_calls.append(args))
+        run_ticks(kernel, count=3)
+        assert len(bad_calls) == 1
+        assert len(kernel_log) == 1
+        # The healthy hook kept firing for every step, including the one
+        # on which its sibling blew up.
+        assert len(healthy_calls) > 1
+        assert healthy_calls[0] is not None
+
+    def test_tracer_failure_does_not_defuse_the_traced_event(self):
+        # The traced event's own outcome must be unaffected: a failing
+        # process still surfaces its exception to run() even when the
+        # tracer died on the very same step.
+        kernel = Kernel()
+        kernel.add_tracer(self.make_raising([]))
+
+        def failing(kernel):
+            yield kernel.timeout(1.0)
+            raise ValueError("real simulation failure")
+
+        kernel.process(failing(kernel))
+        with pytest.raises(ValueError, match="real simulation failure"):
+            kernel.run()
