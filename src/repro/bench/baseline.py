@@ -50,7 +50,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..cli import add_logging_arguments, configure_logging
 from ..workload.scenarios import saturation_knee
-from .engine import GridPoint, run_scenario
+from .engine import GridPoint, ScenarioConfig, run_scenario
 from .kernelbench import collect_kernel_baseline
 
 #: Bump when the row layout changes incompatibly.
@@ -312,6 +312,57 @@ def write_scale_baseline(path: str, small: bool = False,
     return document
 
 
+#: Real-backend smoke matrix: every registered real scenario under every
+#: resolution algorithm (the figure9 spec wraps the paper's Experiment 1;
+#: transactional adds external objects behind an RPC host).
+REAL_BACKEND_ALGORITHMS = ("ours", "campbell-randell", "romanovsky96")
+
+
+def collect_real_backend_baseline(
+        scenarios: Optional[Sequence[str]] = None,
+        algorithms: Sequence[str] = REAL_BACKEND_ALGORITHMS,
+        time_scale: float = 0.02,
+        wall_timeout: float = 120.0,
+        iterations: int = 1,
+        obs_dir: Optional[str] = None) -> Dict[str, object]:
+    """Run the real-backend smoke matrix and return the document.
+
+    Rows are oracle-gated (``n_violations`` must be zero), not
+    digest-gated: wall-clock pacing makes the message interleavings of a
+    real run non-reproducible, but the paper's invariants must hold on
+    every one of them.
+    """
+    from ..net.real.scenarios import REAL_SCENARIOS
+
+    names = list(scenarios) if scenarios else sorted(REAL_SCENARIOS)
+    config = ScenarioConfig(backend="real", export_dir=obs_dir,
+                            backend_options={"time_scale": time_scale,
+                                             "wall_timeout": wall_timeout})
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        points = [{"algorithm": algorithm, "iterations": iterations}
+                  for algorithm in algorithms]
+        for row in run_scenario(name, points=points, config=config):
+            rows.append({"scenario": name, **row})
+    return {
+        "schema": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "backend": "real",
+        "time_scale": time_scale,
+        "rows": rows,
+        "oracle_violations": sum(row["n_violations"] for row in rows),
+    }
+
+
+def write_real_backend_baseline(path: str, **options) -> Dict[str, object]:
+    """Collect the real-backend smoke document and write it to ``path``."""
+    document = collect_real_backend_baseline(**options)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Write a benchmark baseline JSON.")
@@ -332,6 +383,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--small", action="store_true",
                         help="scale suite only: the CI-smoke variant "
                              "(10^4 instances, 2 shards, no 10^6 point)")
+    parser.add_argument("--backend", choices=("sim", "real"), default="sim",
+                        help="execution backend: 'real' ignores --suite and "
+                             "runs the real-process smoke matrix (every "
+                             "real scenario x algorithm, oracle-gated)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="real backend only: restrict the matrix to "
+                             "this scenario (repeatable)")
+    parser.add_argument("--time-scale", type=float, default=0.02,
+                        help="real backend only: wall seconds per unit of "
+                             "virtual time (default 0.02)")
+    parser.add_argument("--wall-timeout", type=float, default=120.0,
+                        help="real backend only: hard wall-clock cap per "
+                             "run; children are killed on expiry")
+    parser.add_argument("--obs-dir", default=None,
+                        help="real backend only: write each run's bridged "
+                             "obs events as JSONL into this directory "
+                             "(CI uploads them on failure)")
     parser.add_argument("--list", action="store_true",
                         help="list every registered scenario and traffic "
                              "action (grid size, description, declared "
@@ -343,6 +411,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in registry_listing():
             print(line)
         return 0
+    if arguments.backend == "real":
+        output = arguments.output or "BENCH_realbackend.json"
+        document = write_real_backend_baseline(
+            output, scenarios=arguments.scenario,
+            time_scale=arguments.time_scale,
+            wall_timeout=arguments.wall_timeout,
+            obs_dir=arguments.obs_dir)
+        rows = document["rows"]
+        violations = document["oracle_violations"]
+        print(f"wrote {output}: {len(rows)} real-backend rows, "
+              f"{violations} oracle violations")
+        return 1 if violations else 0
     output = arguments.output or f"BENCH_{arguments.suite}.json"
     max_workers = arguments.workers or None
     if arguments.suite == "kernel":

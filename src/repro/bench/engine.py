@@ -101,6 +101,17 @@ class ScenarioConfig:
 
     obs: Optional[obs.ObsConfig] = None
     export_dir: Optional[str] = None
+    #: Execution backend: ``"sim"`` runs grid points on the deterministic
+    #: sim kernel (the default, byte-identical path); ``"real"`` boots one
+    #: OS process per scenario node and runs the same protocol code over
+    #: localhost sockets with wall-clock pacing (see
+    #: :mod:`repro.net.real`).  Real rows are oracle-gated, not
+    #: digest-gated — they carry wall-clock fields and are not
+    #: byte-identical between runs.
+    backend: str = "sim"
+    #: Keyword options for the real backend runner (``time_scale``,
+    #: ``wall_timeout``, ``settle``); ignored on the sim backend.
+    backend_options: Optional[Mapping[str, object]] = None
 
 
 @dataclass(frozen=True)
@@ -202,6 +213,11 @@ def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
     ``config`` carries cross-cutting options; when ``config.obs`` is set
     the sweep runs traced (see :class:`ScenarioConfig`).
     """
+    if config is not None and config.backend != "sim":
+        if config.backend != "real":
+            raise ValueError(f"unknown backend {config.backend!r}; "
+                             f"expected 'sim' or 'real'")
+        return _run_real_backend(name, points, config)
     scenario = (registry or REGISTRY).get(name)
     grid: List[GridPoint] = [dict(point) for point in
                              (points if points is not None else scenario.grid)]
@@ -232,6 +248,58 @@ def run_scenario(name: str, points: Optional[Sequence[GridPoint]] = None,
                 "back to the sequential (byte-identical) path for the "
                 "%d-point grid", name, len(grid))
     return _run_sequential(scenario, grid)
+
+
+def _run_real_backend(name: str, points: Optional[Sequence[GridPoint]],
+                      config: ScenarioConfig) -> List[Row]:
+    """Run grid points of a *real-capable* scenario across OS processes.
+
+    Only scenarios with an entry in
+    :data:`repro.net.real.scenarios.REAL_SCENARIOS` can run here; their
+    grid points are the real spec's parameters (``t_msg``, ``iterations``,
+    ``algorithm``, ...), defaulting to one point from the spec's
+    defaults.  Each row reports the merged oracle verdict, the
+    ``(action, status)`` conclusion counts, and wall-clock cost.
+    """
+    from ..net.real.backend import RealBackend
+    from ..net.real.scenarios import REAL_SCENARIOS
+
+    if name not in REAL_SCENARIOS:
+        raise KeyError(
+            f"scenario {name!r} has no real-backend spec; available: "
+            f"{sorted(REAL_SCENARIOS)}")
+    spec = REAL_SCENARIOS[name]
+    grid = [dict(point) for point in
+            (points if points is not None else (dict(spec.defaults),))]
+    backend = RealBackend(**dict(config.backend_options or {}))
+    rows: List[Row] = []
+    for index, point in enumerate(grid):
+        result = backend.run(name, **point)
+        if config.export_dir is not None:
+            # Bridged obs events, one JSONL per run — CI uploads these as
+            # the post-mortem artifact when a real run fails its oracles.
+            os.makedirs(config.export_dir, exist_ok=True)
+            path = os.path.join(config.export_dir,
+                                f"{name}-{index}.events.jsonl")
+            with open(path, "w", encoding="utf-8") as handle:
+                for node, record in sorted(result.records.items()):
+                    for event in record.get("obs_events", ()):
+                        handle.write(json.dumps(
+                            {"node": node, **event}, sort_keys=True,
+                            default=str) + "\n")
+        rows.append({
+            **point,
+            "backend": "real",
+            "n_violations": len(result.violations),
+            "violations": [str(violation)
+                           for violation in result.violations],
+            "outcomes": {f"{action}/{status}": count
+                         for (action, status), count
+                         in sorted(result.outcomes.items())},
+            "crashed": list(result.crashed),
+            "wall_seconds": result.wall_time,
+        })
+    return rows
 
 
 def _run_sequential(scenario: Scenario, grid: Sequence[GridPoint]) -> List[Row]:

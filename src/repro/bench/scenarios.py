@@ -75,7 +75,9 @@ class ExperimentResult:
 # ----------------------------------------------------------------------
 def build_experiment1(t_msg: float, t_abort: float, t_resolution: float,
                       iterations: int = EXPERIMENT1_ITERATIONS,
-                      algorithm: str = "ours") -> DistributedCASystem:
+                      algorithm: str = "ours",
+                      spawn_threads: Optional[List[str]] = None,
+                      network_factory=None) -> DistributedCASystem:
     """Build the Figure 9/10 application system.
 
     Threads ``T1``–``T3`` participate in the containing action ``Outer``;
@@ -84,10 +86,23 @@ def build_experiment1(t_msg: float, t_abort: float, t_resolution: float,
     ``Inner``; the nested action is aborted; the abortion handlers signal
     ``abort_residue``; both exceptions are resolved into their covering
     exception, which every thread handles.
+
+    ``spawn_threads`` restricts which threads' programs are spawned (all
+    three by default): a transport backend that runs one OS process per
+    partition builds the full system everywhere but spawns only the
+    local thread's program.  ``network_factory(kernel, latency)`` lets
+    such a backend substitute its transport for the sim network.
     """
     config = RuntimeConfig(algorithm=algorithm, resolution_time=t_resolution,
                            abort_time=t_abort)
-    system = DistributedCASystem(config, latency=ConstantLatency(t_msg))
+    latency = ConstantLatency(t_msg)
+    if network_factory is not None:
+        from ..simkernel.kernel import Kernel
+        kernel = Kernel()
+        system = DistributedCASystem(config, kernel=kernel,
+                                     network=network_factory(kernel, latency))
+    else:
+        system = DistributedCASystem(config, latency=latency)
     system.add_threads(["T1", "T2", "T3"])
     system.create_object("plant", {"state": "idle", "processed": 0})
 
@@ -155,9 +170,10 @@ def build_experiment1(t_msg: float, t_abort: float, t_resolution: float,
             return reports
         return program
 
-    system.spawn("T1", make_program("a1"))
-    system.spawn("T2", make_program("a2"))
-    system.spawn("T3", make_program("a3"))
+    roles = {"T1": "a1", "T2": "a2", "T3": "a3"}
+    for thread in (spawn_threads if spawn_threads is not None
+                   else sorted(roles)):
+        system.spawn(thread, make_program(roles[thread]))
     return system
 
 

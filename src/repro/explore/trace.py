@@ -72,8 +72,17 @@ def canonical_trace(system: DistributedCASystem,
         sections.append("== kernel ==")
         sections.extend(recorder.kernel_section())
     sections.append("== network ==")
+    network = system.network
+    if not getattr(network, "keep_trace", True) \
+            and network.stats.sent > len(network.trace):
+        # The bounded ring has already evicted envelopes; a digest built
+        # from it would be silently wrong.  Build the system with
+        # ``keep_trace=True`` (the explorer targets do).
+        raise RuntimeError(
+            "canonical_trace needs full envelope retention: construct the "
+            "network with keep_trace=True")
     sections.extend(_envelope_line(i, envelope)
-                    for i, envelope in enumerate(system.network.trace))
+                    for i, envelope in enumerate(network.trace))
     sections.append("== coordinators ==")
     for name in sorted(system.partitions):
         sections.extend(system.partitions[name].coordinator.trace)

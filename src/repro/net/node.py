@@ -8,7 +8,8 @@ the shared simulation kernel.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from collections import deque
+from typing import Any, Deque, Dict, Optional, TYPE_CHECKING
 
 from ..simkernel.channels import CyclicBuffer
 from ..simkernel.kernel import Kernel
@@ -43,7 +44,9 @@ class Node:
         #: the node can find it).
         self.services: Dict[str, Any] = {}
         #: Delivery log (envelopes received), useful for debugging/tests.
-        self.received: List[Envelope] = []
+        #: Bounded for the same reason as ``Network.trace``: a debugging
+        #: aid must not grow a long capacity run's memory.
+        self.received: Deque[Envelope] = deque(maxlen=4096)
 
     # ------------------------------------------------------------------
     def attach(self, network: "Network") -> None:

@@ -1,0 +1,60 @@
+"""Length-prefixed frames for the real-backend wire protocol.
+
+Every frame is a 4-byte big-endian length followed by a pickled plain
+object (dicts of primitives plus the runtime's picklable message
+dataclasses).  Pickle is acceptable here because both ends of every
+connection are processes of the same trusted run, spawned by the same
+parent from the same code tree — frames never cross a machine or trust
+boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Iterator
+
+#: struct format of the length prefix.
+_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames (a corrupted prefix would otherwise ask for GBs).
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class FramingError(RuntimeError):
+    """A malformed frame (oversized length, truncated pickle...)."""
+
+
+def encode_frame(obj: Any) -> bytes:
+    """One wire frame for ``obj``."""
+    body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME:
+        raise FramingError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder: feed byte chunks, iterate complete frames."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[Any]:
+        """Consume ``data``; yield every frame completed by it."""
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME:
+                raise FramingError(f"frame header asks for {length} bytes")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            body = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            yield pickle.loads(body)
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)

@@ -1,0 +1,150 @@
+"""The parent-side message hub of the real backend.
+
+The hub is a plain asyncio TCP server on localhost.  Every child node
+process opens one connection, identifies itself with a ``hello`` frame,
+and from then on all cross-node runtime messages travel child → hub →
+child as ``msg`` frames (a star topology: children never dial each
+other, which keeps connection management and crash handling in one
+place).  The hub also sequences the run:
+
+1. wait until every node said ``hello``;
+2. broadcast ``start`` (children begin their wall-clock-paced kernels);
+3. wait until every live node reported ``done`` (its local programs
+   finished) *and* no message has crossed the wire for a settle window;
+4. broadcast ``finalize`` — children drain their kernels unpaced and
+   answer with a ``final`` frame carrying their monitor record;
+5. collect the ``final`` frames.
+
+A broken connection marks the node dead: its pending frames are dropped
+(that *is* the crash semantics — a killed process loses its messages)
+and the done/final barriers stop waiting for it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterable, Set
+
+from .framing import FrameDecoder, encode_frame
+
+
+class Hub:
+    """Frame router + run sequencer for one real-backend run."""
+
+    def __init__(self, nodes: Iterable[str], settle: float = 0.5,
+                 stall: float = 5.0) -> None:
+        self.nodes = tuple(nodes)
+        #: Wall-clock seconds the wire must stay silent (after all nodes
+        #: are done) before the run is considered quiescent.
+        self.settle = settle
+        #: Degraded quiescence: once a node died, survivors may wait
+        #: forever on its messages (the paper's liveness assumes
+        #: delivery), so ``stall`` seconds of wire silence finalizes the
+        #: run even though not everyone reported done.
+        self.stall = stall
+        self.writers: Dict[str, asyncio.StreamWriter] = {}
+        self.done: Set[str] = set()
+        self.dead: Set[str] = set()
+        self.finals: Dict[str, Dict[str, Any]] = {}
+        #: Cross-node frames routed / dropped because the target died.
+        self.forwarded = 0
+        self.dropped_to_dead = 0
+        self._traffic_at = 0.0
+        self._connected = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    def _covered(self, *pools: Set[str]) -> bool:
+        return all(any(node in pool for pool in pools)
+                   for node in self.nodes)
+
+    def mark_dead(self, node: str) -> None:
+        """Treat ``node`` as crashed (connection lost or process died)."""
+        if node in self.finals or node in self.dead:
+            return
+        self.dead.add(node)
+        self.writers.pop(node, None)
+        # A fully-dead fleet must not leave the barriers waiting.
+        if self._covered(set(self.writers), self.dead):
+            self._connected.set()
+
+    # ------------------------------------------------------------------
+    async def handle_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        node = None
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    kind = frame.get("kind")
+                    if kind == "hello":
+                        node = frame["node"]
+                        self.writers[node] = writer
+                        if self._covered(set(self.writers), self.dead):
+                            self._connected.set()
+                    elif kind == "msg":
+                        self._traffic_at = loop.time()
+                        target = self.writers.get(frame["dst"])
+                        if target is None:
+                            self.dropped_to_dead += 1
+                        else:
+                            target.write(encode_frame(frame))
+                            await target.drain()
+                    elif kind == "done" and node is not None:
+                        self.done.add(node)
+                    elif kind == "final" and node is not None:
+                        self.finals[node] = frame["record"]
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Run teardown: the server is closing while this client is
+            # still connected — treat it like a disconnect, quietly.
+            pass
+        finally:
+            if node is not None and node not in self.finals:
+                self.mark_dead(node)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    def broadcast(self, frame: Dict[str, Any]) -> None:
+        payload = encode_frame(frame)
+        for writer in list(self.writers.values()):
+            try:
+                writer.write(payload)
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    async def wait_connected(self) -> None:
+        await self._connected.wait()
+
+    async def wait_quiescent(self) -> None:
+        """All live nodes done, then a settle window of wire silence.
+
+        With dead nodes in the fleet the done barrier may never be met
+        (survivors can block forever on the dead node's messages), so a
+        longer ``stall`` silence window also counts as quiescence.
+        """
+        loop = asyncio.get_running_loop()
+        if not self._traffic_at:
+            self._traffic_at = loop.time()
+        while True:
+            quiet = loop.time() - self._traffic_at
+            if self._covered(self.done, self.dead):
+                if quiet >= self.settle:
+                    return
+                await asyncio.sleep(max(self.settle - quiet, 0.01))
+            elif self.dead and quiet >= self.stall:
+                return
+            else:
+                await asyncio.sleep(0.02)
+
+    async def wait_finals(self) -> None:
+        while not self._covered(set(self.finals), self.dead):
+            await asyncio.sleep(0.02)

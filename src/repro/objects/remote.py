@@ -1,0 +1,250 @@
+"""External atomic objects accessed over RPC: host service and proxy.
+
+The paper's model places external objects *outside* the CA-action
+partitions — "individually responsible for their own integrity" — which
+the sim runtime simplifies into one shared in-process
+:class:`~repro.objects.transaction.TransactionManager`.  That shortcut
+breaks the moment partitions become separate OS processes, so this
+module distributes it:
+
+* :class:`ObjectHostService` runs on the node that owns the objects.  It
+  registers ``txn.*`` procedures on an :class:`~repro.net.rpc.RpcEndpoint`
+  and maps each CA-action *instance key* to one authoritative
+  :class:`~repro.objects.transaction.Transaction` — every participant of
+  an instance, whichever process it runs in, reaches the same
+  transaction, locks, and committed state.
+* :class:`RemoteTransaction` is the participant-side proxy installed via
+  ``DistributedCASystem.transaction_factory``.  Reads and lock requests
+  return kernel events (the reply, or the deferred lock grant);
+  writes/commit/abort/notify are one-way calls, with the proxy tracking
+  an optimistic local ``status`` so the life-cycle's designated-committer
+  and rollback guards keep working unchanged.
+
+The same proxy/service pair runs over the simulated network in one
+process (the ``sim`` backend) and across real processes (the ``real``
+backend) — which is exactly what makes the RPC layer's timeout and
+failure-reporting semantics load-bearing rather than decorative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..core.action import CAActionDefinition
+from ..net.rpc import RpcEndpoint, RpcTimeoutError
+from ..simkernel.events import Event
+from .locks import DeadlockError, LockMode
+from .transaction import Transaction, TransactionManager, TransactionStatus
+
+#: Error-string prefix replies use to carry a deadlock refusal across the
+#: wire; the proxy converts it back into a real :class:`DeadlockError`.
+_DEADLOCK_PREFIX = "DeadlockError:"
+
+
+class ObjectHostService:
+    """Serves a transaction manager's objects to remote participants."""
+
+    #: Procedure names registered on the endpoint.
+    PROCEDURES = ("txn.lock", "txn.read", "txn.write", "txn.repair",
+                  "txn.commit", "txn.abort", "txn.notify")
+
+    def __init__(self, endpoint: RpcEndpoint,
+                 manager: TransactionManager) -> None:
+        self.endpoint = endpoint
+        self.manager = manager
+        #: instance key -> the authoritative transaction for that CA-action
+        #: instance (begun on first touch, from any participant).
+        self.transactions: Dict[str, Transaction] = {}
+        endpoint.register("txn.lock", self._lock)
+        endpoint.register("txn.read", self._read)
+        endpoint.register("txn.write", self._write)
+        endpoint.register("txn.commit", self._commit)
+        endpoint.register("txn.abort", self._abort)
+        endpoint.register("txn.notify", self._notify)
+
+    # ------------------------------------------------------------------
+    def transaction(self, instance_key: str, action_name: str) -> Transaction:
+        """The instance's authoritative transaction (begin on first use)."""
+        transaction = self.transactions.get(instance_key)
+        if transaction is None:
+            transaction = self.transactions[instance_key] = \
+                self.manager.begin(action_name)
+        return transaction
+
+    # -- procedure handlers --------------------------------------------
+    def _lock(self, instance_key: str, action_name: str, object_name: str,
+              mode_name: str):
+        transaction = self.transaction(instance_key, action_name)
+        grant = transaction.lock(object_name, LockMode[mode_name])
+        if grant.triggered:
+            if grant.ok:
+                return True
+            # Immediate refusal (wait-for cycle): the lock manager fails
+            # the event rather than raising.  Re-raise as DeadlockError so
+            # the reply's error string carries the ``DeadlockError:``
+            # prefix the proxy converts back into the typed exception.
+            grant.defused = True
+            raise DeadlockError(str(grant.value))
+        # Returning the untriggered grant event defers the reply until
+        # the lock manager grants the request.
+        return grant
+
+    def _read(self, instance_key: str, action_name: str, object_name: str,
+              key: str) -> Any:
+        return self.transaction(instance_key, action_name).read(
+            object_name, key)
+
+    def _write(self, instance_key: str, action_name: str, object_name: str,
+               key: str, value: Any) -> None:
+        self.transaction(instance_key, action_name).write(
+            object_name, key, value)
+
+    def _commit(self, instance_key: str, action_name: str) -> None:
+        self.transaction(instance_key, action_name).commit()
+
+    def _abort(self, instance_key: str, action_name: str) -> str:
+        return self.transaction(instance_key, action_name).abort().value
+
+    def _notify(self, instance_key: str, action_name: str,
+                exception_name: str) -> None:
+        self.transaction(instance_key, action_name).notify_exception(
+            exception_name)
+
+
+class RemoteTransaction:
+    """Participant-side proxy for one action instance's transaction.
+
+    Mirrors the :class:`~repro.objects.transaction.Transaction` surface
+    the runtime and role code touch.  Event-returning operations
+    (:meth:`lock`, :meth:`read`) are meant to be ``yield``-ed by role
+    bodies; the fire-and-forget operations are one-way RPC, with the
+    proxy's ``status`` updated optimistically so the life-cycle's
+    synchronous guards (designated commit, ensure-rolled-back) behave as
+    they do against a local transaction.
+    """
+
+    def __init__(self, endpoint: RpcEndpoint, host: str, instance_key: str,
+                 action_name: str, timeout: Optional[float] = None) -> None:
+        self._endpoint = endpoint
+        self._host = host
+        self.instance_key = instance_key
+        self.action_name = action_name
+        self.transaction_id = f"remote:{instance_key}"
+        self.status = TransactionStatus.ACTIVE
+        self.objects: set = set()
+        self.failed_objects: list = []
+        #: Reply timeout (virtual time) for the request/reply operations;
+        #: ``None`` trusts the transport (the sim network without faults).
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def lock(self, object_name: str,
+             mode: LockMode = LockMode.EXCLUSIVE) -> Event:
+        """Request a lock on the host; yields like a local grant event."""
+        self._ensure_active()
+        self.objects.add(object_name)
+        reply = self._endpoint.call(
+            self._host, "txn.lock", self.instance_key, self.action_name,
+            object_name, mode.name, timeout=self.timeout)
+        return self._bridge(reply, convert_deadlock=True)
+
+    def read(self, object_name: str, key: str) -> Event:
+        """Remote transactional read; yields the value."""
+        self._ensure_active()
+        self.objects.add(object_name)
+        return self._bridge(self._endpoint.call(
+            self._host, "txn.read", self.instance_key, self.action_name,
+            object_name, key, timeout=self.timeout))
+
+    def write(self, object_name: str, key: str, value: Any) -> None:
+        """Remote transactional write (one-way; per-link FIFO orders it)."""
+        self._ensure_active()
+        self.objects.add(object_name)
+        self._endpoint.call_oneway(
+            self._host, "txn.write", self.instance_key, self.action_name,
+            object_name, key, value)
+
+    def repair(self, object_name: str, repair_function: Callable) -> None:
+        raise NotImplementedError(
+            "repair() ships a function and is not supported on remote "
+            "objects; use write() from the handler instead")
+
+    def notify_exception(self, exception_name: str) -> None:
+        self._endpoint.call_oneway(
+            self._host, "txn.notify", self.instance_key, self.action_name,
+            exception_name)
+
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """One-way commit; the proxy's status flips optimistically.
+
+        Only the designated committer calls this (life-cycle invariant),
+        so the optimistic flip cannot race another participant's commit.
+        """
+        self._ensure_active()
+        self._endpoint.call_oneway(self._host, "txn.commit",
+                                   self.instance_key, self.action_name)
+        self.status = TransactionStatus.COMMITTED
+
+    def abort(self) -> TransactionStatus:
+        """One-way abort; idempotent on the host side."""
+        if self.status is not TransactionStatus.ACTIVE:
+            return self.status
+        self._endpoint.call_oneway(self._host, "txn.abort",
+                                   self.instance_key, self.action_name)
+        self.status = TransactionStatus.ABORTED
+        return self.status
+
+    # ------------------------------------------------------------------
+    def _ensure_active(self) -> None:
+        if self.status is not TransactionStatus.ACTIVE:
+            raise RuntimeError(
+                f"remote transaction {self.instance_key} is "
+                f"{self.status.value}")
+
+    def _bridge(self, reply: Event, convert_deadlock: bool = False) -> Event:
+        """Wrap a reply event, restoring typed errors where needed."""
+        outer = self._endpoint.kernel.event()
+
+        def _forward(event: Event) -> None:
+            if event.ok:
+                if not outer.triggered:
+                    outer.succeed(event.value)
+                return
+            event.defused = True
+            error = event.value
+            message = str(error)
+            if convert_deadlock and message.startswith(_DEADLOCK_PREFIX):
+                error = DeadlockError(
+                    message[len(_DEADLOCK_PREFIX):].strip())
+            if not outer.triggered:
+                outer.fail(error)
+
+        reply.callbacks.append(_forward)
+        return outer
+
+    def __repr__(self) -> str:
+        return (f"<RemoteTransaction {self.instance_key} host={self._host} "
+                f"{self.status.value}>")
+
+
+def install_remote_objects(system, endpoint_for: Callable[[str], RpcEndpoint],
+                           host: str,
+                           timeout: Optional[float] = None) -> None:
+    """Point a system's per-instance transactions at a remote host.
+
+    ``endpoint_for(instance_key)`` picks which local endpoint issues the
+    calls (a single-partition process passes its own endpoint; the
+    all-local sim build designates one).
+    """
+    def factory(instance_key: str,
+                definition: CAActionDefinition) -> RemoteTransaction:
+        return RemoteTransaction(endpoint_for(instance_key), host,
+                                 instance_key, definition.name,
+                                 timeout=timeout)
+
+    system.transaction_factory = factory
+
+
+__all__ = ["ObjectHostService", "RemoteTransaction",
+           "install_remote_objects", "RpcTimeoutError"]

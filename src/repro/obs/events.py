@@ -46,10 +46,11 @@ ACTION_ABORTION_COMPLETED = "action.abortion_completed"
 SIGNAL_PARKED = "signal.parked"
 SIGNAL_STALE_DROPPED = "signal.stale_dropped"
 
-# --- messaging (from ``Network``) -------------------------------------
+# --- messaging (from ``Network`` / ``RpcEndpoint``) -------------------
 MESSAGE_SENT = "message.sent"
 MESSAGE_DELIVERED = "message.delivered"
 MESSAGE_DROPPED = "message.dropped"
+RPC_FAILURE = "rpc.failure"
 
 # --- workload admission + jobs (from ``WorkloadDriver``) --------------
 JOB_SUBMITTED = "job.submitted"
@@ -91,7 +92,8 @@ for _kind in (ACTION_ENTERED, ACTION_RAISED, ACTION_ABORTING,
               ACTION_ABORTION_COMPLETED, SIGNAL_PARKED,
               SIGNAL_STALE_DROPPED):
     CATEGORIES[_kind] = "action"
-for _kind in (MESSAGE_SENT, MESSAGE_DELIVERED, MESSAGE_DROPPED):
+for _kind in (MESSAGE_SENT, MESSAGE_DELIVERED, MESSAGE_DROPPED,
+              RPC_FAILURE):
     CATEGORIES[_kind] = "message"
 for _kind in (JOB_SUBMITTED, JOB_DISPATCHED, JOB_COMPLETED, JOB_DROPPED,
               ADMISSION_QUEUED, ADMISSION_RETRY, ADMISSION_DROPPED):

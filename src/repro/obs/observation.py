@@ -159,6 +159,15 @@ class SystemObservation:
             metrics.counter("messages_delivered_total").inc()
             metrics.timeline.maybe_sample(self._kernel.now)
 
+    def rpc_failure(self, node: str, procedure: str, error: str) -> None:
+        """A one-way RPC handler raised (there is no reply to carry it)."""
+        self._emit({"t": self._kernel.now, "kind": kinds.RPC_FAILURE,
+                    "node": node, "procedure": procedure, "error": error})
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("rpc_failures_total",
+                            {"procedure": procedure}).inc()
+
     def message_dropped(self, envelope: Any, reason: str) -> None:
         seq = self._envelope_seq.pop(id(envelope), 0)
         self._emit({"t": self._kernel.now, "kind": kinds.MESSAGE_DROPPED,

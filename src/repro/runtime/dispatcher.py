@@ -123,6 +123,13 @@ class Dispatcher:
             if not effects:
                 return None
             return partition.execute_effects(effects)
+        # RPC traffic for an endpoint co-located on this node (external
+        # atomic objects, transport-backend services).  The endpoint is
+        # constructed with ``drain=False`` so it does not compete with
+        # this dispatcher for the inbox.
+        rpc = partition.node.services.get("rpc")
+        if rpc is not None and rpc.handle_payload(payload):
+            return None
         partition.log.append(f"unhandled payload {payload!r}")
         return None
 

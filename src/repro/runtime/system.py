@@ -43,17 +43,33 @@ class DistributedCASystem:
         Optional fault-injection plan for the network.
     kernel:
         Optional pre-existing simulation kernel (a fresh one by default).
+    keep_trace:
+        Retain every envelope in :attr:`Network.trace` (needed for
+        canonical replay traces); the default is a bounded ring.
+    network:
+        Optional pre-built network (a transport backend's subclass); when
+        given, ``latency``/``faults``/``keep_trace`` are ignored and the
+        network's kernel must be this system's kernel.
     """
 
     def __init__(self, config: Optional[RuntimeConfig] = None,
                  latency: Optional[LatencyModel] = None,
                  faults: Optional[FaultPlan] = None,
-                 kernel: Optional[Kernel] = None) -> None:
+                 kernel: Optional[Kernel] = None,
+                 keep_trace: bool = False,
+                 network: Optional[Network] = None) -> None:
         self.config = config or RuntimeConfig()
         self.kernel = kernel or Kernel()
-        self.network = Network(self.kernel,
-                               latency=latency or ConstantLatency(0.0),
-                               faults=faults)
+        if network is not None:
+            if network.kernel is not self.kernel:
+                raise SystemConfigurationError(
+                    "pre-built network must share the system kernel")
+            self.network = network
+        else:
+            self.network = Network(self.kernel,
+                                   latency=latency or ConstantLatency(0.0),
+                                   faults=faults,
+                                   keep_trace=keep_trace)
         self.registry = ActionRegistry()
         self.transactions = TransactionManager(self.kernel)
         self.metrics = RunMetrics()
@@ -92,6 +108,12 @@ class DistributedCASystem:
         #: ambient ``obs.capture()`` scope via the adoption call below, or
         #: directly through :func:`repro.obs.observe_system`.
         self.observation = None
+        #: Optional hook ``(instance_key, definition) -> Transaction``
+        #: consulted by :meth:`transaction_for` before the local
+        #: transaction manager.  The real backend installs a factory that
+        #: returns remote-object proxies; ``None`` (the default) keeps the
+        #: historical all-local path byte-identical.
+        self.transaction_factory = None
         obs.maybe_observe(self)
 
     # ------------------------------------------------------------------
@@ -296,8 +318,10 @@ class DistributedCASystem:
         """The shared transaction of one action instance (created on first use)."""
         transaction = self._instance_transactions.get(instance_key)
         if transaction is None:
+            factory = self.transaction_factory
             transaction = self._instance_transactions[instance_key] = \
-                self.transactions.begin(definition.name)
+                (factory(instance_key, definition) if factory is not None
+                 else self.transactions.begin(definition.name))
             self._transactions_by_scope.setdefault(
                 instance_key.split("/", 1)[0], []).append(instance_key)
         return transaction

@@ -1,0 +1,183 @@
+"""Remote external objects over RPC: host service + participant proxy.
+
+Everything here runs on the simulated network in one process — the same
+proxy/service pair the real backend uses across OS processes, which is
+the point: the protocol semantics (deferred lock grants, typed deadlock
+refusals, reply timeouts) are pinned down where they are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.net.rpc import RpcEndpoint, RpcTimeoutError
+from repro.objects.locks import DeadlockError
+from repro.objects.remote import (
+    ObjectHostService,
+    RemoteTransaction,
+    install_remote_objects,
+)
+from repro.objects.transaction import TransactionManager, TransactionStatus
+from repro.simkernel.kernel import Kernel
+
+
+def build_world(latency: float = 0.1, faults: FaultPlan = None):
+    kernel = Kernel()
+    network = Network(kernel, latency=ConstantLatency(latency),
+                      faults=faults)
+    client = RpcEndpoint(network.add_node("client"), network)
+    host = RpcEndpoint(network.add_node("host"), network)
+    manager = TransactionManager(kernel)
+    manager.create_object("acct", {"value": 10})
+    service = ObjectHostService(host, manager)
+    return kernel, network, client, manager, service
+
+
+def proxy(client, instance="A#1", action="A", timeout=None):
+    return RemoteTransaction(client, "host", instance, action,
+                             timeout=timeout)
+
+
+class TestRoundtrip:
+    def test_lock_read_write_commit(self):
+        kernel, _n, client, manager, _service = build_world()
+        txn = proxy(client)
+        log = []
+
+        def program():
+            yield txn.lock("acct")
+            value = yield txn.read("acct", "value")
+            log.append(value)
+            txn.write("acct", "value", value + 5)
+            txn.commit()
+
+        kernel.process(program())
+        kernel.run()
+        assert log == [10]
+        assert manager.object("acct").committed_value("value") == 15
+        assert txn.status is TransactionStatus.COMMITTED
+        # The authoritative host transaction committed and released locks.
+        assert manager.locks.all_holders() == {}
+
+    def test_same_instance_key_reaches_one_host_transaction(self):
+        kernel, _n, client, _manager, service = build_world()
+        first = proxy(client, instance="A#7")
+        second = proxy(client, instance="A#7")
+
+        def program():
+            yield first.lock("acct")
+            value = yield second.read("acct", "value")
+            assert value == 10
+
+        kernel.process(program())
+        kernel.run()
+        assert set(service.transactions) == {"A#7"}
+
+    def test_abort_undoes_writes_and_is_idempotent(self):
+        kernel, _n, client, manager, _service = build_world()
+        txn = proxy(client)
+
+        def program():
+            yield txn.lock("acct")
+            txn.write("acct", "value", 99)
+            txn.abort()
+
+        kernel.process(program())
+        kernel.run()
+        assert manager.object("acct").committed_value("value") == 10
+        assert txn.abort() is TransactionStatus.ABORTED  # no second call
+        assert manager.locks.all_holders() == {}
+
+    def test_repair_is_not_supported_remotely(self):
+        _kernel, _n, client, _manager, _service = build_world()
+        with pytest.raises(NotImplementedError):
+            proxy(client).repair("acct", lambda state: state)
+
+
+class TestLockProtocol:
+    def test_contended_lock_grant_is_deferred_until_release(self):
+        kernel, _n, client, _manager, _service = build_world()
+        holder = proxy(client, instance="A#1")
+        waiter = proxy(client, instance="A#2")
+        granted_at = []
+
+        def holding():
+            yield holder.lock("acct")
+            yield kernel.timeout(5.0)
+            holder.commit()
+
+        def waiting():
+            yield kernel.timeout(0.5)  # let the holder acquire first
+            yield waiter.lock("acct")
+            granted_at.append(kernel.now)
+
+        kernel.process(holding())
+        kernel.process(waiting())
+        kernel.run()
+        # The reply only comes back after the holder's commit releases the
+        # lock (commit is one-way: sent at 5.0, applied at 5.1, reply
+        # travels 0.1 more).
+        assert granted_at and granted_at[0] >= 5.0
+
+    def test_deadlock_refusal_arrives_as_typed_error(self):
+        kernel, _n, client, manager, _service = build_world()
+        manager.create_object("other", {"value": 0})
+        one = proxy(client, instance="A#1")
+        two = proxy(client, instance="A#2")
+        outcome = {}
+
+        def program():
+            yield one.lock("acct")
+            yield two.lock("other")
+            one.locked_pending = one.lock("other")  # queues behind two
+            try:
+                yield two.lock("acct")  # closes the wait-for cycle
+            except DeadlockError as error:
+                outcome["deadlock"] = str(error)
+
+        kernel.process(program())
+        kernel.run()
+        assert "deadlock" in outcome
+
+
+class TestTimeouts:
+    def test_lost_reply_fails_with_rpc_timeout(self):
+        faults = FaultPlan()
+        faults.drop_nth_message("host", "client", 1)
+        kernel, _n, client, _manager, _service = build_world(faults=faults)
+        txn = proxy(client, timeout=1.0)
+        outcome = {}
+
+        def program():
+            try:
+                outcome["value"] = yield txn.read("acct", "value")
+            except RpcTimeoutError as error:
+                outcome["timeout"] = str(error)
+
+        kernel.process(program())
+        kernel.run()
+        assert "timeout" in outcome and "value" not in outcome
+        assert client._pending_replies == {}
+
+
+class TestFactoryInstallation:
+    def test_install_remote_objects_overrides_transaction_factory(self):
+        kernel, _n, client, _manager, _service = build_world()
+
+        class _System:
+            transaction_factory = None
+
+        class _Definition:
+            name = "A"
+
+        system = _System()
+        install_remote_objects(system, lambda _key: client, "host",
+                               timeout=2.5)
+        txn = system.transaction_factory("A#4", _Definition())
+        assert isinstance(txn, RemoteTransaction)
+        assert txn.instance_key == "A#4"
+        assert txn.action_name == "A"
+        assert txn.timeout == 2.5

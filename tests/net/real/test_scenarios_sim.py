@@ -1,0 +1,100 @@
+"""Real-scenario specs on the sim backend, and the engine wiring.
+
+These are the fast halves of the backend-parity contract: the spec
+builders run all-local on the deterministic kernel, and the engine's
+``ScenarioConfig(backend=...)`` routing is validated without spawning
+any process.  The multi-process halves live in ``test_backend_parity.py``
+under the ``realbackend`` marker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.engine import ScenarioConfig, run_scenario
+from repro.net.real.scenarios import (
+    REAL_SCENARIOS,
+    collect_record,
+    run_sim,
+    spec_params,
+)
+
+
+class TestRegistry:
+    def test_both_specs_registered_with_their_nodes(self):
+        assert REAL_SCENARIOS["figure9"].nodes == ("T1", "T2", "T3")
+        assert REAL_SCENARIOS["transactional"].nodes == \
+            ("W1", "W2", "objhost")
+
+    def test_spec_params_merges_overrides_over_defaults(self):
+        spec = REAL_SCENARIOS["transactional"]
+        params = spec_params(spec, {"iterations": 7})
+        assert params["iterations"] == 7
+        assert params["limit"] == spec.defaults["limit"]
+
+
+class TestFigure9Sim:
+    @pytest.mark.parametrize("algorithm",
+                             ["ours", "campbell-randell", "romanovsky96"])
+    def test_oracles_hold(self, algorithm):
+        result = run_sim("figure9", iterations=2, algorithm=algorithm)
+        assert result.backend == "sim"
+        assert result.violations == []
+        # Experiment 1: per iteration the outer action recovers on all
+        # three threads and the nested action aborts on two.
+        assert result.outcomes[("Outer", "recovered")] == 6
+        assert result.outcomes[("Inner", "aborted")] == 4
+
+
+class TestTransactionalSim:
+    def test_oracles_hold_and_counter_is_exact(self):
+        result = run_sim("transactional", iterations=3)
+        assert result.violations == []
+        [counter] = result.records["sim"]["counters"]
+        # Every iteration commits exactly one increment, even the ones
+        # that recover from the overdraft exception (HANDLED exits still
+        # commit via the designated committer).
+        assert counter["final"] == counter["initial"] + 3
+        assert counter["committed_writers"] == 3
+        # Two workers conclude each of the three instances exactly once.
+        assert sum(result.outcomes.values()) == 6
+
+    def test_every_object_access_crosses_the_rpc_layer(self):
+        result = run_sim("transactional", iterations=1)
+        stats = result.stats
+        assert stats["by_type"].get("RpcRequest", 0) > 0
+        assert stats["by_type"].get("RpcReply", 0) > 0
+
+    def test_limit_controls_the_overdraft_exception(self):
+        quiet = run_sim("transactional", iterations=2, limit=10)
+        assert quiet.violations == []
+        assert quiet.outcomes == {("Transfer", "success"): 4}
+
+
+class TestCollectRecord:
+    def test_local_filter_restricts_quiescence_to_own_thread(self):
+        spec = REAL_SCENARIOS["transactional"]
+        built = spec.build(spec_params(spec, {"iterations": 1}), None, None)
+        built.system.kernel.run()
+        full = collect_record(built)
+        assert {snap.thread for snap in full["quiescence"]} == {"W1", "W2"}
+        only_w1 = collect_record(built, local="W1")
+        assert {snap.thread for snap in only_w1["quiescence"]} == {"W1"}
+
+
+class TestEngineWiring:
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_scenario("figure9", config=ScenarioConfig(backend="fpga"))
+
+    def test_real_backend_requires_a_real_capable_scenario(self):
+        with pytest.raises(KeyError, match="no real-backend spec"):
+            run_scenario("capacity", config=ScenarioConfig(backend="real"))
+
+    def test_sim_backend_default_leaves_registry_path_untouched(self):
+        rows = run_scenario("figure9",
+                            points=[{"varying": "t_msg", "value": 0.2,
+                                     "iterations": 1}],
+                            config=ScenarioConfig(backend="sim"))
+        assert len(rows) == 1
+        assert "total_time" in rows[0]

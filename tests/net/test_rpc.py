@@ -125,13 +125,33 @@ class TestFallback:
 
 
 class TestRequestDataclass:
-    def test_call_ids_are_unique_and_increasing(self):
-        first = RpcRequest("p")
-        second = RpcRequest("p")
-        assert second.call_id > first.call_id
+    def test_endpoint_call_ids_are_unique_and_increasing(self):
+        kernel, _network, alpha, beta = build_pair()
+        beta.register("p", lambda: None)
+
+        def program():
+            yield alpha.call("beta", "p")
+
+        alpha.call_oneway("beta", "p")
+        kernel.process(program())
+        kernel.run()
+        ids = [env.payload.call_id for env in _network.trace
+               if isinstance(env.payload, RpcRequest)]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+    def test_call_ids_are_per_endpoint_not_process_global(self):
+        # Two endpoints built in sequence must both start their call ids
+        # at 1: replay determinism may not depend on process history.
+        _k1, n1, a1, _b1 = build_pair()
+        _k2, n2, a2, _b2 = build_pair()
+        a1.call_oneway("beta", "p")
+        a2.call_oneway("beta", "p")
+        assert n1.trace[0].payload.call_id == 1
+        assert n2.trace[0].payload.call_id == 1
 
     def test_defaults(self):
         request = RpcRequest("p", args=(1,))
         assert request.kwargs == {}
+        assert request.call_id == 0
         assert request.reply_to is None
         assert not request.expects_reply
